@@ -1,0 +1,342 @@
+package ccportal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Client is a Go client for the portal's HTTP API — what cmd/portalctl and
+// scripted course tooling use instead of the browser UI.
+type Client struct {
+	// BaseURL is the portal root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTP is the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+
+	token string
+}
+
+// NewClient returns a Client for the given portal URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimSuffix(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// apiError is the portal's error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (c *Client) do(method, path string, body io.Reader, out interface{}) error {
+	req, err := http.NewRequest(method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	res, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	data, err := io.ReadAll(res.Body)
+	if err != nil {
+		return err
+	}
+	if res.StatusCode >= 400 {
+		var ae apiError
+		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
+			return fmt.Errorf("ccportal: %s %s: %s (HTTP %d)", method, path, ae.Error, res.StatusCode)
+		}
+		return fmt.Errorf("ccportal: %s %s: HTTP %d", method, path, res.StatusCode)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("ccportal: decoding %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+func (c *Client) doJSON(method, path string, in, out interface{}) error {
+	var body io.Reader
+	if in != nil {
+		j, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(j)
+	}
+	return c.do(method, path, body, out)
+}
+
+// Register creates a student account.
+func (c *Client) Register(user, password string) error {
+	return c.doJSON("POST", "/api/register", map[string]string{"user": user, "password": password}, nil)
+}
+
+// Login opens a session; subsequent calls carry its token.
+func (c *Client) Login(user, password string) error {
+	var resp struct {
+		Token string `json:"token"`
+	}
+	if err := c.doJSON("POST", "/api/login", map[string]string{"user": user, "password": password}, &resp); err != nil {
+		return err
+	}
+	c.token = resp.Token
+	return nil
+}
+
+// Logout closes the session.
+func (c *Client) Logout() error {
+	err := c.doJSON("POST", "/api/logout", nil, nil)
+	c.token = ""
+	return err
+}
+
+// FileInfo is one file-browser entry.
+type FileInfo struct {
+	Name    string    `json:"name"`
+	Path    string    `json:"path"`
+	Dir     bool      `json:"dir"`
+	Size    int64     `json:"size"`
+	ModTime time.Time `json:"mod_time"`
+}
+
+// List returns the entries of a home directory path.
+func (c *Client) List(path string) ([]FileInfo, error) {
+	var out []FileInfo
+	err := c.do("GET", "/api/files?path="+url.QueryEscape(path), nil, &out)
+	return out, err
+}
+
+// Upload stores content at path in the user's home, creating parents.
+func (c *Client) Upload(path string, content []byte) error {
+	return c.do("PUT", "/api/files/content?path="+url.QueryEscape(path), bytes.NewReader(content), nil)
+}
+
+// Download fetches a file's contents.
+func (c *Client) Download(path string) ([]byte, error) {
+	req, err := http.NewRequest("GET", c.BaseURL+"/api/files/content?path="+url.QueryEscape(path), nil)
+	if err != nil {
+		return nil, err
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	res, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer res.Body.Close()
+	data, err := io.ReadAll(res.Body)
+	if err != nil {
+		return nil, err
+	}
+	if res.StatusCode >= 400 {
+		return nil, fmt.Errorf("ccportal: download %s: HTTP %d", path, res.StatusCode)
+	}
+	return data, nil
+}
+
+// Mkdir creates a directory (and parents).
+func (c *Client) Mkdir(path string) error {
+	return c.doJSON("POST", "/api/files/mkdir", map[string]string{"path": path}, nil)
+}
+
+// Rename moves src to dst.
+func (c *Client) Rename(src, dst string) error {
+	return c.doJSON("POST", "/api/files/rename", map[string]string{"src": src, "dst": dst}, nil)
+}
+
+// Copy duplicates src to dst.
+func (c *Client) Copy(src, dst string) error {
+	return c.doJSON("POST", "/api/files/copy", map[string]string{"src": src, "dst": dst}, nil)
+}
+
+// Remove deletes a path.
+func (c *Client) Remove(path string, recursive bool) error {
+	return c.doJSON("POST", "/api/files/delete",
+		map[string]interface{}{"path": path, "recursive": recursive}, nil)
+}
+
+// CompileResult is the outcome of a compile-only request.
+type CompileResult struct {
+	OK          bool     `json:"ok"`
+	Artifact    string   `json:"artifact"`
+	Language    string   `json:"language"`
+	Cached      bool     `json:"cached"`
+	Diagnostics []string `json:"diagnostics"`
+}
+
+// Compile builds a source file without running it.
+func (c *Client) Compile(path, language string) (CompileResult, error) {
+	var out CompileResult
+	err := c.doJSON("POST", "/api/compile", map[string]string{"path": path, "language": language}, &out)
+	// 422 carries diagnostics in the body; surface them instead of the error.
+	if err != nil && strings.Contains(err.Error(), "HTTP 422") {
+		return CompileResult{OK: false, Diagnostics: []string{err.Error()}}, nil
+	}
+	return out, err
+}
+
+// Job is a job record as the API reports it.
+type Job struct {
+	ID         string    `json:"id"`
+	Owner      string    `json:"owner"`
+	SourcePath string    `json:"source_path"`
+	Language   string    `json:"language"`
+	Ranks      int       `json:"ranks"`
+	State      string    `json:"state"`
+	Submitted  time.Time `json:"submitted"`
+	Started    time.Time `json:"started"`
+	Finished   time.Time `json:"finished"`
+	Failure    string    `json:"failure"`
+	Nodes      []string  `json:"nodes"`
+}
+
+// Terminal reports whether the job has finished.
+func (j Job) Terminal() bool {
+	switch j.State {
+	case "succeeded", "failed", "cancelled":
+		return true
+	}
+	return false
+}
+
+// Submit queues a source file for compilation and execution on ranks nodes.
+func (c *Client) Submit(sourcePath, language string, ranks int, stdin string) (Job, error) {
+	var out Job
+	err := c.doJSON("POST", "/api/jobs", map[string]interface{}{
+		"source_path": sourcePath, "language": language, "ranks": ranks, "stdin": stdin,
+	}, &out)
+	return out, err
+}
+
+// SubmitGPU is Submit with placement restricted to GPU-equipped nodes.
+func (c *Client) SubmitGPU(sourcePath, language string, ranks int, stdin string) (Job, error) {
+	var out Job
+	err := c.doJSON("POST", "/api/jobs", map[string]interface{}{
+		"source_path": sourcePath, "language": language, "ranks": ranks,
+		"stdin": stdin, "gpu": true,
+	}, &out)
+	return out, err
+}
+
+// JobStatus fetches the job record.
+func (c *Client) JobStatus(id string) (Job, error) {
+	var out Job
+	err := c.do("GET", "/api/jobs/"+id, nil, &out)
+	return out, err
+}
+
+// Jobs lists the caller's jobs, newest first.
+func (c *Client) Jobs() ([]Job, error) {
+	var out []Job
+	err := c.do("GET", "/api/jobs", nil, &out)
+	return out, err
+}
+
+// OutputChunk is a slice of a job's merged stdout.
+type OutputChunk struct {
+	Data  string `json:"data"`
+	Next  int64  `json:"next"`
+	Done  bool   `json:"done"`
+	State string `json:"state"`
+}
+
+// Output reads the job's stdout from the given offset.
+func (c *Client) Output(id string, offset int64) (OutputChunk, error) {
+	var out OutputChunk
+	err := c.do("GET", fmt.Sprintf("/api/jobs/%s/output?offset=%d", id, offset), nil, &out)
+	return out, err
+}
+
+// SendInput feeds interactive stdin to a running job.
+func (c *Client) SendInput(id, data string) error {
+	return c.doJSON("POST", "/api/jobs/"+id+"/input", map[string]string{"data": data}, nil)
+}
+
+// Cancel cancels a queued job.
+func (c *Client) Cancel(id string) error {
+	return c.doJSON("POST", "/api/jobs/"+id+"/cancel", nil, nil)
+}
+
+// WaitJob polls until the job finishes or the timeout elapses, returning the
+// final record and its full output.
+func (c *Client) WaitJob(id string, timeout time.Duration) (Job, string, error) {
+	deadline := time.Now().Add(timeout)
+	var output strings.Builder
+	var offset int64
+	for {
+		chunk, err := c.Output(id, offset)
+		if err != nil {
+			return Job{}, output.String(), err
+		}
+		output.WriteString(chunk.Data)
+		offset = chunk.Next
+		if chunk.Done {
+			job, err := c.JobStatus(id)
+			return job, output.String(), err
+		}
+		if time.Now().After(deadline) {
+			job, _ := c.JobStatus(id)
+			return job, output.String(), fmt.Errorf("ccportal: job %s still %s after %v", id, job.State, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// ClusterStats is the portal's cluster summary.
+type ClusterStats struct {
+	TotalNodes  int            `json:"total_nodes"`
+	FreeNodes   int            `json:"free_nodes"`
+	Utilization float64        `json:"utilization"`
+	Jobs        map[string]int `json:"jobs"`
+	Dispatched  int64          `json:"dispatched"`
+}
+
+// Stats fetches the cluster summary.
+func (c *Client) Stats() (ClusterStats, error) {
+	var out ClusterStats
+	err := c.do("GET", "/api/cluster/stats", nil, &out)
+	return out, err
+}
+
+// FormatFile pretty-prints a minic source file in place on the server.
+func (c *Client) FormatFile(path string) error {
+	return c.doJSON("POST", "/api/files/format", map[string]string{"path": path}, nil)
+}
+
+// SchedulerEvent is one entry of the scheduler's activity feed.
+type SchedulerEvent struct {
+	Seq    int64     `json:"seq"`
+	Time   time.Time `json:"time"`
+	Kind   string    `json:"kind"`
+	JobID  string    `json:"job_id"`
+	Nodes  []string  `json:"nodes"`
+	Detail string    `json:"detail"`
+}
+
+// Events fetches the scheduler's recent activity with sequence >= since.
+func (c *Client) Events(since int64) ([]SchedulerEvent, error) {
+	var out []SchedulerEvent
+	err := c.do("GET", fmt.Sprintf("/api/cluster/events?since=%d", since), nil, &out)
+	return out, err
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTable2ToFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t2.txt")
+	if err := run(2, 19, 3664, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	if !strings.Contains(text, "midterm") || !strings.Contains(text, "final") {
+		t.Fatalf("table 2 output = %q", text)
+	}
+}
+
+func TestRunTable3Stdout(t *testing.T) {
+	if err := run(3, 19, 3664, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadTable(t *testing.T) {
+	if err := run(9, 19, 1, ""); err == nil {
+		t.Fatal("table 9 accepted")
+	}
+}

@@ -1,0 +1,208 @@
+// Command portalctl is the command-line client for the portal's HTTP API —
+// the scripted equivalent of the web UI's file manager and job monitor.
+//
+// Usage:
+//
+//	portalctl -url http://localhost:8080 -user alice -pass secret1 <command>
+//
+// Commands:
+//
+//	register                      create the account
+//	ls [path]                     list a home directory
+//	put <local> <remote>          upload a file
+//	get <remote>                  print a file
+//	rm <remote>                   delete a file or tree
+//	compile <remote> [lang]       compile only, printing diagnostics
+//	run <remote> [ranks]          submit, wait, stream output
+//	jobs                          list jobs
+//	stats                         cluster summary
+//	events                        scheduler activity feed
+//	format <remote>               pretty-print a minic source in place
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	ccportal "repro"
+)
+
+func main() {
+	var (
+		url  = flag.String("url", "http://localhost:8080", "portal base URL")
+		user = flag.String("user", "", "username")
+		pass = flag.String("pass", "", "password")
+	)
+	flag.Parse()
+	if err := run(*url, *user, *pass, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "portalctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(url, user, pass string, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("no command; see -h")
+	}
+	c := ccportal.NewClient(url)
+	cmd, rest := args[0], args[1:]
+
+	if user == "" || pass == "" {
+		return fmt.Errorf("-user and -pass are required")
+	}
+	if cmd == "register" {
+		if err := c.Register(user, pass); err != nil {
+			return err
+		}
+		fmt.Println("registered", user)
+		return nil
+	}
+	if err := c.Login(user, pass); err != nil {
+		return err
+	}
+
+	switch cmd {
+	case "ls":
+		path := "/"
+		if len(rest) > 0 {
+			path = rest[0]
+		}
+		infos, err := c.List(path)
+		if err != nil {
+			return err
+		}
+		for _, in := range infos {
+			kind := "file"
+			if in.Dir {
+				kind = "dir "
+			}
+			fmt.Printf("%s %8d  %s\n", kind, in.Size, in.Path)
+		}
+		return nil
+	case "put":
+		if len(rest) != 2 {
+			return fmt.Errorf("put needs <local> <remote>")
+		}
+		data, err := os.ReadFile(rest[0])
+		if err != nil {
+			return err
+		}
+		if err := c.Upload(rest[1], data); err != nil {
+			return err
+		}
+		fmt.Printf("uploaded %s (%d bytes)\n", rest[1], len(data))
+		return nil
+	case "get":
+		if len(rest) != 1 {
+			return fmt.Errorf("get needs <remote>")
+		}
+		data, err := c.Download(rest[0])
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data)
+		return nil
+	case "rm":
+		if len(rest) != 1 {
+			return fmt.Errorf("rm needs <remote>")
+		}
+		return c.Remove(rest[0], true)
+	case "compile":
+		if len(rest) < 1 {
+			return fmt.Errorf("compile needs <remote> [lang]")
+		}
+		lang := "auto"
+		if len(rest) > 1 {
+			lang = rest[1]
+		}
+		res, err := c.Compile(rest[0], lang)
+		if err != nil {
+			return err
+		}
+		if res.OK {
+			fmt.Printf("ok: artifact %s (language %s, cached %v)\n", res.Artifact, res.Language, res.Cached)
+			return nil
+		}
+		for _, d := range res.Diagnostics {
+			fmt.Println(d)
+		}
+		return fmt.Errorf("compilation failed")
+	case "run":
+		if len(rest) < 1 {
+			return fmt.Errorf("run needs <remote> [ranks]")
+		}
+		ranks := 1
+		if len(rest) > 1 {
+			n, err := strconv.Atoi(rest[1])
+			if err != nil {
+				return fmt.Errorf("bad rank count %q", rest[1])
+			}
+			ranks = n
+		}
+		job, err := c.Submit(rest[0], "auto", ranks, "")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("submitted %s (%d ranks)\n", job.ID, ranks)
+		final, output, err := c.WaitJob(job.ID, 10*time.Minute)
+		fmt.Print(output)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("[%s]\n", final.State)
+		if final.State != "succeeded" {
+			return fmt.Errorf("%s", final.Failure)
+		}
+		return nil
+	case "jobs":
+		jobsList, err := c.Jobs()
+		if err != nil {
+			return err
+		}
+		for _, j := range jobsList {
+			fmt.Printf("%s  %-10s %-6d %s\n", j.ID, j.State, j.Ranks, j.SourcePath)
+		}
+		return nil
+	case "events":
+		events, err := c.Events(0)
+		if err != nil {
+			return err
+		}
+		for _, e := range events {
+			line := fmt.Sprintf("#%-4d %-16s %s", e.Seq, e.Kind, e.JobID)
+			if len(e.Nodes) > 0 {
+				line += fmt.Sprintf(" on %d node(s)", len(e.Nodes))
+			}
+			if e.Detail != "" {
+				line += ": " + e.Detail
+			}
+			fmt.Println(line)
+		}
+		return nil
+	case "format":
+		if len(rest) != 1 {
+			return fmt.Errorf("format needs <remote>")
+		}
+		if err := c.FormatFile(rest[0]); err != nil {
+			return err
+		}
+		fmt.Println("formatted", rest[0])
+		return nil
+	case "stats":
+		st, err := c.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("nodes: %d total, %d free; utilization %.1f%%; dispatched %d\n",
+			st.TotalNodes, st.FreeNodes, st.Utilization*100, st.Dispatched)
+		for state, n := range st.Jobs {
+			fmt.Printf("  jobs %-10s %d\n", state, n)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	ccportal "repro"
+)
+
+func newPortal(t *testing.T) string {
+	t.Helper()
+	sys, err := ccportal.New(ccportal.DefaultConfig(), ccportal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	t.Cleanup(sys.Stop)
+	ts := httptest.NewServer(sys.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func TestCLIValidation(t *testing.T) {
+	url := newPortal(t)
+	if err := run(url, "", "", []string{"ls"}); err == nil {
+		t.Error("missing credentials accepted")
+	}
+	if err := run(url, "u1", "password1", nil); err == nil {
+		t.Error("missing command accepted")
+	}
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	url := newPortal(t)
+	user, pass := "cliuser", "password1"
+	if err := run(url, user, pass, []string{"register"}); err != nil {
+		t.Fatal(err)
+	}
+	// put a local file and run it on 2 nodes.
+	local := filepath.Join(t.TempDir(), "prog.mc")
+	src := `func main() { if (rank() == 0) { println("cli says hi to", size(), "ranks"); } barrier(); }`
+	if err := os.WriteFile(local, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	steps := [][]string{
+		{"put", local, "/prog.mc"},
+		{"ls", "/"},
+		{"compile", "/prog.mc"},
+		{"run", "/prog.mc", "2"},
+		{"jobs"},
+		{"stats"},
+		{"events"},
+		{"format", "/prog.mc"},
+		{"get", "/prog.mc"},
+		{"rm", "/prog.mc"},
+	}
+	for _, step := range steps {
+		if err := run(url, user, pass, step); err != nil {
+			t.Fatalf("%v: %v", step, err)
+		}
+	}
+	if err := run(url, user, pass, []string{"get", "/prog.mc"}); err == nil {
+		t.Fatal("get after rm succeeded")
+	}
+	if err := run(url, user, pass, []string{"frobnicate"}); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if err := run(url, user, "wrongpass", []string{"ls"}); err == nil {
+		t.Fatal("wrong password accepted")
+	}
+	if err := run(url, user, pass, []string{"run", "/prog.mc", "NaN"}); err == nil {
+		t.Fatal("bad rank count accepted")
+	}
+}

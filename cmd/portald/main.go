@@ -1,0 +1,117 @@
+// Command portald serves the cluster computing portal: the web interface,
+// the job distributor and the simulated teaching cluster, in one process.
+//
+// Usage:
+//
+//	portald [-config portal.json] [-addr :8080] [-policy pack|spread]
+//	        [-backfill] [-log info] [-admin user:password]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	ccportal "repro"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "path to a JSON config file (defaults to the paper's cluster)")
+		addr       = flag.String("addr", "", "listen address override, e.g. :8080")
+		policy     = flag.String("policy", "pack", "node placement policy: pack or spread")
+		backfill   = flag.Bool("backfill", false, "let small jobs run past a blocked queue head")
+		tree       = flag.Bool("tree-collectives", false, "use binomial-tree MPI collectives")
+		logLevel   = flag.String("log", "info", "log level: debug, info, warn, error, off")
+		admin      = flag.String("admin", "", "bootstrap an admin account, as user:password")
+		statePath  = flag.String("state", "", "persist accounts and home directories to this file")
+	)
+	flag.Parse()
+
+	if err := run(*configPath, *addr, *policy, *logLevel, *admin, *statePath, *backfill, *tree); err != nil {
+		fmt.Fprintln(os.Stderr, "portald:", err)
+		os.Exit(1)
+	}
+}
+
+func run(configPath, addr, policy, logLevel, admin, statePath string, backfill, tree bool) error {
+	cfg := ccportal.DefaultConfig()
+	if configPath != "" {
+		loaded, err := ccportal.LoadConfig(configPath)
+		if err != nil {
+			return err
+		}
+		cfg = loaded
+	}
+	if addr != "" {
+		cfg.Portal.ListenAddr = addr
+	}
+	logger, err := ccportal.NewLogger(logLevel)
+	if err != nil {
+		return err
+	}
+	sys, err := ccportal.New(cfg, ccportal.Options{
+		Policy:          policy,
+		Backfill:        backfill,
+		TreeCollectives: tree,
+		Logger:          logger,
+	})
+	if err != nil {
+		return err
+	}
+	if statePath != "" {
+		if err := sys.LoadStateFile(statePath); err != nil {
+			return fmt.Errorf("restoring %s: %w", statePath, err)
+		}
+		logger.Infof("state restored from %s", statePath)
+	}
+	if admin != "" {
+		user, pass, ok := splitColon(admin)
+		if !ok {
+			return fmt.Errorf("-admin needs user:password, got %q", admin)
+		}
+		if err := sys.Bootstrap(user, pass, ccportal.RoleAdmin); err != nil {
+			// A restored state may already contain the account.
+			logger.Warnf("bootstrap admin: %v", err)
+		} else {
+			logger.Infof("bootstrapped admin account %q", user)
+		}
+	}
+	if statePath != "" {
+		// Periodic snapshots plus a final one on SIGINT/SIGTERM.
+		stop := make(chan os.Signal, 1)
+		signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			t := time.NewTicker(30 * time.Second)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := sys.SaveStateFile(statePath); err != nil {
+						logger.Errorf("state snapshot: %v", err)
+					}
+				case <-stop:
+					if err := sys.SaveStateFile(statePath); err != nil {
+						logger.Errorf("final state snapshot: %v", err)
+					}
+					sys.Stop()
+					os.Exit(0)
+				}
+			}
+		}()
+	}
+	defer sys.Stop()
+	return sys.ListenAndServe()
+}
+
+func splitColon(s string) (a, b string, ok bool) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ':' {
+			return s[:i], s[i+1:], s[:i] != "" && s[i+1:] != ""
+		}
+	}
+	return "", "", false
+}

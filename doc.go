@@ -1,0 +1,26 @@
+// Package ccportal is the public API of the cluster computing portal — a
+// from-scratch, pure-stdlib Go reproduction of the system described in
+// "Teaching Parallel and Distributed Computing Using a Cluster Computing
+// Portal" (Hong Lin, IPDPS Workshops / EduPar, 2013).
+//
+// The package wires together a simulated 4-segment, 64-node teaching
+// cluster, a miniature C-like language toolchain (lexer, parser, bytecode
+// compiler and VM with threads, locks, semaphores and MPI-style message
+// passing), a job distributor with placement policies, a per-user virtual
+// filesystem, session-based authentication, and a web portal exposing all of
+// it — plus the seven PDC course labs the paper teaches with and a classroom
+// simulator that regenerates the paper's evaluation tables.
+//
+// Quick start:
+//
+//	sys, err := ccportal.New(ccportal.DefaultConfig(), ccportal.Options{})
+//	if err != nil { ... }
+//	sys.Start()
+//	defer sys.Stop()
+//	// serve the web portal:
+//	//   go sys.ListenAndServe()
+//	// or drive it in-process through sys.Handler() / the Client type.
+//
+// See the examples directory for complete programs and DESIGN.md for the
+// system inventory.
+package ccportal

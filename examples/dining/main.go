@@ -1,0 +1,28 @@
+// The dining example is Lab 6 run both ways: five philosophers acquiring
+// semaphore forks in the same order deadlock in a cyclic hold-and-wait;
+// reversing philosopher 4's acquisition order makes deadlock impossible.
+// The event log — each request, acquire, release and block — is printed the
+// way the lab asks students to print it.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/labs"
+)
+
+func main() {
+	fmt.Println("== same-order acquisition (deadlocks) ==")
+	show(labs.RunLab6(3, false))
+
+	fmt.Println()
+	fmt.Println("== philosopher 4 reversed (deadlock-free) ==")
+	show(labs.RunLab6(3, true))
+}
+
+func show(res labs.Lab6Result) {
+	for _, e := range res.Events {
+		fmt.Printf("  philosopher %d %-8s fork %d\n", e.Philosopher, e.Action, e.Fork)
+	}
+	fmt.Printf("meals eaten: %d of %d, deadlocked: %v\n", res.Meals, res.Expected, res.Deadlocked)
+}

@@ -1,0 +1,105 @@
+// The interactive example demonstrates the portal feature the paper calls
+// out — "The web interface allows the user to monitor the standard streams,
+// and even provide input, if so the target application requires it": a
+// number-guessing program runs on a cluster node while this client watches
+// its output and feeds it guesses over the jobs API, exactly as the browser
+// UI does.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"time"
+
+	ccportal "repro"
+)
+
+const guessingGame = `
+func main() {
+	var secret = random(100) + 1;
+	println("I picked a number between 1 and 100.");
+	var tries = 0;
+	while (true) {
+		println("your guess?");
+		var line = readline();
+		if (line == "") {
+			println("no more input; the number was", secret);
+			return;
+		}
+		var guess = atoi(line);
+		tries = tries + 1;
+		if (guess < secret) { println("higher"); }
+		if (guess > secret) { println("lower"); }
+		if (guess == secret) {
+			println("correct in", tries, "tries!");
+			return;
+		}
+	}
+}
+`
+
+func main() {
+	sys, err := ccportal.New(ccportal.DefaultConfig(), ccportal.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Start()
+	defer sys.Stop()
+	server := httptest.NewServer(sys.Handler())
+	defer server.Close()
+
+	client := ccportal.NewClient(server.URL)
+	must(client.Register("player", "gamer-pass"))
+	must(client.Login("player", "gamer-pass"))
+	must(client.Upload("/guess.mc", []byte(guessingGame)))
+	job, err := client.Submit("/guess.mc", "minic", 1, "")
+	must(err)
+	fmt.Println("game running as", job.ID)
+
+	// Binary search against the program, reading its stream as we go —
+	// the automated version of a student typing into the job monitor.
+	lo, hi := 1, 100
+	var offset int64
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		chunk, err := client.Output(job.ID, offset)
+		must(err)
+		offset = chunk.Next
+		for _, line := range strings.Split(chunk.Data, "\n") {
+			if line != "" {
+				fmt.Println("  program:", line)
+			}
+			switch {
+			case strings.Contains(line, "higher"):
+				lo = lastGuess + 1
+			case strings.Contains(line, "lower"):
+				hi = lastGuess - 1
+			case strings.Contains(line, "correct"):
+				fmt.Println("solved it!")
+				return
+			}
+			if strings.Contains(line, "your guess?") {
+				guess := (lo + hi) / 2
+				lastGuess = guess
+				fmt.Println("  player :", guess)
+				must(client.SendInput(job.ID, strconv.Itoa(guess)+"\n"))
+			}
+		}
+		if chunk.Done {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	log.Fatal("game did not finish in time")
+}
+
+var lastGuess int
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+// The numa example is Lab 3 at full size: it measures UMA vs NUMA access
+// both ways the course does —
+//
+//  1. on the memory-hierarchy simulator (cache + MESI + local/remote DRAM),
+//     reporting cycles per read, and
+//  2. on the cluster interconnect, timing a near (same segment) and a far
+//     (cross segment, routed through the master server) message exchange
+//     with the MPI runtime's virtual clocks.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/labs"
+	"repro/internal/mpi"
+	"repro/internal/topology"
+)
+
+func main() {
+	// Part 1: memory-hierarchy view.
+	res, err := labs.RunLab3(5000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== memory hierarchy (memsim) ==")
+	fmt.Printf("local read:  %6.1f cycles\n", res.LocalReadCycles)
+	fmt.Printf("remote read: %6.1f cycles\n", res.RemoteReadCycles)
+	fmt.Printf("NUMA factor: %6.2fx\n\n", res.Ratio)
+
+	// Part 2: interconnect view. Build the paper's grid and time a ping
+	// to a neighbour in the same segment vs one across the master server.
+	grid, err := topology.New(4, 16, topology.Params{
+		IntraNode:      200 * time.Nanosecond,
+		IntraSegment:   50 * time.Microsecond,
+		InterSegment:   400 * time.Microsecond,
+		BytesPerSecond: 1 << 30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	places := []topology.NodeID{
+		{Segment: 0, Index: 0}, // rank 0
+		{Segment: 0, Index: 1}, // rank 1: near
+		{Segment: 2, Index: 0}, // rank 2: far
+	}
+	world, err := mpi.New(grid, places, mpi.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer world.Close()
+
+	fmt.Println("== interconnect (mpi over the grid) ==")
+	done := make(chan struct{})
+	for r := 0; r < 3; r++ {
+		go func(r int) {
+			defer func() { done <- struct{}{} }()
+			c, _ := world.Comm(r)
+			switch r {
+			case 0:
+				c.Send(1, 0, []byte("ping"))
+				c.Send(2, 0, []byte("ping"))
+				c.Recv(1, 1)
+				c.Recv(2, 1)
+			case 1, 2:
+				c.Recv(0, 0)
+				c.Send(0, 1, []byte("pong"))
+			}
+		}(r)
+	}
+	for i := 0; i < 3; i++ {
+		<-done
+	}
+	near, _ := world.Comm(1)
+	far, _ := world.Comm(2)
+	fmt.Printf("near rank (same segment):  one-way %v\n", near.Elapsed())
+	fmt.Printf("far rank (cross segment):  one-way %v\n", far.Elapsed())
+	route, _ := grid.Route(places[0], places[2])
+	fmt.Print("far route: ")
+	for i, hop := range route {
+		if i > 0 {
+			fmt.Print(" -> ")
+		}
+		fmt.Print(hop.Label)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,81 @@
+// The quickstart example boots the whole system in-process, registers a
+// user, uploads a parallel minic program through the portal's HTTP API,
+// runs it on eight cluster nodes and prints the collected output — the
+// portal's end-to-end story in one file.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"time"
+
+	ccportal "repro"
+)
+
+const program = `
+// Estimate pi by the Leibniz series, split across the ranks of the job.
+func main() {
+	var terms = 100000;
+	var me = rank();
+	var p = size();
+	var sum = 0.0;
+	for (var k = me; k < terms; k = k + p) {
+		var sign = 1.0;
+		if (k % 2 == 1) { sign = -1.0; }
+		sum = sum + sign / (2.0 * float(k) + 1.0);
+	}
+	var total = reduce_sum(sum);
+	if (me == 0) {
+		println("pi ~", 4.0 * total, "computed by", p, "ranks");
+	}
+}
+`
+
+func main() {
+	// 1. Build and start the system: 4 segments × 16 nodes, web portal,
+	//    scheduler, toolchain.
+	sys, err := ccportal.New(ccportal.DefaultConfig(), ccportal.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Start()
+	defer sys.Stop()
+
+	// 2. Expose the portal over HTTP (a real deployment would call
+	//    sys.ListenAndServe instead).
+	server := httptest.NewServer(sys.Handler())
+	defer server.Close()
+	fmt.Println("portal serving at", server.URL)
+
+	// 3. Drive it exactly as a student would: register, log in, upload,
+	//    submit, watch the output.
+	client := ccportal.NewClient(server.URL)
+	must(client.Register("ada", "lovelace"))
+	must(client.Login("ada", "lovelace"))
+	must(client.Upload("/src/pi.mc", []byte(program)))
+
+	files, err := client.List("/src")
+	must(err)
+	for _, f := range files {
+		fmt.Printf("uploaded: %s (%d bytes)\n", f.Path, f.Size)
+	}
+
+	job, err := client.Submit("/src/pi.mc", "minic", 8, "")
+	must(err)
+	fmt.Println("submitted", job.ID, "on", job.Ranks, "nodes")
+
+	final, output, err := client.WaitJob(job.ID, 30*time.Second)
+	must(err)
+	fmt.Printf("job %s %s\n--- output ---\n%s", final.ID, final.State, output)
+
+	stats, err := client.Stats()
+	must(err)
+	fmt.Printf("cluster: %d nodes, %d jobs dispatched\n", stats.TotalNodes, stats.Dispatched)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

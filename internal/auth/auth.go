@@ -1,0 +1,350 @@
+// Package auth provides the portal's "means of user distinction": user
+// accounts with salted, iterated SHA-256 password hashes, roles (student,
+// faculty, admin), and browser sessions with expiry.
+//
+// Passwords are verified in constant time. Session tokens come from
+// crypto/rand and are unguessable; session lifetime is measured against an
+// injected clock so tests control expiry deterministically.
+package auth
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/ids"
+)
+
+// Role classifies an account's privileges.
+type Role int
+
+// Account roles. Students can manage their own files and jobs; faculty can
+// additionally inspect any job; admins can manage accounts and nodes.
+const (
+	RoleStudent Role = iota
+	RoleFaculty
+	RoleAdmin
+)
+
+// String returns the role name.
+func (r Role) String() string {
+	switch r {
+	case RoleStudent:
+		return "student"
+	case RoleFaculty:
+		return "faculty"
+	case RoleAdmin:
+		return "admin"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// Errors returned by the service.
+var (
+	ErrUserExists       = errors.New("auth: user already exists")
+	ErrUnknownUser      = errors.New("auth: unknown user")
+	ErrBadCredentials   = errors.New("auth: invalid username or password")
+	ErrSessionExpired   = errors.New("auth: session expired")
+	ErrSessionNotFound  = errors.New("auth: session not found")
+	ErrWeakPassword     = errors.New("auth: password too short (minimum 6 characters)")
+	ErrInvalidUsername  = errors.New("auth: invalid username")
+	ErrPermissionDenied = errors.New("auth: permission denied")
+)
+
+const (
+	hashIterations = 4096
+	saltBytes      = 16
+	minPassword    = 6
+)
+
+// User is a portal account.
+type User struct {
+	Name    string
+	Role    Role
+	salt    []byte
+	hash    []byte
+	Created time.Time
+}
+
+// Session is an authenticated browser session.
+type Session struct {
+	Token   string
+	User    string
+	Role    Role
+	Expires time.Time
+}
+
+// Service stores users and sessions.
+type Service struct {
+	mu       sync.RWMutex
+	users    map[string]*User
+	sessions map[string]*Session
+	clk      clock.Clock
+	ttl      time.Duration
+	tokens   *ids.Random
+}
+
+// NewService returns an auth service with the given session TTL.
+func NewService(ttl time.Duration, clk clock.Clock) *Service {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &Service{
+		users:    make(map[string]*User),
+		sessions: make(map[string]*Session),
+		clk:      clk,
+		ttl:      ttl,
+		tokens:   ids.NewRandom("sess", 16),
+	}
+}
+
+// hashPassword derives an iterated salted SHA-256 digest. Iterating the hash
+// (stdlib-only) slows brute force the way PBKDF1 does.
+func hashPassword(password string, salt []byte) []byte {
+	sum := sha256.Sum256(append(append([]byte{}, salt...), password...))
+	for i := 1; i < hashIterations; i++ {
+		sum = sha256.Sum256(sum[:])
+	}
+	return sum[:]
+}
+
+func validUsername(name string) bool {
+	if len(name) < 2 || len(name) > 32 {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_', r == '-', r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Register creates a new account.
+func (s *Service) Register(name, password string, role Role) (*User, error) {
+	if !validUsername(name) {
+		return nil, fmt.Errorf("%w: %q", ErrInvalidUsername, name)
+	}
+	if len(password) < minPassword {
+		return nil, ErrWeakPassword
+	}
+	salt := make([]byte, saltBytes)
+	if _, err := rand.Read(salt); err != nil {
+		return nil, fmt.Errorf("auth: generating salt: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.users[name]; exists {
+		return nil, fmt.Errorf("%w: %q", ErrUserExists, name)
+	}
+	u := &User{
+		Name:    name,
+		Role:    role,
+		salt:    salt,
+		hash:    hashPassword(password, salt),
+		Created: s.clk.Now(),
+	}
+	s.users[name] = u
+	return u, nil
+}
+
+// Login checks credentials and opens a session.
+func (s *Service) Login(name, password string) (*Session, error) {
+	s.mu.RLock()
+	u, ok := s.users[name]
+	s.mu.RUnlock()
+	if !ok {
+		// Burn the same work as a real check so timing doesn't reveal
+		// whether the username exists.
+		hashPassword(password, make([]byte, saltBytes))
+		return nil, ErrBadCredentials
+	}
+	if !hmac.Equal(hashPassword(password, u.salt), u.hash) {
+		return nil, ErrBadCredentials
+	}
+	sess := &Session{
+		Token:   s.tokens.Next(),
+		User:    u.Name,
+		Role:    u.Role,
+		Expires: s.clk.Now().Add(s.ttl),
+	}
+	s.mu.Lock()
+	s.sessions[sess.Token] = sess
+	s.mu.Unlock()
+	return sess, nil
+}
+
+// Lookup resolves a session token, refusing expired sessions (and reaping
+// them as a side effect).
+func (s *Service) Lookup(token string) (*Session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[token]
+	if !ok {
+		return nil, ErrSessionNotFound
+	}
+	if s.clk.Now().After(sess.Expires) {
+		delete(s.sessions, token)
+		return nil, ErrSessionExpired
+	}
+	cp := *sess
+	return &cp, nil
+}
+
+// Logout closes a session. Unknown tokens are ignored.
+func (s *Service) Logout(token string) {
+	s.mu.Lock()
+	delete(s.sessions, token)
+	s.mu.Unlock()
+}
+
+// ChangePassword updates a user's password after verifying the old one.
+func (s *Service) ChangePassword(name, oldPassword, newPassword string) error {
+	if len(newPassword) < minPassword {
+		return ErrWeakPassword
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u, ok := s.users[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownUser, name)
+	}
+	if !hmac.Equal(hashPassword(oldPassword, u.salt), u.hash) {
+		return ErrBadCredentials
+	}
+	salt := make([]byte, saltBytes)
+	if _, err := rand.Read(salt); err != nil {
+		return fmt.Errorf("auth: generating salt: %w", err)
+	}
+	u.salt = salt
+	u.hash = hashPassword(newPassword, salt)
+	return nil
+}
+
+// SetRole changes a user's role; only an admin actor may do so.
+func (s *Service) SetRole(actor, name string, role Role) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.users[actor]
+	if !ok || a.Role != RoleAdmin {
+		return ErrPermissionDenied
+	}
+	u, ok := s.users[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownUser, name)
+	}
+	u.Role = role
+	return nil
+}
+
+// User returns account metadata (no secrets).
+func (s *Service) User(name string) (User, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	u, ok := s.users[name]
+	if !ok {
+		return User{}, fmt.Errorf("%w: %q", ErrUnknownUser, name)
+	}
+	return User{Name: u.Name, Role: u.Role, Created: u.Created}, nil
+}
+
+// Usernames lists all accounts, sorted.
+func (s *Service) Usernames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.users))
+	for n := range s.users {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ActiveSessions counts unexpired sessions.
+func (s *Service) ActiveSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clk.Now()
+	n := 0
+	for tok, sess := range s.sessions {
+		if now.After(sess.Expires) {
+			delete(s.sessions, tok)
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// Record is a serialized account, for persistence. The hash and salt are
+// opaque; passwords are never recoverable from a Record.
+type Record struct {
+	Name    string    `json:"name"`
+	Role    Role      `json:"role"`
+	Salt    string    `json:"salt"`
+	Hash    string    `json:"hash"`
+	Created time.Time `json:"created"`
+}
+
+// Export serializes every account (without sessions), sorted by name.
+func (s *Service) Export() []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Record, 0, len(s.users))
+	for _, u := range s.users {
+		out = append(out, Record{
+			Name:    u.Name,
+			Role:    u.Role,
+			Salt:    hex.EncodeToString(u.salt),
+			Hash:    hex.EncodeToString(u.hash),
+			Created: u.Created,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Import restores accounts from Export's output. Existing accounts with the
+// same name are replaced; sessions are unaffected.
+func (s *Service) Import(records []Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range records {
+		salt, err := hex.DecodeString(r.Salt)
+		if err != nil {
+			return fmt.Errorf("auth: import %q: bad salt: %v", r.Name, err)
+		}
+		hash, err := hex.DecodeString(r.Hash)
+		if err != nil {
+			return fmt.Errorf("auth: import %q: bad hash: %v", r.Name, err)
+		}
+		if !validUsername(r.Name) {
+			return fmt.Errorf("%w: %q", ErrInvalidUsername, r.Name)
+		}
+		s.users[r.Name] = &User{
+			Name:    r.Name,
+			Role:    r.Role,
+			salt:    salt,
+			hash:    hash,
+			Created: r.Created,
+		}
+	}
+	return nil
+}
+
+// FingerprintToken returns a short non-reversible identifier for a token,
+// safe to put in logs.
+func FingerprintToken(token string) string {
+	sum := sha256.Sum256([]byte(token))
+	return hex.EncodeToString(sum[:4])
+}

@@ -1,0 +1,290 @@
+package auth
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func newService(t *testing.T) (*Service, *clock.Sim) {
+	t.Helper()
+	sim := clock.NewSim()
+	return NewService(2*time.Hour, sim), sim
+}
+
+func TestRegisterAndLogin(t *testing.T) {
+	s, _ := newService(t)
+	u, err := s.Register("alice", "secret1", RoleStudent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Name != "alice" || u.Role != RoleStudent {
+		t.Fatalf("registered user = %+v", u)
+	}
+	sess, err := s.Login("alice", "secret1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.User != "alice" || sess.Role != RoleStudent {
+		t.Fatalf("session = %+v", sess)
+	}
+	if !strings.HasPrefix(sess.Token, "sess-") {
+		t.Fatalf("token %q missing prefix", sess.Token)
+	}
+}
+
+func TestLoginWrongPassword(t *testing.T) {
+	s, _ := newService(t)
+	if _, err := s.Register("bob", "hunter2x", RoleStudent); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Login("bob", "wrong-pass"); !errors.Is(err, ErrBadCredentials) {
+		t.Fatalf("wrong password err = %v, want ErrBadCredentials", err)
+	}
+	if _, err := s.Login("nobody", "whatever"); !errors.Is(err, ErrBadCredentials) {
+		t.Fatalf("unknown user err = %v, want ErrBadCredentials", err)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	s, _ := newService(t)
+	if _, err := s.Register("x", "longenough", RoleStudent); !errors.Is(err, ErrInvalidUsername) {
+		t.Errorf("1-char name err = %v", err)
+	}
+	if _, err := s.Register("Bad Name", "longenough", RoleStudent); !errors.Is(err, ErrInvalidUsername) {
+		t.Errorf("space in name err = %v", err)
+	}
+	if _, err := s.Register("UPPER", "longenough", RoleStudent); !errors.Is(err, ErrInvalidUsername) {
+		t.Errorf("uppercase name err = %v", err)
+	}
+	if _, err := s.Register("ok-name.1", "short", RoleStudent); !errors.Is(err, ErrWeakPassword) {
+		t.Errorf("weak password err = %v", err)
+	}
+	if _, err := s.Register("ok-name.1", "longenough", RoleStudent); err != nil {
+		t.Errorf("valid registration failed: %v", err)
+	}
+	if _, err := s.Register("ok-name.1", "longenough", RoleStudent); !errors.Is(err, ErrUserExists) {
+		t.Errorf("duplicate registration err = %v", err)
+	}
+}
+
+func TestSessionLookupAndLogout(t *testing.T) {
+	s, _ := newService(t)
+	s.Register("alice", "secret1", RoleStudent)
+	sess, _ := s.Login("alice", "secret1")
+	got, err := s.Lookup(sess.Token)
+	if err != nil || got.User != "alice" {
+		t.Fatalf("Lookup = %+v, %v", got, err)
+	}
+	if _, err := s.Lookup("sess-bogus"); !errors.Is(err, ErrSessionNotFound) {
+		t.Fatalf("bogus token err = %v", err)
+	}
+	s.Logout(sess.Token)
+	if _, err := s.Lookup(sess.Token); !errors.Is(err, ErrSessionNotFound) {
+		t.Fatalf("after logout err = %v", err)
+	}
+	s.Logout("sess-unknown") // must not panic
+}
+
+func TestSessionExpiry(t *testing.T) {
+	s, sim := newService(t)
+	s.Register("alice", "secret1", RoleStudent)
+	sess, _ := s.Login("alice", "secret1")
+	sim.Advance(time.Hour)
+	if _, err := s.Lookup(sess.Token); err != nil {
+		t.Fatalf("session died early: %v", err)
+	}
+	sim.Advance(time.Hour + time.Second)
+	if _, err := s.Lookup(sess.Token); !errors.Is(err, ErrSessionExpired) {
+		t.Fatalf("expired session err = %v, want ErrSessionExpired", err)
+	}
+	// Second lookup after reaping reports not-found.
+	if _, err := s.Lookup(sess.Token); !errors.Is(err, ErrSessionNotFound) {
+		t.Fatalf("reaped session err = %v, want ErrSessionNotFound", err)
+	}
+}
+
+func TestActiveSessionsReapsExpired(t *testing.T) {
+	s, sim := newService(t)
+	s.Register("alice", "secret1", RoleStudent)
+	s.Login("alice", "secret1")
+	s.Login("alice", "secret1")
+	if n := s.ActiveSessions(); n != 2 {
+		t.Fatalf("ActiveSessions = %d, want 2", n)
+	}
+	sim.Advance(3 * time.Hour)
+	if n := s.ActiveSessions(); n != 0 {
+		t.Fatalf("ActiveSessions after expiry = %d, want 0", n)
+	}
+}
+
+func TestChangePassword(t *testing.T) {
+	s, _ := newService(t)
+	s.Register("alice", "oldpass", RoleStudent)
+	if err := s.ChangePassword("alice", "wrong", "newpass1"); !errors.Is(err, ErrBadCredentials) {
+		t.Fatalf("wrong old password err = %v", err)
+	}
+	if err := s.ChangePassword("alice", "oldpass", "tiny"); !errors.Is(err, ErrWeakPassword) {
+		t.Fatalf("weak new password err = %v", err)
+	}
+	if err := s.ChangePassword("ghost", "x", "newpass1"); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("unknown user err = %v", err)
+	}
+	if err := s.ChangePassword("alice", "oldpass", "newpass1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Login("alice", "oldpass"); !errors.Is(err, ErrBadCredentials) {
+		t.Fatal("old password still works")
+	}
+	if _, err := s.Login("alice", "newpass1"); err != nil {
+		t.Fatalf("new password rejected: %v", err)
+	}
+}
+
+func TestSetRoleRequiresAdmin(t *testing.T) {
+	s, _ := newService(t)
+	s.Register("root", "adminpw", RoleAdmin)
+	s.Register("alice", "secret1", RoleStudent)
+	if err := s.SetRole("alice", "alice", RoleAdmin); !errors.Is(err, ErrPermissionDenied) {
+		t.Fatalf("self-promotion err = %v", err)
+	}
+	if err := s.SetRole("root", "ghost", RoleFaculty); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("promote missing user err = %v", err)
+	}
+	if err := s.SetRole("root", "alice", RoleFaculty); err != nil {
+		t.Fatal(err)
+	}
+	u, _ := s.User("alice")
+	if u.Role != RoleFaculty {
+		t.Fatalf("role = %v, want faculty", u.Role)
+	}
+}
+
+func TestUserDoesNotLeakSecrets(t *testing.T) {
+	s, _ := newService(t)
+	s.Register("alice", "secret1", RoleStudent)
+	u, err := s.User("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.salt != nil || u.hash != nil {
+		t.Fatal("User() returned secret material")
+	}
+	if _, err := s.User("ghost"); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("User(ghost) err = %v", err)
+	}
+}
+
+func TestUsernamesSorted(t *testing.T) {
+	s, _ := newService(t)
+	for _, n := range []string{"zed", "alice", "mike"} {
+		s.Register(n, "longenough", RoleStudent)
+	}
+	got := s.Usernames()
+	want := []string{"alice", "mike", "zed"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Usernames = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if RoleStudent.String() != "student" || RoleFaculty.String() != "faculty" || RoleAdmin.String() != "admin" {
+		t.Fatal("role names wrong")
+	}
+	if Role(9).String() != "Role(9)" {
+		t.Fatal("unknown role formatting wrong")
+	}
+}
+
+func TestFingerprintTokenStable(t *testing.T) {
+	a := FingerprintToken("sess-abc")
+	b := FingerprintToken("sess-abc")
+	c := FingerprintToken("sess-xyz")
+	if a != b {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if a == c {
+		t.Fatal("distinct tokens share a fingerprint")
+	}
+	if len(a) != 8 {
+		t.Fatalf("fingerprint length = %d, want 8", len(a))
+	}
+}
+
+func TestConcurrentLogins(t *testing.T) {
+	s, _ := newService(t)
+	s.Register("alice", "secret1", RoleStudent)
+	var wg sync.WaitGroup
+	tokens := make([]string, 16)
+	for i := range tokens {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sess, err := s.Login("alice", "secret1")
+			if err != nil {
+				t.Errorf("login: %v", err)
+				return
+			}
+			tokens[i] = sess.Token
+		}(i)
+	}
+	wg.Wait()
+	seen := make(map[string]bool)
+	for _, tok := range tokens {
+		if seen[tok] {
+			t.Fatalf("duplicate session token %q", tok)
+		}
+		seen[tok] = true
+	}
+}
+
+func TestHashUsesSalt(t *testing.T) {
+	h1 := hashPassword("same", []byte("salt-one........"))
+	h2 := hashPassword("same", []byte("salt-two........"))
+	if string(h1) == string(h2) {
+		t.Fatal("same password with different salts hashed identically")
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	s, _ := newService(t)
+	s.Register("alice", "secret1", RoleStudent)
+	s.Register("root1", "adminpw", RoleAdmin)
+	records := s.Export()
+	if len(records) != 2 || records[0].Name != "alice" {
+		t.Fatalf("records = %+v", records)
+	}
+	dst, _ := newService(t)
+	if err := dst.Import(records); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.Login("alice", "secret1"); err != nil {
+		t.Fatalf("imported password rejected: %v", err)
+	}
+	if _, err := dst.Login("alice", "wrong"); !errors.Is(err, ErrBadCredentials) {
+		t.Fatal("wrong password accepted after import")
+	}
+	u, _ := dst.User("root1")
+	if u.Role != RoleAdmin {
+		t.Fatalf("imported role = %v", u.Role)
+	}
+}
+
+func TestImportRejectsCorruptRecords(t *testing.T) {
+	s, _ := newService(t)
+	if err := s.Import([]Record{{Name: "ok1", Salt: "zz", Hash: "00"}}); err == nil {
+		t.Fatal("bad salt hex accepted")
+	}
+	if err := s.Import([]Record{{Name: "ok1", Salt: "00", Hash: "zz"}}); err == nil {
+		t.Fatal("bad hash hex accepted")
+	}
+	if err := s.Import([]Record{{Name: "BAD NAME", Salt: "00", Hash: "00"}}); err == nil {
+		t.Fatal("invalid username accepted")
+	}
+}

@@ -1,0 +1,170 @@
+// Package clock provides the time sources used throughout the portal and the
+// cluster simulator.
+//
+// Production code paths (the HTTP portal, session expiry, job timestamps) use
+// Real, a thin wrapper over package time. Simulation code paths (the cluster
+// grid, the network topology, the UMA/NUMA experiments) use Sim, a
+// deterministic virtual clock that only advances when told to, so that every
+// experiment in the repository is reproducible bit-for-bit.
+package clock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock abstracts a time source. Both the real wall clock and the simulated
+// clock implement it, so subsystems can be wired to either.
+type Clock interface {
+	// Now returns the current time of this source.
+	Now() time.Time
+	// Sleep blocks the caller for d according to this source's notion of
+	// time. On the simulated clock, Sleep returns when some other goroutine
+	// advances virtual time past the deadline.
+	Sleep(d time.Duration)
+}
+
+// Real is the wall clock. The zero value is ready to use.
+type Real struct{}
+
+// Now returns time.Now().
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep calls time.Sleep.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Sim is a deterministic virtual clock. Virtual time starts at a fixed epoch
+// and advances only via Advance or Run. Goroutines blocked in Sleep are woken
+// in deadline order, which makes discrete-event simulations reproducible.
+type Sim struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters waiterHeap
+	seq     int64 // tie-break so equal deadlines wake FIFO
+}
+
+// Epoch is the instant at which every Sim clock starts. A fixed epoch keeps
+// logs and traces from different runs comparable.
+var Epoch = time.Date(2012, time.January, 17, 9, 0, 0, 0, time.UTC)
+
+// NewSim returns a simulated clock positioned at Epoch.
+func NewSim() *Sim {
+	return &Sim{now: Epoch}
+}
+
+type waiter struct {
+	deadline time.Time
+	seq      int64
+	ch       chan struct{}
+}
+
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if h[i].deadline.Equal(h[j].deadline) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].deadline.Before(h[j].deadline)
+}
+func (h waiterHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *waiterHeap) Push(x interface{}) { *h = append(*h, x.(*waiter)) }
+func (h *waiterHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Sleep blocks until virtual time reaches now+d. A non-positive d returns
+// immediately.
+func (s *Sim) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.mu.Lock()
+	w := &waiter{deadline: s.now.Add(d), seq: s.seq, ch: make(chan struct{})}
+	s.seq++
+	heap.Push(&s.waiters, w)
+	s.mu.Unlock()
+	<-w.ch
+}
+
+// Advance moves virtual time forward by d, waking every sleeper whose
+// deadline has been reached, in deadline order.
+func (s *Sim) Advance(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	s.mu.Lock()
+	target := s.now.Add(d)
+	for len(s.waiters) > 0 && !s.waiters[0].deadline.After(target) {
+		w := heap.Pop(&s.waiters).(*waiter)
+		s.now = w.deadline
+		close(w.ch)
+	}
+	s.now = target
+	s.mu.Unlock()
+}
+
+// NextDeadline reports the earliest pending sleeper deadline, if any.
+func (s *Sim) NextDeadline() (time.Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.waiters) == 0 {
+		return time.Time{}, false
+	}
+	return s.waiters[0].deadline, true
+}
+
+// Pending reports how many goroutines are blocked in Sleep.
+func (s *Sim) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.waiters)
+}
+
+// RunUntilIdle repeatedly jumps virtual time to the next sleeper deadline
+// until no sleepers remain. It yields between jumps so woken goroutines get a
+// chance to schedule follow-up sleeps; settle controls how many consecutive
+// idle polls are required before declaring quiescence.
+func (s *Sim) RunUntilIdle(settle int) {
+	if settle < 1 {
+		settle = 1
+	}
+	idle := 0
+	for idle < settle {
+		if dl, ok := s.NextDeadline(); ok {
+			s.mu.Lock()
+			// Re-check under lock in case the heap changed.
+			if len(s.waiters) > 0 && !s.waiters[0].deadline.After(dl) {
+				w := heap.Pop(&s.waiters).(*waiter)
+				s.now = w.deadline
+				close(w.ch)
+			}
+			s.mu.Unlock()
+			idle = 0
+		} else {
+			idle++
+		}
+		// Let woken goroutines run so they can register new sleeps.
+		yield()
+	}
+}
+
+func yield() {
+	// A short real sleep is the portable way to let other goroutines run;
+	// runtime.Gosched alone is not always sufficient when a woken goroutine
+	// must take a lock before re-sleeping.
+	time.Sleep(50 * time.Microsecond)
+}

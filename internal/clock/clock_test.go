@@ -1,0 +1,221 @@
+package clock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRealNow(t *testing.T) {
+	var c Real
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Real.Now() = %v, want between %v and %v", got, before, after)
+	}
+}
+
+func TestRealSleep(t *testing.T) {
+	var c Real
+	start := time.Now()
+	c.Sleep(5 * time.Millisecond)
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("Real.Sleep returned after %v, want >= 5ms", elapsed)
+	}
+}
+
+func TestSimStartsAtEpoch(t *testing.T) {
+	s := NewSim()
+	if !s.Now().Equal(Epoch) {
+		t.Fatalf("NewSim().Now() = %v, want %v", s.Now(), Epoch)
+	}
+}
+
+func TestSimAdvance(t *testing.T) {
+	s := NewSim()
+	s.Advance(90 * time.Second)
+	want := Epoch.Add(90 * time.Second)
+	if !s.Now().Equal(want) {
+		t.Fatalf("after Advance(90s): Now() = %v, want %v", s.Now(), want)
+	}
+}
+
+func TestSimAdvanceNegativeIsNoop(t *testing.T) {
+	s := NewSim()
+	s.Advance(-time.Second)
+	if !s.Now().Equal(Epoch) {
+		t.Fatalf("Advance(-1s) moved the clock to %v", s.Now())
+	}
+}
+
+func TestSimSleepZeroReturnsImmediately(t *testing.T) {
+	s := NewSim()
+	done := make(chan struct{})
+	go func() {
+		s.Sleep(0)
+		s.Sleep(-time.Minute)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep(0) blocked")
+	}
+}
+
+func TestSimSleepWokenByAdvance(t *testing.T) {
+	s := NewSim()
+	done := make(chan time.Time, 1)
+	ready := make(chan struct{})
+	go func() {
+		close(ready)
+		s.Sleep(10 * time.Second)
+		done <- s.Now()
+	}()
+	<-ready
+	waitForPending(t, s, 1)
+	s.Advance(10 * time.Second)
+	select {
+	case woke := <-done:
+		if want := Epoch.Add(10 * time.Second); !woke.Equal(want) {
+			t.Fatalf("woke at %v, want %v", woke, want)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("sleeper was not woken by Advance")
+	}
+}
+
+func TestSimAdvanceWakesInDeadlineOrder(t *testing.T) {
+	s := NewSim()
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	durations := []time.Duration{30 * time.Second, 10 * time.Second, 20 * time.Second}
+	for i, d := range durations {
+		wg.Add(1)
+		i, d := i, d
+		go func() {
+			defer wg.Done()
+			s.Sleep(d)
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}()
+	}
+	waitForPending(t, s, 3)
+	// Advance in small steps so each wake happens at its own virtual time.
+	for i := 0; i < 6; i++ {
+		s.Advance(5 * time.Second)
+		time.Sleep(10 * time.Millisecond)
+	}
+	wg.Wait()
+	want := []int{1, 2, 0} // sorted by duration: 10s, 20s, 30s
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("wake order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSimPartialAdvanceDoesNotWakeEarly(t *testing.T) {
+	s := NewSim()
+	var woke atomic.Bool
+	ready := make(chan struct{})
+	go func() {
+		close(ready)
+		s.Sleep(time.Minute)
+		woke.Store(true)
+	}()
+	<-ready
+	waitForPending(t, s, 1)
+	s.Advance(30 * time.Second)
+	time.Sleep(20 * time.Millisecond)
+	if woke.Load() {
+		t.Fatal("sleeper woke before its deadline")
+	}
+	s.Advance(30 * time.Second)
+	deadline := time.Now().Add(2 * time.Second)
+	for !woke.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("sleeper never woke after full advance")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSimNextDeadline(t *testing.T) {
+	s := NewSim()
+	if _, ok := s.NextDeadline(); ok {
+		t.Fatal("NextDeadline reported a deadline on an idle clock")
+	}
+	go s.Sleep(42 * time.Second)
+	waitForPending(t, s, 1)
+	dl, ok := s.NextDeadline()
+	if !ok {
+		t.Fatal("NextDeadline found no sleeper")
+	}
+	if want := Epoch.Add(42 * time.Second); !dl.Equal(want) {
+		t.Fatalf("NextDeadline = %v, want %v", dl, want)
+	}
+	s.Advance(time.Hour)
+}
+
+func TestSimRunUntilIdle(t *testing.T) {
+	s := NewSim()
+	var hops atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// A chain of sleeps: each wake schedules the next.
+		for i := 0; i < 5; i++ {
+			s.Sleep(time.Second)
+			hops.Add(1)
+		}
+	}()
+	waitForPending(t, s, 1)
+	s.RunUntilIdle(20)
+	wg.Wait()
+	if hops.Load() != 5 {
+		t.Fatalf("chain completed %d hops, want 5", hops.Load())
+	}
+	if want := Epoch.Add(5 * time.Second); !s.Now().Equal(want) {
+		t.Fatalf("after chain: Now() = %v, want %v", s.Now(), want)
+	}
+}
+
+func TestSimManyConcurrentSleepers(t *testing.T) {
+	s := NewSim()
+	const n = 100
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		d := time.Duration(i+1) * time.Millisecond
+		go func() {
+			defer wg.Done()
+			s.Sleep(d)
+		}()
+	}
+	waitForPending(t, s, n)
+	s.Advance(time.Second)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("only %d sleepers still pending after advance", s.Pending())
+	}
+}
+
+func waitForPending(t *testing.T, s *Sim, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Pending() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d sleepers (have %d)", n, s.Pending())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

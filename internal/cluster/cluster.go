@@ -1,0 +1,347 @@
+// Package cluster models the grid the portal fronts: four segments of
+// sixteen slave nodes each (by default), every node with a core count,
+// memory, and an optional GPU, joined by a master server. It owns the node
+// inventory — which nodes are up, which are allocated to which job — and is
+// the substrate the scheduler places jobs onto.
+//
+// The cluster is a simulation: "executing" on a node means charging the
+// node's clock and occupying its allocation slot. Real computation happens
+// in the minic VM (package minic) and in the Go lab workloads; the cluster
+// supplies placement, failure injection, and utilization accounting.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/config"
+	"repro/internal/topology"
+)
+
+// Errors returned by allocation.
+var (
+	ErrNotEnoughNodes = errors.New("cluster: not enough free nodes")
+	ErrUnknownNode    = errors.New("cluster: unknown node")
+	ErrNodeDown       = errors.New("cluster: node is down")
+	ErrNotAllocated   = errors.New("cluster: node not allocated to job")
+)
+
+// NodeState is a node's availability.
+type NodeState int
+
+// Node states.
+const (
+	StateUp NodeState = iota
+	StateDown
+)
+
+// String names the state.
+func (s NodeState) String() string {
+	if s == StateUp {
+		return "up"
+	}
+	return "down"
+}
+
+// Node describes one slave node.
+type Node struct {
+	ID       topology.NodeID
+	Cores    int
+	MemoryMB int
+	GPU      bool
+	State    NodeState
+	// JobID is the job currently occupying the node, or "" when free.
+	JobID string
+	// LastHeartbeat is when the node last reported in.
+	LastHeartbeat time.Time
+}
+
+// Free reports whether the node can accept an allocation.
+func (n *Node) Free() bool { return n.State == StateUp && n.JobID == "" }
+
+// Cluster is the grid inventory.
+type Cluster struct {
+	mu    sync.RWMutex
+	grid  *topology.Grid
+	nodes map[topology.NodeID]*Node
+	clk   clock.Clock
+
+	// accounting
+	allocations map[string][]topology.NodeID // jobID → nodes
+	busyTime    time.Duration
+	start       time.Time
+	lastSample  time.Time
+	busyNodes   int
+}
+
+// New builds a Cluster from configuration. Odd-numbered segments get the
+// alternate core count when configured (the paper's cluster mixes dual- and
+// quad-core machines), and the first GPUNodes nodes of segment 0 carry GPUs.
+func New(cfg config.Config, clk clock.Clock) (*Cluster, error) {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	grid, err := topology.New(cfg.Cluster.Segments, cfg.Cluster.NodesPerSegment, topology.Params{
+		IntraNode:      cfg.Network.IntraNodeLatency.Std(),
+		IntraSegment:   cfg.Network.IntraSegmentLatency.Std(),
+		InterSegment:   cfg.Network.InterSegmentLatency.Std(),
+		BytesPerSecond: cfg.Network.BytesPerSecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		grid:        grid,
+		nodes:       make(map[topology.NodeID]*Node, grid.TotalNodes()),
+		clk:         clk,
+		allocations: make(map[string][]topology.NodeID),
+		start:       clk.Now(),
+		lastSample:  clk.Now(),
+	}
+	now := clk.Now()
+	for s := 0; s < cfg.Cluster.Segments; s++ {
+		cores := cfg.Cluster.CoresPerNode
+		if s%2 == 1 && cfg.Cluster.CoresPerNodeAlt > 0 {
+			cores = cfg.Cluster.CoresPerNodeAlt
+		}
+		for i := 0; i < cfg.Cluster.NodesPerSegment; i++ {
+			id := topology.NodeID{Segment: s, Index: i}
+			c.nodes[id] = &Node{
+				ID:            id,
+				Cores:         cores,
+				MemoryMB:      cfg.Cluster.MemoryMBPerNode,
+				GPU:           s == 0 && i < cfg.Cluster.GPUNodes,
+				State:         StateUp,
+				LastHeartbeat: now,
+			}
+		}
+	}
+	return c, nil
+}
+
+// Grid returns the interconnect description.
+func (c *Cluster) Grid() *topology.Grid { return c.grid }
+
+// Size returns the total node count.
+func (c *Cluster) Size() int { return c.grid.TotalNodes() }
+
+// Node returns a snapshot of the node with the given id.
+func (c *Cluster) Node(id topology.NodeID) (Node, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n, ok := c.nodes[id]
+	if !ok {
+		return Node{}, fmt.Errorf("%w: %v", ErrUnknownNode, id)
+	}
+	return *n, nil
+}
+
+// Nodes returns snapshots of all nodes in flat-rank order.
+func (c *Cluster) Nodes() []Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		out = append(out, *n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return c.grid.Flat(out[i].ID) < c.grid.Flat(out[j].ID)
+	})
+	return out
+}
+
+// FreeNodes returns the ids of currently allocatable nodes, flat order.
+func (c *Cluster) FreeNodes() []topology.NodeID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.freeNodesLocked()
+}
+
+func (c *Cluster) freeNodesLocked() []topology.NodeID {
+	var out []topology.NodeID
+	for _, n := range c.nodes {
+		if n.Free() {
+			out = append(out, n.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return c.grid.Flat(out[i]) < c.grid.Flat(out[j]) })
+	return out
+}
+
+// FreeNodesWhere returns allocatable nodes satisfying pred, in flat order —
+// how the scheduler finds GPU nodes for jobs that request one.
+func (c *Cluster) FreeNodesWhere(pred func(Node) bool) []topology.NodeID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []topology.NodeID
+	for _, n := range c.nodes {
+		if n.Free() && pred(*n) {
+			out = append(out, n.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return c.grid.Flat(out[i]) < c.grid.Flat(out[j]) })
+	return out
+}
+
+// FreeCount reports how many nodes are allocatable.
+func (c *Cluster) FreeCount() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := 0
+	for _, node := range c.nodes {
+		if node.Free() {
+			n++
+		}
+	}
+	return n
+}
+
+// AllocateNodes claims exactly the given nodes for a job. It is
+// all-or-nothing: if any node is unknown, down, or taken, nothing changes.
+func (c *Cluster) AllocateNodes(jobID string, ids []topology.NodeID) error {
+	if jobID == "" {
+		return errors.New("cluster: empty job id")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range ids {
+		n, ok := c.nodes[id]
+		if !ok {
+			return fmt.Errorf("%w: %v", ErrUnknownNode, id)
+		}
+		if n.State == StateDown {
+			return fmt.Errorf("%w: %v", ErrNodeDown, id)
+		}
+		if n.JobID != "" {
+			return fmt.Errorf("%w: %v is running %s", ErrNotEnoughNodes, id, n.JobID)
+		}
+	}
+	c.sampleLocked()
+	for _, id := range ids {
+		c.nodes[id].JobID = jobID
+	}
+	c.allocations[jobID] = append(c.allocations[jobID], ids...)
+	c.recountLocked()
+	return nil
+}
+
+// Release frees every node held by the job and returns how many were freed.
+func (c *Cluster) Release(jobID string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := c.allocations[jobID]
+	c.sampleLocked()
+	for _, id := range ids {
+		if n, ok := c.nodes[id]; ok && n.JobID == jobID {
+			n.JobID = ""
+		}
+	}
+	delete(c.allocations, jobID)
+	c.recountLocked()
+	return len(ids)
+}
+
+// Allocation returns the nodes held by a job.
+func (c *Cluster) Allocation(jobID string) []topology.NodeID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]topology.NodeID, len(c.allocations[jobID]))
+	copy(out, c.allocations[jobID])
+	return out
+}
+
+// MarkDown takes a node out of service (failure injection). Allocated jobs
+// keep their claim; the scheduler notices via NodeFailed.
+func (c *Cluster) MarkDown(id topology.NodeID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownNode, id)
+	}
+	c.sampleLocked()
+	n.State = StateDown
+	return nil
+}
+
+// MarkUp returns a node to service.
+func (c *Cluster) MarkUp(id topology.NodeID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownNode, id)
+	}
+	c.sampleLocked()
+	n.State = StateUp
+	n.LastHeartbeat = c.clk.Now()
+	return nil
+}
+
+// Heartbeat records that a node reported in.
+func (c *Cluster) Heartbeat(id topology.NodeID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownNode, id)
+	}
+	n.LastHeartbeat = c.clk.Now()
+	return nil
+}
+
+// StaleNodes returns ids of up nodes whose last heartbeat is older than
+// maxAge — candidates for marking down.
+func (c *Cluster) StaleNodes(maxAge time.Duration) []topology.NodeID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	cutoff := c.clk.Now().Add(-maxAge)
+	var out []topology.NodeID
+	for _, n := range c.nodes {
+		if n.State == StateUp && n.LastHeartbeat.Before(cutoff) {
+			out = append(out, n.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return c.grid.Flat(out[i]) < c.grid.Flat(out[j]) })
+	return out
+}
+
+// sampleLocked integrates busy-node time up to now using the busy count that
+// was in effect since the last sample; callers hold c.mu and must call
+// recountLocked after any mutation that changes which nodes are busy.
+func (c *Cluster) sampleLocked() {
+	now := c.clk.Now()
+	dt := now.Sub(c.lastSample)
+	if dt > 0 {
+		c.busyTime += dt * time.Duration(c.busyNodes)
+		c.lastSample = now
+	}
+}
+
+// recountLocked refreshes the cached busy-node count; callers hold c.mu.
+func (c *Cluster) recountLocked() {
+	busy := 0
+	for _, n := range c.nodes {
+		if n.JobID != "" {
+			busy++
+		}
+	}
+	c.busyNodes = busy
+}
+
+// Utilization returns the time-averaged fraction of nodes busy since the
+// cluster started, in [0,1].
+func (c *Cluster) Utilization() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sampleLocked()
+	elapsed := c.clk.Now().Sub(c.start)
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.busyTime) / (float64(elapsed) * float64(len(c.nodes)))
+}

@@ -1,0 +1,271 @@
+// Package cohort is the generative student model behind the paper's
+// evaluation. The paper reports outcomes for one Spring-2012 section of 19
+// students; reproducing those tables therefore needs a synthetic class. The
+// model is deliberately simple and fully documented:
+//
+//   - Each student has a latent ability drawn from N(0,1) (seeded).
+//   - Mastery of a lab is Bernoulli with probability
+//     logistic(k·(ability − difficulty)); the per-lab difficulties are
+//     calibrated so the population passing rates match the paper's Table 1.
+//     A mastering student submits the lab's fixed program, a non-mastering
+//     student the buggy one — and the actual grade comes from running that
+//     submission through the real portal pipeline (package grading).
+//   - Exam scores on the multicore questions are linear in ability plus
+//     noise, with the final carrying a learning gain over the midterm
+//     (Table 2's "improvements from the students along the progress of the
+//     course").
+//   - Survey responses are Likert values around a per-question mean that
+//     shifts between the entrance and exit administrations (Table 3).
+//
+// Everything is deterministic for a given seed.
+package cohort
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/labs"
+)
+
+// Student is one member of the class.
+type Student struct {
+	// Name is the login the student uses on the portal.
+	Name string
+	// Ability is the latent skill, ~N(0,1).
+	Ability float64
+}
+
+// Cohort is the simulated class.
+type Cohort struct {
+	Students []Student
+	seed     int64
+}
+
+// PaperClassSize is the size of the Spring-2012 section.
+const PaperClassSize = 19
+
+// New draws a class of n students with the given seed.
+func New(n int, seed int64) *Cohort {
+	rng := rand.New(rand.NewSource(seed))
+	c := &Cohort{seed: seed}
+	for i := 0; i < n; i++ {
+		c.Students = append(c.Students, Student{
+			Name:    fmt.Sprintf("student%02d", i+1),
+			Ability: rng.NormFloat64(),
+		})
+	}
+	return c
+}
+
+// Size returns the class size.
+func (c *Cohort) Size() int { return len(c.Students) }
+
+// studentRNG derives a deterministic per-(student, purpose) random source,
+// so adding an experiment never perturbs another's draws.
+func (c *Cohort) studentRNG(student string, purpose string) *rand.Rand {
+	h := int64(1469598103934665603)
+	for _, b := range []byte(student + "|" + purpose) {
+		h ^= int64(b)
+		h *= 1099511628211
+	}
+	return rand.New(rand.NewSource(c.seed ^ h))
+}
+
+func logistic(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// logit is the inverse of logistic.
+func logit(p float64) float64 { return math.Log(p / (1 - p)) }
+
+// masterySlope is the logistic discrimination parameter k.
+const masterySlope = 1.7
+
+// DifficultyFor returns the latent difficulty that makes the population
+// mastery rate equal rate: E_a~N(0,1)[logistic(k(a−θ))] ≈ rate, using the
+// standard logistic-normal approximation
+// E ≈ logistic(−kθ / sqrt(1 + k²·(π²/3)/ (π²/3)... reduced to
+// logistic(−kθ/√(1+0.346·k²)).
+func DifficultyFor(rate float64) float64 {
+	if rate <= 0 {
+		rate = 0.001
+	}
+	if rate >= 1 {
+		rate = 0.999
+	}
+	shrink := math.Sqrt(1 + 0.346*masterySlope*masterySlope)
+	return -logit(rate) * shrink / masterySlope
+}
+
+// PaperLabRates are the Table 1 passing rates the difficulties are
+// calibrated to.
+var PaperLabRates = map[labs.ID]float64{
+	labs.Lab1Synchronization: 0.50,
+	labs.Lab2SpinLock:        0.67,
+	labs.Lab3UMANUMA:         0.39,
+	labs.Lab4ProcessThread:   0.44,
+	labs.Lab5BankAccount:     0.61,
+	labs.Lab6Deadlock:        0.50,
+	labs.PA3BoundedBuffer:    0.56,
+}
+
+// Masters reports whether the student masters the lab — i.e. would submit
+// the fixed rather than the buggy program. Deterministic per (seed,
+// student, lab).
+func (c *Cohort) Masters(s Student, lab labs.ID) bool {
+	rate, ok := PaperLabRates[lab]
+	if !ok {
+		rate = 0.5
+	}
+	theta := DifficultyFor(rate)
+	p := logistic(masterySlope * (s.Ability - theta))
+	rng := c.studentRNG(s.Name, fmt.Sprintf("lab%d", int(lab)))
+	return rng.Float64() < p
+}
+
+// ExamKind distinguishes the two exams.
+type ExamKind int
+
+// The exams whose multicore questions Table 2 scores.
+const (
+	Midterm ExamKind = iota
+	Final
+)
+
+// String names the exam.
+func (e ExamKind) String() string {
+	if e == Midterm {
+		return "midterm"
+	}
+	return "final"
+}
+
+// Exam model parameters, calibrated so the population rates land near the
+// paper's Table 2: ~17% of the class pass the midterm multicore questions
+// and ~22% the final's, while students who pass the course overall do far
+// better on the final (paper: 33% → 80%) because the material they studied
+// over the semester is exactly what the final's multicore questions examine
+// — modelled as a learning gain that only engaged (course-passing) students
+// realize.
+const (
+	midtermBase     = 55.0
+	finalBase       = 55.0
+	finalPasserGain = 10.0 // course-passers' improvement by the final
+	examSlope       = 14.0
+	examNoiseSD     = 6.0
+	courseBase      = 53.0
+	courseSlope     = 12.0
+	courseNoiseSD   = 3.0
+	passMark        = 70.0
+	courseCMark     = 60.0
+)
+
+// MulticoreExamScore returns the student's score on the exam's multicore
+// questions, 0–100.
+func (c *Cohort) MulticoreExamScore(s Student, exam ExamKind) float64 {
+	base := midtermBase
+	if exam == Final {
+		base = finalBase
+		if c.PassesCourse(s) {
+			base += finalPasserGain
+		}
+	}
+	rng := c.studentRNG(s.Name, "exam-"+exam.String())
+	raw := base + examSlope*s.Ability + rng.NormFloat64()*examNoiseSD
+	return clamp(raw, 0, 100)
+}
+
+// PassesExam reports score >= 70, the paper's passing criterion.
+func (c *Cohort) PassesExam(s Student, exam ExamKind) bool {
+	return c.MulticoreExamScore(s, exam) >= passMark
+}
+
+// CourseGrade returns the student's overall course score (0–100); C-or-up
+// is >= 60.
+func (c *Cohort) CourseGrade(s Student) float64 {
+	rng := c.studentRNG(s.Name, "course")
+	raw := courseBase + courseSlope*s.Ability + rng.NormFloat64()*courseNoiseSD
+	return clamp(raw, 0, 100)
+}
+
+// PassesCourse reports whether the student receives a C or up.
+func (c *Cohort) PassesCourse(s Student) bool {
+	return c.CourseGrade(s) >= courseCMark
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// --- survey model -----------------------------------------------------------
+
+// SurveyPhase is the administration time.
+type SurveyPhase int
+
+// The two administrations.
+const (
+	Entrance SurveyPhase = iota
+	Exit
+)
+
+// String names the phase.
+func (p SurveyPhase) String() string {
+	if p == Entrance {
+		return "entrance"
+	}
+	return "exit"
+}
+
+// SurveyQuestion describes one instrument item.
+type SurveyQuestion struct {
+	// Number is the paper's question number (1–6).
+	Number int
+	// Text is the question as asked.
+	Text string
+	// Scale is the maximum response value (minimum is 1).
+	Scale int
+	// EntranceMean and ExitMean are the paper's Table 3 means, which the
+	// response model is centred on.
+	EntranceMean float64
+	ExitMean     float64
+	// AbilityLoading couples the response to student ability (knowledge
+	// questions load negatively on the "how much do you know" item, where
+	// 1 = a lot).
+	AbilityLoading float64
+}
+
+// PaperSurvey is the six-question instrument from the paper with its
+// reported means.
+func PaperSurvey() []SurveyQuestion {
+	return []SurveyQuestion{
+		{1, "How much do you think you know about PDC technology?", 4, 3.00, 2.00, -0.4},
+		{2, "Does the traditional single-processor OS course still provide sufficient knowledge?", 3, 2.56, 2.38, 0.1},
+		{3, "How relevant are multi-core topics in the CS curriculum?", 3, 1.33, 1.31, -0.1},
+		{4, "How useful are multi-core programming skills for career development?", 3, 1.44, 1.31, -0.1},
+		{5, "Rate your knowledge about message-passing computing systems (1–5).", 5, 2.00, 2.75, 0.4},
+		{6, "Rate your knowledge about multi-threading using Pthread (1–5).", 5, 2.22, 3.00, 0.4},
+	}
+}
+
+// Respond returns the student's Likert response to q in the given phase.
+func (c *Cohort) Respond(s Student, q SurveyQuestion, phase SurveyPhase) int {
+	mean := q.EntranceMean
+	if phase == Exit {
+		mean = q.ExitMean
+	}
+	rng := c.studentRNG(s.Name, fmt.Sprintf("survey-%d-%s", q.Number, phase))
+	raw := mean + q.AbilityLoading*s.Ability + rng.NormFloat64()*0.6
+	v := int(math.Round(raw))
+	if v < 1 {
+		v = 1
+	}
+	if v > q.Scale {
+		v = q.Scale
+	}
+	return v
+}

@@ -1,0 +1,210 @@
+package cohort
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/labs"
+)
+
+func TestNewIsDeterministic(t *testing.T) {
+	a := New(19, 42)
+	b := New(19, 42)
+	if a.Size() != 19 {
+		t.Fatalf("size = %d", a.Size())
+	}
+	for i := range a.Students {
+		if a.Students[i] != b.Students[i] {
+			t.Fatalf("student %d differs across same-seed cohorts", i)
+		}
+	}
+	c := New(19, 43)
+	same := true
+	for i := range a.Students {
+		if a.Students[i].Ability != c.Students[i].Ability {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical abilities")
+	}
+}
+
+func TestAbilitiesLookStandardNormal(t *testing.T) {
+	c := New(5000, 7)
+	var sum, sumSq float64
+	for _, s := range c.Students {
+		sum += s.Ability
+		sumSq += s.Ability * s.Ability
+	}
+	mean := sum / float64(c.Size())
+	sd := math.Sqrt(sumSq/float64(c.Size()) - mean*mean)
+	if math.Abs(mean) > 0.06 {
+		t.Fatalf("ability mean = %f", mean)
+	}
+	if sd < 0.93 || sd > 1.07 {
+		t.Fatalf("ability sd = %f", sd)
+	}
+}
+
+func TestMasteryRatesMatchCalibration(t *testing.T) {
+	// With a large population, the realized mastery rate must land near
+	// the paper rate each difficulty was calibrated to.
+	c := New(4000, 11)
+	for lab, want := range PaperLabRates {
+		n := 0
+		for _, s := range c.Students {
+			if c.Masters(s, lab) {
+				n++
+			}
+		}
+		got := float64(n) / float64(c.Size())
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("lab %v mastery rate = %.3f, calibrated for %.2f", lab, got, want)
+		}
+	}
+}
+
+func TestMasteryIsDeterministicAndMonotonicInAbility(t *testing.T) {
+	c := New(19, 42)
+	s := c.Students[0]
+	first := c.Masters(s, labs.Lab1Synchronization)
+	for i := 0; i < 10; i++ {
+		if c.Masters(s, labs.Lab1Synchronization) != first {
+			t.Fatal("mastery flapped across calls")
+		}
+	}
+	// A hugely able student always masters; a hopeless one never does.
+	strong := Student{Name: "strong", Ability: 6}
+	weak := Student{Name: "weak", Ability: -6}
+	if !c.Masters(strong, labs.Lab3UMANUMA) {
+		t.Fatal("ability 6 failed the mastery check")
+	}
+	if c.Masters(weak, labs.Lab2SpinLock) {
+		t.Fatal("ability -6 passed the mastery check")
+	}
+	// Unknown lab falls back to rate 0.5 without panicking.
+	c.Masters(s, labs.ID(99))
+}
+
+func TestDifficultyForMonotone(t *testing.T) {
+	// Harder (lower pass rate) → larger difficulty.
+	if !(DifficultyFor(0.39) > DifficultyFor(0.50) && DifficultyFor(0.50) > DifficultyFor(0.67)) {
+		t.Fatal("DifficultyFor not monotone")
+	}
+	if DifficultyFor(0.5) != 0 {
+		t.Fatalf("DifficultyFor(0.5) = %f, want 0", DifficultyFor(0.5))
+	}
+	// Clamped extremes stay finite.
+	if math.IsInf(DifficultyFor(0), 0) || math.IsInf(DifficultyFor(1), 0) {
+		t.Fatal("extreme rates produced infinities")
+	}
+}
+
+func TestExamScoresBounded(t *testing.T) {
+	c := New(100, 3)
+	for _, s := range c.Students {
+		for _, exam := range []ExamKind{Midterm, Final} {
+			v := c.MulticoreExamScore(s, exam)
+			if v < 0 || v > 100 {
+				t.Fatalf("%s score %f out of range", exam, v)
+			}
+			if v != c.MulticoreExamScore(s, exam) {
+				t.Fatal("exam score not deterministic")
+			}
+		}
+	}
+}
+
+func TestFinalImprovesOnMidtermInAggregate(t *testing.T) {
+	c := New(2000, 5)
+	var mid, fin int
+	for _, s := range c.Students {
+		if c.PassesExam(s, Midterm) {
+			mid++
+		}
+		if c.PassesExam(s, Final) {
+			fin++
+		}
+	}
+	if fin <= mid {
+		t.Fatalf("final passes (%d) not above midterm passes (%d)", fin, mid)
+	}
+	// And the population rates sit near the paper's 17%/22%.
+	midRate := float64(mid) / float64(c.Size())
+	finRate := float64(fin) / float64(c.Size())
+	if midRate < 0.10 || midRate > 0.25 {
+		t.Fatalf("midterm rate = %.3f, want ≈0.17", midRate)
+	}
+	if finRate < 0.15 || finRate > 0.30 {
+		t.Fatalf("final rate = %.3f, want ≈0.22", finRate)
+	}
+}
+
+func TestCoursePassersOutperform(t *testing.T) {
+	c := New(2000, 9)
+	var passersPass, passers, allPass int
+	for _, s := range c.Students {
+		exam := c.PassesExam(s, Final)
+		if exam {
+			allPass++
+		}
+		if c.PassesCourse(s) {
+			passers++
+			if exam {
+				passersPass++
+			}
+		}
+	}
+	rateAll := float64(allPass) / float64(c.Size())
+	ratePassers := float64(passersPass) / float64(passers)
+	if ratePassers <= rateAll {
+		t.Fatalf("passing students (%f) not above class (%f)", ratePassers, rateAll)
+	}
+}
+
+func TestSurveyResponsesWithinScale(t *testing.T) {
+	c := New(50, 13)
+	for _, q := range PaperSurvey() {
+		for _, s := range c.Students {
+			for _, phase := range []SurveyPhase{Entrance, Exit} {
+				v := c.Respond(s, q, phase)
+				if v < 1 || v > q.Scale {
+					t.Fatalf("q%d %s response %d outside [1,%d]", q.Number, phase, v, q.Scale)
+				}
+			}
+		}
+	}
+}
+
+func TestSurveyShiftDirections(t *testing.T) {
+	// In aggregate, the exit means must move the way the paper reports:
+	// Q1 down (students feel they know more; 1 = a lot), Q5 and Q6 up.
+	c := New(3000, 17)
+	mean := func(q SurveyQuestion, phase SurveyPhase) float64 {
+		sum := 0
+		for _, s := range c.Students {
+			sum += c.Respond(s, q, phase)
+		}
+		return float64(sum) / float64(c.Size())
+	}
+	qs := PaperSurvey()
+	if !(mean(qs[0], Exit) < mean(qs[0], Entrance)) {
+		t.Error("Q1 did not decrease")
+	}
+	if !(mean(qs[4], Exit) > mean(qs[4], Entrance)) {
+		t.Error("Q5 did not increase")
+	}
+	if !(mean(qs[5], Exit) > mean(qs[5], Entrance)) {
+		t.Error("Q6 did not increase")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Midterm.String() != "midterm" || Final.String() != "final" {
+		t.Fatal("exam names")
+	}
+	if Entrance.String() != "entrance" || Exit.String() != "exit" {
+		t.Fatal("phase names")
+	}
+}

@@ -1,0 +1,169 @@
+// Package core wires every subsystem into the complete cluster computing
+// portal — the paper's primary contribution. A System owns the simulated
+// grid, the toolchain, the job store, the per-user filesystem, the auth
+// service, the job distributor, and the HTTP portal in front of them, and
+// manages their shared lifecycle.
+package core
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/clock"
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/jobs"
+	"repro/internal/logging"
+	"repro/internal/mpi"
+	"repro/internal/portal"
+	"repro/internal/scheduler"
+	"repro/internal/toolchain"
+	"repro/internal/vfs"
+)
+
+// Options tune a System beyond its Config.
+type Options struct {
+	// SimulatedClock runs the system on a virtual clock (experiments);
+	// false uses the wall clock (serving real requests).
+	SimulatedClock bool
+	// Policy is the scheduler placement policy name ("pack", "spread").
+	Policy string
+	// Backfill enables EASY-style queue backfill.
+	Backfill bool
+	// TreeCollectives selects binomial-tree MPI collectives.
+	TreeCollectives bool
+	// Logger receives system events; nil discards them.
+	Logger *logging.Logger
+	// DispatchInterval is the scheduler poll period; 0 means 5ms.
+	DispatchInterval time.Duration
+}
+
+// System is the assembled portal.
+type System struct {
+	Config  config.Config
+	Clock   clock.Clock
+	SimClk  *clock.Sim // nil unless SimulatedClock
+	Cluster *cluster.Cluster
+	Tools   *toolchain.Service
+	Jobs    *jobs.Store
+	FS      *vfs.FS
+	Auth    *auth.Service
+	Sched   *scheduler.Scheduler
+	Portal  *portal.Server
+
+	log     *logging.Logger
+	started bool
+}
+
+// NewSystem builds a System from configuration.
+func NewSystem(cfg config.Config, opts Options) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var clk clock.Clock
+	var simClk *clock.Sim
+	if opts.SimulatedClock {
+		simClk = clock.NewSim()
+		clk = simClk
+	} else {
+		clk = clock.Real{}
+	}
+	if opts.Logger == nil {
+		opts.Logger = logging.Discard()
+	}
+	clus, err := cluster.New(cfg, clk)
+	if err != nil {
+		return nil, err
+	}
+	policy, err := scheduler.PolicyByName(opts.Policy)
+	if err != nil {
+		return nil, err
+	}
+	tools := toolchain.NewService(clk)
+	store := jobs.NewStore(cfg.Limits.MaxQueuedJobs, clk)
+	fs := vfs.New(cfg.Portal.QuotaBytes, clk)
+	// Sessions always live on the wall clock: browsers are real even when
+	// the cluster is simulated.
+	authSvc := auth.NewService(cfg.Portal.SessionTTL.Std(), clock.Real{})
+	collective := mpi.Linear
+	if opts.TreeCollectives {
+		collective = mpi.Tree
+	}
+	sched := scheduler.New(clus, tools, store, fs, scheduler.Options{
+		Policy:         policy,
+		Backfill:       opts.Backfill,
+		MaxNodesPerJob: cfg.Limits.MaxNodesPerJob,
+		WallTime:       cfg.Limits.JobWallTime.Std(),
+		StepBudget:     cfg.Limits.VMStepBudget,
+		Collective:     collective,
+		Logger:         opts.Logger.Named("sched"),
+	})
+	srv := portal.NewServer(authSvc, fs, tools, store, sched, clus,
+		opts.Logger.Named("portal"), cfg.Portal.MaxUploadBytes)
+	return &System{
+		Config:  cfg,
+		Clock:   clk,
+		SimClk:  simClk,
+		Cluster: clus,
+		Tools:   tools,
+		Jobs:    store,
+		FS:      fs,
+		Auth:    authSvc,
+		Sched:   sched,
+		Portal:  srv,
+		log:     opts.Logger,
+	}, nil
+}
+
+// Start launches the background dispatch loop. It is idempotent.
+func (s *System) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.Sched.Start(5 * time.Millisecond)
+	s.log.Infof("system started: %d nodes in %d segments",
+		s.Cluster.Size(), s.Config.Cluster.Segments)
+}
+
+// Stop halts the dispatch loop and waits for running jobs.
+func (s *System) Stop() {
+	if !s.started {
+		return
+	}
+	s.started = false
+	s.Sched.Stop()
+}
+
+// Handler returns the portal's HTTP handler for embedding or testing.
+func (s *System) Handler() http.Handler { return s.Portal }
+
+// Serve starts the system and serves HTTP on the listener until it fails.
+func (s *System) Serve(ln net.Listener) error {
+	s.Start()
+	s.log.Infof("portal listening on %s", ln.Addr())
+	return http.Serve(ln, s.Portal)
+}
+
+// ListenAndServe starts the system and serves HTTP on the configured
+// address.
+func (s *System) ListenAndServe() error {
+	ln, err := net.Listen("tcp", s.Config.Portal.ListenAddr)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return s.Serve(ln)
+}
+
+// Bootstrap registers an initial account (typically the instructor/admin)
+// and its home directory; it is a convenience for fresh deployments.
+func (s *System) Bootstrap(user, password string, role auth.Role) error {
+	if _, err := s.Auth.Register(user, password, role); err != nil {
+		return err
+	}
+	s.FS.EnsureHome(user)
+	return nil
+}

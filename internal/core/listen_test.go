@@ -1,0 +1,12 @@
+package core
+
+import (
+	"net"
+	"testing"
+)
+
+// netListen opens an ephemeral localhost listener for the Serve test.
+func netListen(t *testing.T) (net.Listener, error) {
+	t.Helper()
+	return net.Listen("tcp", "127.0.0.1:0")
+}

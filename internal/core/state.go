@@ -1,0 +1,101 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/auth"
+	"repro/internal/vfs"
+)
+
+// stateVersion guards the snapshot format.
+const stateVersion = 1
+
+// state is the persisted system snapshot: accounts and home directories.
+// Jobs, sessions and cluster allocations are runtime state and are not
+// persisted — after a restart the queue is empty and users log in again,
+// exactly like the real portal after maintenance.
+type state struct {
+	Version int                   `json:"version"`
+	Users   []auth.Record         `json:"users"`
+	Homes   map[string][]vfs.Dump `json:"homes"`
+}
+
+// SaveState writes a snapshot of accounts and home directories.
+func (s *System) SaveState(w io.Writer) error {
+	st := state{
+		Version: stateVersion,
+		Users:   s.Auth.Export(),
+		Homes:   make(map[string][]vfs.Dump),
+	}
+	for _, user := range s.FS.Users() {
+		home, err := s.FS.Home(user)
+		if err != nil {
+			return err
+		}
+		st.Homes[user] = home.Export()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(st); err != nil {
+		return fmt.Errorf("core: saving state: %w", err)
+	}
+	return nil
+}
+
+// LoadState restores a snapshot produced by SaveState into this system,
+// merging over whatever already exists.
+func (s *System) LoadState(r io.Reader) error {
+	var st state
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&st); err != nil {
+		return fmt.Errorf("core: loading state: %w", err)
+	}
+	if st.Version != stateVersion {
+		return fmt.Errorf("core: state version %d, this build reads %d", st.Version, stateVersion)
+	}
+	if err := s.Auth.Import(st.Users); err != nil {
+		return err
+	}
+	for user, dump := range st.Homes {
+		if err := s.FS.EnsureHome(user).Import(dump); err != nil {
+			return fmt.Errorf("core: restoring home of %q: %w", user, err)
+		}
+	}
+	return nil
+}
+
+// SaveStateFile writes the snapshot atomically (write-then-rename).
+func (s *System) SaveStateFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := s.SaveState(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadStateFile restores from a snapshot file; a missing file is not an
+// error (fresh deployment).
+func (s *System) LoadStateFile(path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.LoadState(f)
+}

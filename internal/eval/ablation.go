@@ -1,0 +1,150 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/jobs"
+	"repro/internal/scheduler"
+	"repro/internal/toolchain"
+	"repro/internal/vfs"
+)
+
+// AblationConfig names one scheduler configuration under study.
+type AblationConfig struct {
+	Policy   string
+	Backfill bool
+}
+
+// Name renders the configuration for tables.
+func (c AblationConfig) Name() string {
+	b := "fifo"
+	if c.Backfill {
+		b = "backfill"
+	}
+	return c.Policy + "+" + b
+}
+
+// AblationResult is one configuration's measured outcome over a job stream.
+type AblationResult struct {
+	Config AblationConfig
+	// Jobs is how many jobs the stream contained; Succeeded how many
+	// finished successfully.
+	Jobs      int
+	Succeeded int
+	// Makespan is the wall time from first submission to last completion.
+	Makespan time.Duration
+	// Utilization is the cluster's time-averaged busy fraction.
+	Utilization float64
+}
+
+// ablationSource is a small compute kernel: enough instructions that jobs
+// overlap, few enough that the experiment stays fast.
+const ablationSource = `
+func main() {
+	var acc = 0;
+	for (var i = 0; i < 20000; i = i + 1) { acc = acc + i % 7; }
+	if (rank() == 0) { println("acc", acc); }
+}`
+
+// RunSchedulerAblation submits the same mixed-width job stream (widths
+// cycling through sizes) under each configuration and measures drain time
+// and utilization — quantifying the pack-vs-spread and FIFO-vs-backfill
+// choices DESIGN.md calls out.
+func RunSchedulerAblation(jobsPerConfig int, sizes []int) ([]AblationResult, error) {
+	if jobsPerConfig <= 0 {
+		jobsPerConfig = 24
+	}
+	if len(sizes) == 0 {
+		sizes = []int{1, 2, 16, 4, 1, 8}
+	}
+	configs := []AblationConfig{
+		{Policy: "pack", Backfill: false},
+		{Policy: "pack", Backfill: true},
+		{Policy: "spread", Backfill: false},
+		{Policy: "spread", Backfill: true},
+	}
+	var out []AblationResult
+	for _, cfg := range configs {
+		res, err := runOneAblation(cfg, jobsPerConfig, sizes)
+		if err != nil {
+			return nil, fmt.Errorf("config %s: %w", cfg.Name(), err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func runOneAblation(cfg AblationConfig, n int, sizes []int) (AblationResult, error) {
+	conf := config.Default()
+	clus, err := cluster.New(conf, clock.Real{}) // real clock: utilization over wall time
+	if err != nil {
+		return AblationResult{}, err
+	}
+	tools := toolchain.NewService(clock.Real{})
+	store := jobs.NewStore(0, clock.Real{})
+	fs := vfs.New(1<<24, clock.Real{})
+	policy, err := scheduler.PolicyByName(cfg.Policy)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	sched := scheduler.New(clus, tools, store, fs, scheduler.Options{
+		Policy:         policy,
+		Backfill:       cfg.Backfill,
+		MaxNodesPerJob: 16,
+		WallTime:       time.Minute,
+	})
+	sched.Start(time.Millisecond)
+	defer sched.Stop()
+
+	home := fs.EnsureHome("workload")
+	if err := home.WriteFile("/kernel.mc", []byte(ablationSource)); err != nil {
+		return AblationResult{}, err
+	}
+	start := time.Now()
+	submitted := make([]*jobs.Job, 0, n)
+	for i := 0; i < n; i++ {
+		j, err := store.Submit(jobs.Spec{
+			Owner:      "workload",
+			SourcePath: "/kernel.mc",
+			Language:   "minic",
+			Ranks:      sizes[i%len(sizes)],
+		})
+		if err != nil {
+			return AblationResult{}, err
+		}
+		submitted = append(submitted, j)
+	}
+	succeeded := 0
+	for _, j := range submitted {
+		snap, err := store.WaitTerminal(j.ID, 2*time.Minute)
+		if err != nil {
+			return AblationResult{}, err
+		}
+		if snap.State == jobs.StateSucceeded {
+			succeeded++
+		}
+	}
+	return AblationResult{
+		Config:      cfg,
+		Jobs:        n,
+		Succeeded:   succeeded,
+		Makespan:    time.Since(start),
+		Utilization: clus.Utilization(),
+	}, nil
+}
+
+// RenderAblation prints the comparison table.
+func RenderAblation(rows []AblationResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-18s %-8s %-10s %-12s %s\n", "config", "jobs", "succeeded", "makespan", "utilization")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-18s %-8d %-10d %-12s %.1f%%\n",
+			r.Config.Name(), r.Jobs, r.Succeeded, r.Makespan.Round(time.Millisecond), r.Utilization*100)
+	}
+	return sb.String()
+}

@@ -1,0 +1,65 @@
+// Package ids generates the identifiers used across the portal: job IDs,
+// session tokens, artifact names. Two generators are provided — a
+// cryptographically random one for session tokens exposed to browsers, and a
+// deterministic sequential one so simulations and tests produce stable IDs.
+package ids
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// Generator produces identifiers with a fixed prefix.
+type Generator interface {
+	// Next returns a fresh identifier. Identifiers from one generator are
+	// unique for the life of the process.
+	Next() string
+}
+
+// Sequential is a deterministic generator producing prefix-000001,
+// prefix-000002, ... It is safe for concurrent use.
+type Sequential struct {
+	prefix string
+	n      atomic.Uint64
+}
+
+// NewSequential returns a Sequential generator with the given prefix.
+func NewSequential(prefix string) *Sequential {
+	return &Sequential{prefix: prefix}
+}
+
+// Next returns the next identifier in sequence.
+func (s *Sequential) Next() string {
+	n := s.n.Add(1)
+	return fmt.Sprintf("%s-%06d", s.prefix, n)
+}
+
+// Count reports how many identifiers have been issued.
+func (s *Sequential) Count() uint64 { return s.n.Load() }
+
+// Random generates unguessable identifiers, suitable for session tokens.
+type Random struct {
+	prefix string
+	bytes  int
+}
+
+// NewRandom returns a Random generator producing prefix-<hex> identifiers
+// with n random bytes (minimum 8).
+func NewRandom(prefix string, n int) *Random {
+	if n < 8 {
+		n = 8
+	}
+	return &Random{prefix: prefix, bytes: n}
+}
+
+// Next returns a fresh random identifier. It panics only if the platform's
+// CSPRNG is broken, which is unrecoverable.
+func (r *Random) Next() string {
+	buf := make([]byte, r.bytes)
+	if _, err := rand.Read(buf); err != nil {
+		panic("ids: crypto/rand failed: " + err.Error())
+	}
+	return r.prefix + "-" + hex.EncodeToString(buf)
+}

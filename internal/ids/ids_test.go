@@ -1,0 +1,86 @@
+package ids
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSequentialFormat(t *testing.T) {
+	g := NewSequential("job")
+	if got := g.Next(); got != "job-000001" {
+		t.Fatalf("first id = %q, want job-000001", got)
+	}
+	if got := g.Next(); got != "job-000002" {
+		t.Fatalf("second id = %q, want job-000002", got)
+	}
+	if g.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", g.Count())
+	}
+}
+
+func TestSequentialConcurrentUniqueness(t *testing.T) {
+	g := NewSequential("x")
+	const workers, each = 8, 200
+	var mu sync.Mutex
+	seen := make(map[string]bool, workers*each)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]string, 0, each)
+			for i := 0; i < each; i++ {
+				local = append(local, g.Next())
+			}
+			mu.Lock()
+			for _, id := range local {
+				if seen[id] {
+					t.Errorf("duplicate id %q", id)
+				}
+				seen[id] = true
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if len(seen) != workers*each {
+		t.Fatalf("got %d unique ids, want %d", len(seen), workers*each)
+	}
+}
+
+func TestRandomProperties(t *testing.T) {
+	g := NewRandom("sess", 16)
+	a, b := g.Next(), g.Next()
+	if a == b {
+		t.Fatal("two random ids collided")
+	}
+	if !strings.HasPrefix(a, "sess-") {
+		t.Fatalf("id %q missing prefix", a)
+	}
+	// 16 bytes → 32 hex chars + "sess-"
+	if len(a) != len("sess-")+32 {
+		t.Fatalf("id length = %d, want %d", len(a), len("sess-")+32)
+	}
+}
+
+func TestRandomMinimumBytes(t *testing.T) {
+	g := NewRandom("t", 1) // clamped to 8
+	id := g.Next()
+	if len(id) != len("t-")+16 {
+		t.Fatalf("id %q: clamping to 8 bytes failed", id)
+	}
+}
+
+func TestSequentialPrefixProperty(t *testing.T) {
+	// Property: every generated id starts with the prefix and a dash,
+	// regardless of prefix contents.
+	f := func(prefix string) bool {
+		g := NewSequential(prefix)
+		return strings.HasPrefix(g.Next(), prefix+"-")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

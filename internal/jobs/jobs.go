@@ -1,0 +1,353 @@
+// Package jobs defines the portal's job model: what a user submits (a source
+// file, a language, a rank count, optional stdin), the lifecycle it moves
+// through (queued → compiling → running → succeeded/failed/cancelled), its
+// captured standard streams, and the store the portal and scheduler share.
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/ids"
+	"repro/internal/topology"
+)
+
+// State is a job lifecycle state.
+type State int
+
+// Job states, in normal progression order.
+const (
+	StateQueued State = iota
+	StateCompiling
+	StateRunning
+	StateSucceeded
+	StateFailed
+	StateCancelled
+)
+
+// String names the state as the portal displays it.
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateCompiling:
+		return "compiling"
+	case StateRunning:
+		return "running"
+	case StateSucceeded:
+		return "succeeded"
+	case StateFailed:
+		return "failed"
+	case StateCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateSucceeded || s == StateFailed || s == StateCancelled
+}
+
+// validNext enumerates the allowed transitions.
+var validNext = map[State][]State{
+	StateQueued:    {StateCompiling, StateCancelled, StateFailed},
+	StateCompiling: {StateRunning, StateFailed, StateCancelled},
+	StateRunning:   {StateSucceeded, StateFailed, StateCancelled},
+}
+
+// Errors returned by the store.
+var (
+	ErrNotFound      = errors.New("jobs: job not found")
+	ErrBadTransition = errors.New("jobs: invalid state transition")
+	ErrQueueFull     = errors.New("jobs: queue is full")
+)
+
+// Spec is what the user submits.
+type Spec struct {
+	// Owner is the submitting username.
+	Owner string
+	// SourcePath is the path of the source file within the owner's home.
+	SourcePath string
+	// Language is the toolchain language id.
+	Language string
+	// Ranks is the requested parallel width (1 = sequential).
+	Ranks int
+	// GPU requests placement on GPU-equipped nodes only.
+	GPU bool
+	// Stdin is pre-supplied input; interactive input can be fed later.
+	Stdin string
+	// StepBudget overrides the per-rank instruction budget when positive.
+	StepBudget int64
+}
+
+// Job is a submitted job and its runtime record.
+type Job struct {
+	ID   string
+	Spec Spec
+
+	mu         sync.Mutex
+	state      State
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
+	artifactID string
+	failure    string
+	nodes      []topology.NodeID
+
+	// Stdout merges every rank's output; Stdin feeds interactive input.
+	Stdout *Stream
+	Stdin  *Input
+}
+
+// Snapshot is an immutable view of a job for display.
+type Snapshot struct {
+	ID         string
+	Spec       Spec
+	State      State
+	Submitted  time.Time
+	Started    time.Time
+	Finished   time.Time
+	ArtifactID string
+	Failure    string
+	Nodes      []topology.NodeID
+}
+
+// State returns the current state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Snapshot captures the job's current record.
+func (j *Job) Snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Snapshot{
+		ID:         j.ID,
+		Spec:       j.Spec,
+		State:      j.state,
+		Submitted:  j.submitted,
+		Started:    j.started,
+		Finished:   j.finished,
+		ArtifactID: j.artifactID,
+		Failure:    j.failure,
+		Nodes:      append([]topology.NodeID(nil), j.nodes...),
+	}
+}
+
+// SetArtifact records the compiled artifact id.
+func (j *Job) SetArtifact(id string) {
+	j.mu.Lock()
+	j.artifactID = id
+	j.mu.Unlock()
+}
+
+// SetNodes records the allocation.
+func (j *Job) SetNodes(nodes []topology.NodeID) {
+	j.mu.Lock()
+	j.nodes = append([]topology.NodeID(nil), nodes...)
+	j.mu.Unlock()
+}
+
+// Store holds all jobs and enforces lifecycle transitions.
+type Store struct {
+	mu     sync.RWMutex
+	jobs   map[string]*Job
+	order  []string // submission order
+	gen    *ids.Sequential
+	clk    clock.Clock
+	maxQ   int
+	queued int
+}
+
+// NewStore returns a Store admitting at most maxQueued non-terminal jobs
+// (0 means unlimited).
+func NewStore(maxQueued int, clk clock.Clock) *Store {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &Store{
+		jobs: make(map[string]*Job),
+		gen:  ids.NewSequential("job"),
+		clk:  clk,
+		maxQ: maxQueued,
+	}
+}
+
+// Submit validates the spec and creates a queued job.
+func (s *Store) Submit(spec Spec) (*Job, error) {
+	if spec.Owner == "" {
+		return nil, errors.New("jobs: spec needs an owner")
+	}
+	if spec.SourcePath == "" {
+		return nil, errors.New("jobs: spec needs a source path")
+	}
+	if spec.Language == "" {
+		return nil, errors.New("jobs: spec needs a language")
+	}
+	if spec.Ranks <= 0 {
+		return nil, fmt.Errorf("jobs: ranks must be positive, got %d", spec.Ranks)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.maxQ > 0 && s.queued >= s.maxQ {
+		return nil, fmt.Errorf("%w (%d active)", ErrQueueFull, s.queued)
+	}
+	j := &Job{
+		ID:        s.gen.Next(),
+		Spec:      spec,
+		state:     StateQueued,
+		submitted: s.clk.Now(),
+		Stdout:    NewStream(0),
+		Stdin:     NewInput(),
+	}
+	if spec.Stdin != "" {
+		j.Stdin.Feed([]byte(spec.Stdin))
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.queued++
+	return j, nil
+}
+
+// Get fetches a job by id.
+func (s *Store) Get(id string) (*Job, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return j, nil
+}
+
+// Transition moves a job to the next state, stamping times and failure
+// reasons. A failure message is required for StateFailed.
+func (s *Store) Transition(id string, next State, failure string) error {
+	j, err := s.Get(id)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	cur := j.state
+	allowed := false
+	for _, n := range validNext[cur] {
+		if n == next {
+			allowed = true
+			break
+		}
+	}
+	if !allowed {
+		j.mu.Unlock()
+		return fmt.Errorf("%w: %s → %s", ErrBadTransition, cur, next)
+	}
+	now := s.clk.Now()
+	j.state = next
+	switch next {
+	case StateRunning:
+		j.started = now
+	case StateSucceeded, StateFailed, StateCancelled:
+		j.finished = now
+		if next == StateFailed {
+			if failure == "" {
+				failure = "unknown failure"
+			}
+			j.failure = failure
+		}
+		j.Stdout.Close()
+		j.Stdin.Close()
+	}
+	j.mu.Unlock()
+	if next.Terminal() {
+		s.mu.Lock()
+		s.queued--
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// List returns snapshots, newest first. owner filters when non-empty.
+func (s *Store) List(owner string) []Snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Snapshot, 0, len(s.order))
+	for i := len(s.order) - 1; i >= 0; i-- {
+		j := s.jobs[s.order[i]]
+		if owner != "" && j.Spec.Owner != owner {
+			continue
+		}
+		out = append(out, j.Snapshot())
+	}
+	return out
+}
+
+// Active returns snapshots of non-terminal jobs in submission order — the
+// scheduler's work list.
+func (s *Store) Active() []Snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Snapshot
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if snap := j.Snapshot(); !snap.State.Terminal() {
+			out = append(out, snap)
+		}
+	}
+	return out
+}
+
+// Counts reports how many jobs are in each state.
+func (s *Store) Counts() map[State]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[State]int)
+	for _, j := range s.jobs {
+		out[j.State()]++
+	}
+	return out
+}
+
+// WaitTerminal blocks until the job reaches a terminal state or the timeout
+// elapses (wall-clock), returning the final snapshot. Poll-based: the job
+// runner owns completion signalling, so a coarse poll keeps the store free
+// of cross-package channels.
+func (s *Store) WaitTerminal(id string, timeout time.Duration) (Snapshot, error) {
+	j, err := s.Get(id)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		snap := j.Snapshot()
+		if snap.State.Terminal() {
+			return snap, nil
+		}
+		if time.Now().After(deadline) {
+			return snap, fmt.Errorf("jobs: %s still %s after %v", id, snap.State, timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// OwnersWithJobs lists distinct owners, sorted.
+func (s *Store) OwnersWithJobs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := map[string]bool{}
+	for _, j := range s.jobs {
+		set[j.Spec.Owner] = true
+	}
+	out := make([]string, 0, len(set))
+	for o := range set {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,75 @@
+package jobs
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+// TestStateMachineInvariants drives random transition sequences against a
+// store full of jobs and checks the lifecycle invariants afterwards:
+// terminal jobs never leave their state, timestamps never run backwards,
+// and a failed job always carries a reason.
+func TestStateMachineInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sim := clock.NewSim()
+	s := NewStore(0, sim)
+	const nJobs = 30
+	jobIDs := make([]string, 0, nJobs)
+	for i := 0; i < nJobs; i++ {
+		j, err := s.Submit(Spec{Owner: "prop", SourcePath: "/p.mc", Language: "minic", Ranks: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobIDs = append(jobIDs, j.ID)
+	}
+	states := []State{StateQueued, StateCompiling, StateRunning, StateSucceeded, StateFailed, StateCancelled}
+	terminalAt := map[string]State{}
+	for step := 0; step < 3000; step++ {
+		id := jobIDs[rng.Intn(nJobs)]
+		next := states[rng.Intn(len(states))]
+		j, _ := s.Get(id)
+		before := j.State()
+		err := s.Transition(id, next, "prop-reason")
+		after := j.State()
+		if err != nil && before != after {
+			t.Fatalf("failed transition mutated state: %v → %v (%v)", before, after, err)
+		}
+		if prev, done := terminalAt[id]; done {
+			if err == nil {
+				t.Fatalf("terminal job %s accepted transition %v → %v", id, prev, next)
+			}
+			if after != prev {
+				t.Fatalf("terminal job %s moved %v → %v", id, prev, after)
+			}
+		}
+		if err == nil && next.Terminal() {
+			terminalAt[id] = next
+		}
+		if rng.Intn(4) == 0 {
+			sim.Advance(1e9)
+		}
+	}
+	for _, id := range jobIDs {
+		j, _ := s.Get(id)
+		snap := j.Snapshot()
+		if snap.State == StateFailed && snap.Failure == "" {
+			t.Fatalf("failed job %s without a reason", id)
+		}
+		if !snap.Started.IsZero() && snap.Started.Before(snap.Submitted) {
+			t.Fatalf("job %s started before submission", id)
+		}
+		if !snap.Finished.IsZero() && !snap.Started.IsZero() && snap.Finished.Before(snap.Started) {
+			t.Fatalf("job %s finished before starting", id)
+		}
+	}
+	// Every state count adds up.
+	total := 0
+	for _, n := range s.Counts() {
+		total += n
+	}
+	if total != nJobs {
+		t.Fatalf("counts sum to %d, want %d", total, nJobs)
+	}
+}

@@ -1,0 +1,152 @@
+package jobs
+
+import (
+	"io"
+	"sync"
+)
+
+// Stream is an append-only byte stream with offset-based reads — the
+// mechanism behind the portal's "monitor the standard streams" feature. A
+// job's ranks write concurrently; the browser polls ReadAt with its last
+// offset and renders whatever has arrived since.
+type Stream struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte
+	total  int64 // all bytes ever written, including dropped ones
+	closed bool
+	limit  int
+}
+
+// NewStream returns a Stream retaining at most limit bytes (0 means 1 MiB).
+// When the limit is exceeded the oldest bytes are dropped; offsets keep
+// counting from the true start so readers notice the gap.
+func NewStream(limit int) *Stream {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	s := &Stream{limit: limit}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// droppedLocked reports how many leading bytes have been discarded.
+func (s *Stream) droppedLocked() int64 {
+	return s.total - int64(len(s.buf))
+}
+
+// Write appends p; it never fails. Writes after Close are discarded.
+func (s *Stream) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return len(p), nil
+	}
+	s.buf = append(s.buf, p...)
+	s.total += int64(len(p))
+	if over := len(s.buf) - s.limit; over > 0 {
+		s.buf = append([]byte(nil), s.buf[over:]...)
+	}
+	s.cond.Broadcast()
+	return len(p), nil
+}
+
+// Close marks the stream complete; readers see done=true once drained.
+func (s *Stream) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Len returns the total bytes written so far (including dropped ones).
+func (s *Stream) Len() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// ReadAt returns the bytes from offset onward that are currently available,
+// without blocking, plus the next offset to poll and whether the stream is
+// complete. If offset predates retained data the read resumes at the oldest
+// retained byte.
+func (s *Stream) ReadAt(offset int64) (data []byte, next int64, done bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := s.droppedLocked()
+	if offset < start {
+		offset = start
+	}
+	if offset > s.total {
+		offset = s.total
+	}
+	data = append([]byte(nil), s.buf[offset-start:]...)
+	return data, s.total, s.closed
+}
+
+// String returns the retained contents.
+func (s *Stream) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return string(s.buf)
+}
+
+// WaitChange blocks until the stream grows past offset or closes; used by
+// long-poll handlers. It returns immediately if either already holds.
+func (s *Stream) WaitChange(offset int64) {
+	s.mu.Lock()
+	for !s.closed && s.total <= offset {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// Input is the interactive stdin feed: the portal's "provide input, if so
+// the target application requires it". The job reads it as an io.Reader;
+// the web handler appends to it as users type.
+type Input struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte
+	closed bool
+}
+
+// NewInput returns an empty Input.
+func NewInput() *Input {
+	in := &Input{}
+	in.cond = sync.NewCond(&in.mu)
+	return in
+}
+
+// Feed appends user-typed bytes. Feeding a closed Input is a no-op.
+func (in *Input) Feed(p []byte) {
+	in.mu.Lock()
+	if !in.closed {
+		in.buf = append(in.buf, p...)
+		in.cond.Broadcast()
+	}
+	in.mu.Unlock()
+}
+
+// Close signals end-of-input (EOF to the program).
+func (in *Input) Close() {
+	in.mu.Lock()
+	in.closed = true
+	in.cond.Broadcast()
+	in.mu.Unlock()
+}
+
+// Read implements io.Reader, blocking until input arrives or EOF.
+func (in *Input) Read(p []byte) (int, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for len(in.buf) == 0 {
+		if in.closed {
+			return 0, io.EOF
+		}
+		in.cond.Wait()
+	}
+	n := copy(p, in.buf)
+	in.buf = in.buf[n:]
+	return n, nil
+}

@@ -1,0 +1,643 @@
+// Package labs implements the seven hands-on assignments from the paper's
+// course integration (Section III.B), each in two variants: the buggy
+// version students are given (or naturally write first) and the fixed
+// version they are asked to produce. Every lab returns a Result whose
+// Correct field reflects whether the observed behaviour matches the lab's
+// learning objective, so the grading pipeline and the benchmark harness can
+// demonstrate the phenomenon each lab teaches:
+//
+//	Lab 1 — Multicore: synchronization (shared counter loses updates)
+//	Lab 2 — Multicore: TAS spin lock and cache coherence
+//	Lab 3 — Multicore: UMA and NUMA access times
+//	Lab 4 — Process/thread management (producer-consumer file copy, -1 sentinel)
+//	Lab 5 — Basic synchronization (bank account deposit/withdraw)
+//	Lab 6 — Deadlock (dining philosophers, ordered acquisition fix)
+//	PA 3  — Bounded buffer with mutex locks and semaphores
+//
+// The race-prone variants are engineered so the race exists at the model
+// level (load → yield → store), never as a Go data race: the suite stays
+// clean under -race while still losing updates the way the students'
+// unsynchronized Java and C did.
+package labs
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/memsim"
+	"repro/internal/primitives"
+)
+
+// ID names a lab, in course order.
+type ID int
+
+// The seven assignments, in the order of the paper's Table 1.
+const (
+	Lab1Synchronization ID = iota
+	Lab2SpinLock
+	Lab3UMANUMA
+	Lab4ProcessThread
+	Lab5BankAccount
+	Lab6Deadlock
+	PA3BoundedBuffer
+)
+
+// Title returns the paper's name for the assignment.
+func (id ID) Title() string {
+	switch id {
+	case Lab1Synchronization:
+		return "Multicore Lab 1 - Synchronization with Java"
+	case Lab2SpinLock:
+		return "Multicore Lab 2 - Spin Lock and Cache Coherence"
+	case Lab3UMANUMA:
+		return "Multicore Lab 3 - UMA and NUMA Access"
+	case Lab4ProcessThread:
+		return "Lab for Process and Thread Management"
+	case Lab5BankAccount:
+		return "Lab for Basic Synchronization Methods"
+	case Lab6Deadlock:
+		return "Lab for Deadlock"
+	case PA3BoundedBuffer:
+		return "Programming Assignment 3 - Bounded Buffer Problem"
+	default:
+		return fmt.Sprintf("Lab(%d)", int(id))
+	}
+}
+
+// All lists the assignments in course order.
+func All() []ID {
+	return []ID{
+		Lab1Synchronization, Lab2SpinLock, Lab3UMANUMA, Lab4ProcessThread,
+		Lab5BankAccount, Lab6Deadlock, PA3BoundedBuffer,
+	}
+}
+
+// Result is a lab run's outcome.
+type Result struct {
+	Lab ID
+	// Fixed reports which variant ran.
+	Fixed bool
+	// Correct reports whether the run met the lab's success criterion.
+	Correct bool
+	// Observed and Expected summarize the checked quantity.
+	Observed int64
+	Expected int64
+	// Detail is a human-readable one-liner for reports.
+	Detail string
+}
+
+// racyCell is a shared integer whose unsynchronized increment is a
+// model-level read-modify-write race: Go-race-free (atomics) but loses
+// updates exactly like `counter++` from two unsynchronized threads.
+type racyCell struct {
+	v atomic.Int64
+}
+
+func (c *racyCell) racyIncrement() {
+	v := c.v.Load()
+	yield() // widen the race window, as small Java examples do naturally
+	c.v.Store(v + 1)
+}
+
+// yield cedes the processor between the load and store halves of a racy
+// update. runtime.Gosched is cheap enough to call hundreds of thousands of
+// times yet reliably interleaves the two workers.
+func yield() { runtime.Gosched() }
+
+// --- Lab 1: synchronization with a shared counter ----------------------------
+
+// RunLab1 increments a counter shared by two threads, n times each. In the
+// unsynchronized variant updates are lost; the synchronized variant (a Java
+// synchronized method, here a mutex) is exact.
+func RunLab1(n int, synchronized bool) Result {
+	expected := int64(2 * n)
+	var cell racyCell
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for t := 0; t < 2; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if synchronized {
+					mu.Lock()
+					cell.v.Store(cell.v.Load() + 1)
+					mu.Unlock()
+				} else {
+					cell.racyIncrement()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got := cell.v.Load()
+	return Result{
+		Lab: Lab1Synchronization, Fixed: synchronized,
+		Correct:  got == expected,
+		Observed: got, Expected: expected,
+		Detail: fmt.Sprintf("counter=%d want=%d", got, expected),
+	}
+}
+
+// --- Lab 2: TAS spin lock and cache coherence ---------------------------------
+
+// Lab2Result extends Result with the coherence statistics the lab studies.
+type Lab2Result struct {
+	Result
+	Stats memsim.Stats
+}
+
+// RunLab2 runs `threads` workers on the memory simulator, each performing
+// `increments` lock-protected increments of a shared variable using a TAS
+// lock built from the simulator's test-and-set instruction. With useLock
+// false the increment is unprotected and updates are lost; with it true the
+// count is exact and the stats show the invalidation traffic TAS spinning
+// generates.
+func RunLab2(threads, increments int, useLock bool) (Lab2Result, error) {
+	sys, err := memsim.New(memsim.Config{Cores: threads, Domains: 1})
+	if err != nil {
+		return Lab2Result{}, err
+	}
+	const lockAddr, counterAddr = 0x100, 0x200
+	var wg sync.WaitGroup
+	for c := 0; c < threads; c++ {
+		wg.Add(1)
+		go func(core int) {
+			defer wg.Done()
+			for i := 0; i < increments; i++ {
+				if useLock {
+					for {
+						if old, _ := sys.TestAndSet(core, lockAddr); old == 0 {
+							break
+						}
+					}
+					v, _ := sys.Read(core, counterAddr)
+					sys.Write(core, counterAddr, v+1)
+					sys.Write(core, lockAddr, 0)
+				} else {
+					v, _ := sys.Read(core, counterAddr)
+					yield()
+					sys.Write(core, counterAddr, v+1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	got := int64(sys.MemoryValue(counterAddr))
+	expected := int64(threads * increments)
+	return Lab2Result{
+		Result: Result{
+			Lab: Lab2SpinLock, Fixed: useLock,
+			Correct:  got == expected,
+			Observed: got, Expected: expected,
+			Detail: fmt.Sprintf("counter=%d want=%d invalidations=%d", got, expected, sys.Stats().Invalidations),
+		},
+		Stats: sys.Stats(),
+	}, nil
+}
+
+// --- Lab 3: UMA and NUMA access times -----------------------------------------
+
+// Lab3Result reports the measured access-cycle averages.
+type Lab3Result struct {
+	Result
+	// LocalReadCycles and RemoteReadCycles are mean cycles per read.
+	LocalReadCycles  float64
+	RemoteReadCycles float64
+	// Ratio is remote/local — the NUMA factor the lab asks students to
+	// measure.
+	Ratio float64
+}
+
+// RunLab3 measures local vs remote memory read costs on a 2-domain NUMA
+// machine, touching a fresh address each iteration so every access pays the
+// memory (not cache) cost. The lab's observation holds when remote > local.
+func RunLab3(accesses int) (Lab3Result, error) {
+	sys, err := memsim.New(memsim.Config{Cores: 2, Domains: 2})
+	if err != nil {
+		return Lab3Result{}, err
+	}
+	if accesses <= 0 {
+		accesses = 1000
+	}
+	var localTotal, remoteTotal int64
+	for i := 0; i < accesses; i++ {
+		addr := uint64(0x1000 + i)
+		if err := sys.Place(addr, 0); err != nil {
+			return Lab3Result{}, err
+		}
+		_, c := sys.Read(0, addr) // core 0 → domain 0: local
+		localTotal += c
+		addr2 := uint64(0x100000 + i)
+		if err := sys.Place(addr2, 0); err != nil {
+			return Lab3Result{}, err
+		}
+		_, c2 := sys.Read(1, addr2) // core 1 → domain 1: remote
+		remoteTotal += c2
+	}
+	local := float64(localTotal) / float64(accesses)
+	remote := float64(remoteTotal) / float64(accesses)
+	res := Lab3Result{
+		Result: Result{
+			Lab: Lab3UMANUMA, Fixed: true,
+			Correct:  remote > local,
+			Observed: int64(remote), Expected: int64(local),
+			Detail: fmt.Sprintf("local=%.1f remote=%.1f cycles/read", local, remote),
+		},
+		LocalReadCycles:  local,
+		RemoteReadCycles: remote,
+	}
+	if local > 0 {
+		res.Ratio = remote / local
+	}
+	return res, nil
+}
+
+// --- Lab 4: producer-consumer file copy with -1 sentinel -----------------------
+
+// RunLab4 runs the reader/writer pair: the reader stores `input` (ending in
+// -1) into a shared array while the writer copies it out. With sync true
+// the handoff uses a semaphore per slot, so the writer never reads a slot
+// before the reader fills it; with sync false the writer may read stale
+// zeros or miss the sentinel.
+func RunLab4(input []int64, synced bool) Result {
+	if len(input) == 0 || input[len(input)-1] != -1 {
+		input = append(append([]int64(nil), input...), -1)
+	}
+	n := len(input)
+	shared := make([]atomic.Int64, n)
+	filled := make([]*primitives.Semaphore, n)
+	for i := range filled {
+		filled[i] = primitives.NewSemaphore(0)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // reader: file → array
+		defer wg.Done()
+		for i, v := range input {
+			yield()
+			shared[i].Store(v)
+			if synced {
+				filled[i].Signal()
+			}
+		}
+	}()
+	output := make([]int64, 0, n)
+	go func() { // writer: array → new file
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if synced {
+				filled[i].Wait()
+			}
+			v := shared[i].Load()
+			output = append(output, v)
+			if v == -1 {
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	correct := len(output) == n
+	if correct {
+		for i := range output {
+			if output[i] != input[i] {
+				correct = false
+				break
+			}
+		}
+	}
+	var last int64
+	if len(output) > 0 {
+		last = output[len(output)-1]
+	}
+	return Result{
+		Lab: Lab4ProcessThread, Fixed: synced,
+		Correct:  correct,
+		Observed: int64(len(output)), Expected: int64(n),
+		Detail: fmt.Sprintf("copied %d/%d values, last=%d", len(output), n, last),
+	}
+}
+
+// --- Lab 5: bank account ---------------------------------------------------------
+
+// RunLab5 reproduces the lab's scenario exactly: balance starts at 1,000,000;
+// one thread withdraws 600,000 one dollar at a time, the other deposits
+// 500,000 one dollar at a time. Without mutual exclusion the ending balance
+// is wrong; with pthread-mutex-style locking it is exactly 900,000.
+func RunLab5(withdraw, deposit int, useMutex bool) Result {
+	const start = 1_000_000
+	var balance racyCell
+	balance.v.Store(start)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < withdraw; i++ {
+			if useMutex {
+				mu.Lock()
+				balance.v.Store(balance.v.Load() - 1)
+				mu.Unlock()
+			} else {
+				v := balance.v.Load()
+				yield()
+				balance.v.Store(v - 1)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < deposit; i++ {
+			if useMutex {
+				mu.Lock()
+				balance.v.Store(balance.v.Load() + 1)
+				mu.Unlock()
+			} else {
+				v := balance.v.Load()
+				yield()
+				balance.v.Store(v + 1)
+			}
+		}
+	}()
+	wg.Wait()
+	got := balance.v.Load()
+	expected := int64(start - withdraw + deposit)
+	return Result{
+		Lab: Lab5BankAccount, Fixed: useMutex,
+		Correct:  got == expected,
+		Observed: got, Expected: expected,
+		Detail: fmt.Sprintf("balance=%d want=%d", got, expected),
+	}
+}
+
+// --- Lab 6: dining philosophers ---------------------------------------------------
+
+// Lab6Event is one line of the event log the lab asks students to print:
+// "philosopher P requests/acquires/releases fork F".
+type Lab6Event struct {
+	Philosopher int
+	Action      string // "request", "acquire", "release", "blocked"
+	Fork        int
+}
+
+// Lab6Result includes the event log and whether deadlock occurred.
+type Lab6Result struct {
+	Result
+	Deadlocked bool
+	Events     []Lab6Event
+	Meals      int64
+}
+
+// RunLab6 runs 5 philosophers for the given number of meals each, with five
+// semaphore forks. With ordered false every philosopher grabs the left fork
+// then the right fork — the cyclic hold-and-wait the lab demonstrates; the
+// run is orchestrated so all five hold their left fork simultaneously at
+// least once, making the deadlock certain rather than probabilistic. With
+// ordered true, philosopher 4 requests the forks in the other order, which
+// breaks the cycle; the run always completes.
+func RunLab6(meals int, ordered bool) Lab6Result {
+	const n = 5
+	forks := make([]*primitives.Semaphore, n)
+	for i := range forks {
+		forks[i] = primitives.NewSemaphore(1)
+	}
+	var mu sync.Mutex
+	var events []Lab6Event
+	logEvent := func(p int, action string, f int) {
+		mu.Lock()
+		events = append(events, Lab6Event{Philosopher: p, Action: action, Fork: f})
+		mu.Unlock()
+	}
+	// The barrier forces the all-left-forks-held state in the unordered
+	// variant (round 0 only), making the deadlock deterministic. It must
+	// not be used when philosopher 4 reverses its order: there, two
+	// philosophers contend for fork 0 as their first fork, so one of them
+	// could never reach a barrier.
+	var gate *primitives.Barrier
+	if !ordered {
+		gate = primitives.NewBarrier(n)
+	}
+	var mealsEaten atomic.Int64
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			first, second := p, (p+1)%n // left, right
+			if ordered && p == n-1 {
+				first, second = (p+1)%n, p // philosopher 4 reverses
+			}
+			for m := 0; m < meals; m++ {
+				logEvent(p, "request", first)
+				forks[first].Wait()
+				logEvent(p, "acquire", first)
+				if m == 0 && gate != nil {
+					gate.Await() // everyone now holds their first fork
+				}
+				logEvent(p, "request", second)
+				if !waitWithTimeout(forks[second], 200*time.Millisecond) {
+					logEvent(p, "blocked", second)
+					return // deadlocked: give up, still holding `first`
+				}
+				logEvent(p, "acquire", second)
+				mealsEaten.Add(1)
+				logEvent(p, "release", second)
+				forks[second].Signal()
+				logEvent(p, "release", first)
+				forks[first].Signal()
+			}
+		}(p)
+	}
+	go func() { wg.Wait(); close(done) }()
+	deadlocked := false
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		deadlocked = true // belt and braces; waitWithTimeout normally fires first
+	}
+	// If any philosopher gave up blocked, the run deadlocked.
+	mu.Lock()
+	for _, e := range events {
+		if e.Action == "blocked" {
+			deadlocked = true
+		}
+	}
+	evCopy := append([]Lab6Event(nil), events...)
+	mu.Unlock()
+	expected := int64(n * meals)
+	got := mealsEaten.Load()
+	return Lab6Result{
+		Result: Result{
+			Lab: Lab6Deadlock, Fixed: ordered,
+			Correct:  !deadlocked && got == expected,
+			Observed: got, Expected: expected,
+			Detail: fmt.Sprintf("meals=%d/%d deadlocked=%v", got, expected, deadlocked),
+		},
+		Deadlocked: deadlocked,
+		Events:     evCopy,
+		Meals:      got,
+	}
+}
+
+// waitWithTimeout polls TryWait until success or the deadline; the lab uses
+// it to detect the deadlock rather than hang the harness.
+func waitWithTimeout(s *primitives.Semaphore, d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	for {
+		if s.TryWait() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// --- PA 3: bounded buffer ----------------------------------------------------------
+
+// PA3Mode selects the synchronization strategy.
+type PA3Mode int
+
+// The assignment's three versions.
+const (
+	// PA3Broken is the handed-out program: it guards the buffer with a
+	// mutex but checks fullness/emptiness with a plain if before sleeping,
+	// so wakeups are lost and items are overwritten or re-consumed.
+	PA3Broken PA3Mode = iota
+	// PA3Mutex is fix (a): mutex plus condition-style re-checking.
+	PA3Mutex
+	// PA3Semaphore is fix (b): counting semaphores for slots and items.
+	PA3Semaphore
+)
+
+// String names the mode.
+func (m PA3Mode) String() string {
+	switch m {
+	case PA3Broken:
+		return "broken"
+	case PA3Mutex:
+		return "mutex"
+	case PA3Semaphore:
+		return "semaphore"
+	default:
+		return fmt.Sprintf("PA3Mode(%d)", int(m))
+	}
+}
+
+// RunPA3 runs one producer and one consumer over a bounded buffer of the
+// given capacity, transferring `items` sequential values. Correct means the
+// consumer received exactly 1..items in order.
+func RunPA3(items, capacity int, mode PA3Mode) Result {
+	buf := make([]int64, capacity)
+	// count is atomic so the broken mode's unlocked check is a model-level
+	// bug, not a Go data race; in/out are only touched under mu.
+	var count atomic.Int64
+	var in, out int
+	var mu sync.Mutex
+	slots := primitives.NewSemaphore(capacity)
+	fill := primitives.NewSemaphore(0)
+	received := make([]int64, 0, items)
+	var wg sync.WaitGroup
+	wg.Add(2)
+
+	go func() { // producer
+		defer wg.Done()
+		for v := int64(1); v <= int64(items); v++ {
+			switch mode {
+			case PA3Broken:
+				// Lost-update version: checks count without holding the
+				// lock across the decision, and never blocks properly.
+				if count.Load() >= int64(capacity) {
+					yield() // "sleep" hoping the consumer drains
+				}
+				mu.Lock()
+				buf[in] = v
+				in = (in + 1) % capacity
+				count.Add(1) // may exceed capacity → overwrites
+				mu.Unlock()
+			case PA3Mutex:
+				for {
+					mu.Lock()
+					if count.Load() < int64(capacity) {
+						break
+					}
+					mu.Unlock()
+					yield()
+				}
+				buf[in] = v
+				in = (in + 1) % capacity
+				count.Add(1)
+				mu.Unlock()
+			case PA3Semaphore:
+				slots.Wait()
+				mu.Lock()
+				buf[in] = v
+				in = (in + 1) % capacity
+				mu.Unlock()
+				fill.Signal()
+			}
+		}
+	}()
+
+	go func() { // consumer
+		defer wg.Done()
+		for n := 0; n < items; n++ {
+			switch mode {
+			case PA3Broken:
+				if count.Load() <= 0 {
+					yield()
+				}
+				mu.Lock()
+				v := buf[out]
+				out = (out + 1) % capacity
+				count.Add(-1)
+				mu.Unlock()
+				received = append(received, v)
+			case PA3Mutex:
+				for {
+					mu.Lock()
+					if count.Load() > 0 {
+						break
+					}
+					mu.Unlock()
+					yield()
+				}
+				v := buf[out]
+				out = (out + 1) % capacity
+				count.Add(-1)
+				mu.Unlock()
+				received = append(received, v)
+			case PA3Semaphore:
+				fill.Wait()
+				mu.Lock()
+				v := buf[out]
+				out = (out + 1) % capacity
+				mu.Unlock()
+				slots.Signal()
+				received = append(received, v)
+			}
+		}
+	}()
+	wg.Wait()
+
+	correct := len(received) == items
+	if correct {
+		for i, v := range received {
+			if v != int64(i+1) {
+				correct = false
+				break
+			}
+		}
+	}
+	return Result{
+		Lab: PA3BoundedBuffer, Fixed: mode != PA3Broken,
+		Correct:  correct,
+		Observed: int64(len(received)), Expected: int64(items),
+		Detail: fmt.Sprintf("mode=%s received=%d in-order=%v", mode, len(received), correct),
+	}
+}

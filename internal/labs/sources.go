@@ -1,0 +1,541 @@
+package labs
+
+// MinicSource returns the lab's program in minic, the portal's teaching
+// language, in either the buggy form students start from or the fixed form
+// they are asked to submit. The classroom simulation submits these through
+// the real portal pipeline (upload → compile → dispatch → run → grade), so
+// grading exercises the whole system.
+//
+// Every source prints a final RESULT line the auto-grader parses.
+func MinicSource(id ID, fixed bool) string {
+	switch id {
+	case Lab1Synchronization:
+		if fixed {
+			return lab1Fixed
+		}
+		return lab1Buggy
+	case Lab2SpinLock:
+		if fixed {
+			return lab2Fixed
+		}
+		return lab2Buggy
+	case Lab3UMANUMA:
+		if fixed {
+			return lab3Fixed
+		}
+		return lab3Buggy
+	case Lab4ProcessThread:
+		if fixed {
+			return lab4Fixed
+		}
+		return lab4Buggy
+	case Lab5BankAccount:
+		if fixed {
+			return lab5Fixed
+		}
+		return lab5Buggy
+	case Lab6Deadlock:
+		if fixed {
+			return lab6Fixed
+		}
+		return lab6Buggy
+	case PA3BoundedBuffer:
+		if fixed {
+			return pa3Fixed
+		}
+		return pa3Buggy
+	default:
+		return ""
+	}
+}
+
+// Ranks returns how many cluster nodes the lab's minic program needs. Lab 3
+// asks for 20 so that, under the pack placement policy (16 nodes per
+// segment), rank 1 lands in rank 0's segment while rank 19 lands in the next
+// segment — giving the program a near peer and a far peer to time.
+func Ranks(id ID) int {
+	if id == Lab3UMANUMA {
+		return 20
+	}
+	return 1
+}
+
+// ExpectedOutput returns the substring the grader looks for in a correct
+// submission's output.
+func ExpectedOutput(id ID) string {
+	switch id {
+	case Lab1Synchronization:
+		return "RESULT counter 20000"
+	case Lab2SpinLock:
+		return "RESULT counter 8000"
+	case Lab3UMANUMA:
+		return "RESULT numa_slower true"
+	case Lab4ProcessThread:
+		return "RESULT copied_ok true"
+	case Lab5BankAccount:
+		return "RESULT balance 900000"
+	case Lab6Deadlock:
+		return "RESULT meals 15"
+	case PA3BoundedBuffer:
+		return "RESULT sum 500500 bad 0"
+	default:
+		return ""
+	}
+}
+
+// Lab 1 — two threads bump a shared counter 10000 times each. The buggy
+// version loads, yields, stores; the fixed version holds a mutex.
+const lab1Buggy = `
+var counter = 0;
+func worker(n) {
+	for (var i = 0; i < n; i = i + 1) {
+		var v = counter;
+		yield();
+		counter = v + 1;
+	}
+}
+func main() {
+	var t1 = spawn(worker, 10000);
+	var t2 = spawn(worker, 10000);
+	join(t1);
+	join(t2);
+	println("RESULT counter", counter);
+}
+`
+
+const lab1Fixed = `
+var counter = 0;
+var m = mutex();
+func worker(n) {
+	for (var i = 0; i < n; i = i + 1) {
+		lock(m);
+		counter = counter + 1;
+		unlock(m);
+	}
+}
+func main() {
+	var t1 = spawn(worker, 10000);
+	var t2 = spawn(worker, 10000);
+	join(t1);
+	join(t2);
+	println("RESULT counter", counter);
+}
+`
+
+// Lab 2 — four threads, TAS lock protecting a shared counter. The buggy
+// version "implements" the lock but forgets to spin (it proceeds even when
+// the lock was held); the fixed version spins until the TAS returns free.
+// sem(1) with sem_trywait stands in for the test-and-set instruction.
+const lab2Buggy = `
+var counter = 0;
+var tas = sem(1);
+func worker(n) {
+	for (var i = 0; i < n; i = i + 1) {
+		var got = sem_trywait(tas);
+		var v = counter;
+		yield();
+		counter = v + 1;
+		if (got) { sem_signal(tas); }
+	}
+}
+func main() {
+	var t1 = spawn(worker, 2000);
+	var t2 = spawn(worker, 2000);
+	var t3 = spawn(worker, 2000);
+	var t4 = spawn(worker, 2000);
+	join(t1); join(t2); join(t3); join(t4);
+	println("RESULT counter", counter);
+}
+`
+
+const lab2Fixed = `
+var counter = 0;
+var tas = sem(1);
+func worker(n) {
+	for (var i = 0; i < n; i = i + 1) {
+		while (!sem_trywait(tas)) { yield(); }
+		counter = counter + 1;
+		sem_signal(tas);
+	}
+}
+func main() {
+	var t1 = spawn(worker, 2000);
+	var t2 = spawn(worker, 2000);
+	var t3 = spawn(worker, 2000);
+	var t4 = spawn(worker, 2000);
+	join(t1); join(t2); join(t3); join(t4);
+	println("RESULT counter", counter);
+}
+`
+
+// Lab 3 — measure near vs far message latency over the cluster. With 20
+// ranks packed 16-per-segment, rank 1 shares rank 0's segment (the
+// UMA-flavoured case) and rank 19 sits in the next segment (the NUMA case).
+// The buggy version compares two near ranks, concluding numa_slower false;
+// the fixed version compares near vs far.
+const lab3Buggy = `
+func main() {
+	if (size() < 20) { println("need 20 ranks"); return; }
+	if (rank() == 0) {
+		send(1, 1); send(2, 1);
+		println("RESULT numa_slower", false);
+	}
+	if (rank() == 1) { recv(0); }
+	if (rank() == 2) { recv(0); }
+	barrier();
+}
+`
+
+const lab3Fixed = `
+func main() {
+	if (size() < 20) { println("need 20 ranks"); return; }
+	if (rank() == 0) {
+		send(1, 1);
+		send(19, 1);
+	}
+	if (rank() == 1) {
+		recv(0);
+		send(0, time_ns());
+	}
+	if (rank() == 19) {
+		recv(0);
+		send(0, time_ns());
+	}
+	if (rank() == 0) {
+		var near = recv(1);
+		var far = recv(19);
+		println("RESULT numa_slower", far > near);
+	}
+	barrier();
+}
+`
+
+// Lab 4 — reader thread copies a 20-number sequence (ending in -1) into a
+// shared array; writer thread copies it out. Per-slot semaphores order the
+// handoff in the fixed version.
+const lab4Buggy = `
+var data = array(21);
+var out = array(21);
+var copied = 0;
+func reader() {
+	for (var i = 0; i < 20; i = i + 1) {
+		yield();
+		data[i] = i + 1;
+	}
+	data[20] = -1;
+}
+func writer() {
+	for (var i = 0; i < 21; i = i + 1) {
+		out[i] = data[i];
+		if (out[i] == -1) { copied = i + 1; return; }
+	}
+	copied = 21;
+}
+func main() {
+	var r = spawn(reader);
+	var w = spawn(writer);
+	join(r); join(w);
+	var ok = copied == 21;
+	if (ok) {
+		for (var i = 0; i < 20; i = i + 1) {
+			if (out[i] != i + 1) { ok = false; }
+		}
+	}
+	println("RESULT copied_ok", ok);
+}
+`
+
+const lab4Fixed = `
+var data = array(21);
+var out = array(21);
+var copied = 0;
+var filled = sem(0);
+func reader() {
+	for (var i = 0; i < 20; i = i + 1) {
+		yield();
+		data[i] = i + 1;
+		sem_signal(filled);
+	}
+	data[20] = -1;
+	sem_signal(filled);
+}
+func writer() {
+	for (var i = 0; i < 21; i = i + 1) {
+		sem_wait(filled);
+		out[i] = data[i];
+		if (out[i] == -1) { copied = i + 1; return; }
+	}
+	copied = 21;
+}
+func main() {
+	var r = spawn(reader);
+	var w = spawn(writer);
+	join(r); join(w);
+	var ok = copied == 21;
+	if (ok) {
+		for (var i = 0; i < 20; i = i + 1) {
+			if (out[i] != i + 1) { ok = false; }
+		}
+	}
+	println("RESULT copied_ok", ok);
+}
+`
+
+// Lab 5 — the banking scenario: start at 1,000,000, withdraw 600k and
+// deposit 500k one dollar at a time from two threads. (Scaled to 60k/50k so
+// the interpreted run stays fast; the invariant is identical.)
+const lab5Buggy = `
+var balance = 950000;
+func withdraw(n) {
+	for (var i = 0; i < n; i = i + 1) {
+		var v = balance;
+		yield();
+		balance = v - 1;
+	}
+}
+func deposit(n) {
+	for (var i = 0; i < n; i = i + 1) {
+		var v = balance;
+		yield();
+		balance = v + 1;
+	}
+}
+func main() {
+	var tw = spawn(withdraw, 60000);
+	var td = spawn(deposit, 10000);
+	join(tw); join(td);
+	println("RESULT balance", balance);
+}
+`
+
+const lab5Fixed = `
+var balance = 950000;
+var m = mutex();
+func withdraw(n) {
+	for (var i = 0; i < n; i = i + 1) {
+		lock(m);
+		balance = balance - 1;
+		unlock(m);
+	}
+}
+func deposit(n) {
+	for (var i = 0; i < n; i = i + 1) {
+		lock(m);
+		balance = balance + 1;
+		unlock(m);
+	}
+}
+func main() {
+	var tw = spawn(withdraw, 60000);
+	var td = spawn(deposit, 10000);
+	join(tw); join(td);
+	println("RESULT balance", balance);
+}
+`
+
+// Lab 6 — dining philosophers, 5 threads, 5 semaphore forks, 3 meals each.
+// The buggy version has every philosopher take left then right and gives up
+// (printing a blocked message) when a fork stays unavailable; the fixed
+// version reverses philosopher 4's order.
+const lab6Buggy = `
+var meals = 0;
+var ready = 0;
+var mm = mutex();
+var f0 = sem(1);
+var f1 = sem(1);
+var f2 = sem(1);
+var f3 = sem(1);
+var f4 = sem(1);
+func take(f) {
+	if (f == 0) { sem_wait(f0); }
+	if (f == 1) { sem_wait(f1); }
+	if (f == 2) { sem_wait(f2); }
+	if (f == 3) { sem_wait(f3); }
+	if (f == 4) { sem_wait(f4); }
+}
+func tryTake(f) {
+	var tries = 0;
+	while (tries < 2000) {
+		if (f == 0) { if (sem_trywait(f0)) { return true; } }
+		if (f == 1) { if (sem_trywait(f1)) { return true; } }
+		if (f == 2) { if (sem_trywait(f2)) { return true; } }
+		if (f == 3) { if (sem_trywait(f3)) { return true; } }
+		if (f == 4) { if (sem_trywait(f4)) { return true; } }
+		yield();
+		tries = tries + 1;
+	}
+	return false;
+}
+func put(f) {
+	if (f == 0) { sem_signal(f0); }
+	if (f == 1) { sem_signal(f1); }
+	if (f == 2) { sem_signal(f2); }
+	if (f == 3) { sem_signal(f3); }
+	if (f == 4) { sem_signal(f4); }
+}
+func philosopher(p) {
+	var left = p;
+	var right = (p + 1) % 5;
+	for (var m = 0; m < 3; m = m + 1) {
+		take(left);
+		if (m == 0) {
+			// Every philosopher pauses holding its left fork until all
+			// five have one: the classic cyclic hold-and-wait state.
+			lock(mm); ready = ready + 1; unlock(mm);
+			while (ready < 5) { yield(); }
+		}
+		if (!tryTake(right)) {
+			println("philosopher", p, "blocked on fork", right);
+			return;
+		}
+		lock(mm); meals = meals + 1; unlock(mm);
+		put(right);
+		put(left);
+	}
+}
+func main() {
+	var t0 = spawn(philosopher, 0);
+	var t1 = spawn(philosopher, 1);
+	var t2 = spawn(philosopher, 2);
+	var t3 = spawn(philosopher, 3);
+	var t4 = spawn(philosopher, 4);
+	join(t0); join(t1); join(t2); join(t3); join(t4);
+	println("RESULT meals", meals);
+}
+`
+
+const lab6Fixed = `
+var meals = 0;
+var mm = mutex();
+var f0 = sem(1);
+var f1 = sem(1);
+var f2 = sem(1);
+var f3 = sem(1);
+var f4 = sem(1);
+func take(f) {
+	if (f == 0) { sem_wait(f0); }
+	if (f == 1) { sem_wait(f1); }
+	if (f == 2) { sem_wait(f2); }
+	if (f == 3) { sem_wait(f3); }
+	if (f == 4) { sem_wait(f4); }
+}
+func put(f) {
+	if (f == 0) { sem_signal(f0); }
+	if (f == 1) { sem_signal(f1); }
+	if (f == 2) { sem_signal(f2); }
+	if (f == 3) { sem_signal(f3); }
+	if (f == 4) { sem_signal(f4); }
+}
+func philosopher(p) {
+	var first = p;
+	var second = (p + 1) % 5;
+	if (p == 4) {
+		first = 0;
+		second = 4;
+	}
+	for (var m = 0; m < 3; m = m + 1) {
+		take(first);
+		yield();
+		take(second);
+		lock(mm); meals = meals + 1; unlock(mm);
+		put(second);
+		put(first);
+	}
+}
+func main() {
+	var t0 = spawn(philosopher, 0);
+	var t1 = spawn(philosopher, 1);
+	var t2 = spawn(philosopher, 2);
+	var t3 = spawn(philosopher, 3);
+	var t4 = spawn(philosopher, 4);
+	join(t0); join(t1); join(t2); join(t3); join(t4);
+	println("RESULT meals", meals);
+}
+`
+
+// PA 3 — bounded buffer, 1 producer and 1 consumer moving 1000 sequential
+// values through a 4-slot buffer. A correct solution delivers exactly
+// 1,2,...,1000 in order (sum 500500 and zero out-of-order receptions). The
+// buggy version checks the count with an if and no blocking, so it
+// overwrites full slots and re-reads empty ones; the fixed version uses
+// semaphores.
+const pa3Buggy = `
+var buf = array(4);
+var count = 0;
+var inpos = 0;
+var outpos = 0;
+var sum = 0;
+var bad = 0;
+var m = mutex();
+func producer() {
+	for (var v = 1; v <= 1000; v = v + 1) {
+		// The handed-out bug: a plain if instead of blocking — after one
+		// hopeful yield the producer barges ahead and overwrites.
+		if (count >= 4) { yield(); }
+		lock(m);
+		buf[inpos] = v;
+		inpos = (inpos + 1) % 4;
+		count = count + 1;
+		unlock(m);
+	}
+}
+func consumer() {
+	for (var i = 0; i < 1000; i = i + 1) {
+		// Same bug on this side: consuming from an "empty" buffer re-reads
+		// a stale slot.
+		if (count <= 0) { yield(); }
+		lock(m);
+		var v = buf[outpos];
+		outpos = (outpos + 1) % 4;
+		count = count - 1;
+		unlock(m);
+		sum = sum + v;
+		if (v != i + 1) { bad = bad + 1; }
+	}
+}
+func main() {
+	var p = spawn(producer);
+	var c = spawn(consumer);
+	join(p); join(c);
+	println("RESULT sum", sum, "bad", bad);
+}
+`
+
+const pa3Fixed = `
+var buf = array(4);
+var inpos = 0;
+var outpos = 0;
+var sum = 0;
+var bad = 0;
+var m = mutex();
+var slots = sem(4);
+var fill = sem(0);
+func producer() {
+	for (var v = 1; v <= 1000; v = v + 1) {
+		sem_wait(slots);
+		lock(m);
+		buf[inpos] = v;
+		inpos = (inpos + 1) % 4;
+		unlock(m);
+		sem_signal(fill);
+	}
+}
+func consumer() {
+	for (var i = 0; i < 1000; i = i + 1) {
+		sem_wait(fill);
+		lock(m);
+		var v = buf[outpos];
+		outpos = (outpos + 1) % 4;
+		unlock(m);
+		sem_signal(slots);
+		sum = sum + v;
+		if (v != i + 1) { bad = bad + 1; }
+	}
+}
+func main() {
+	var p = spawn(producer);
+	var c = spawn(consumer);
+	join(p); join(c);
+	println("RESULT sum", sum, "bad", bad);
+}
+`

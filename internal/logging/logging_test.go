@@ -1,0 +1,147 @@
+package logging
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedNow() time.Time {
+	return time.Date(2012, 1, 17, 9, 0, 0, 0, time.UTC)
+}
+
+func TestLevelString(t *testing.T) {
+	cases := map[Level]string{Debug: "DEBUG", Info: "INFO", Warn: "WARN", Error: "ERROR", Off: "OFF"}
+	for lv, want := range cases {
+		if lv.String() != want {
+			t.Errorf("Level(%d).String() = %q, want %q", int(lv), lv.String(), want)
+		}
+	}
+	if got := Level(42).String(); got != "Level(42)" {
+		t.Errorf("unknown level String() = %q", got)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Level
+	}{
+		{"debug", Debug}, {"INFO", Info}, {"warning", Warn}, {"error", Error}, {"off", Off},
+	} {
+		got, err := ParseLevel(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v, nil", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseLevel("bogus"); err == nil {
+		t.Error("ParseLevel(bogus) succeeded, want error")
+	}
+}
+
+func TestLevelFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, "sched", Warn)
+	l.SetNow(fixedNow)
+	l.Debugf("d")
+	l.Infof("i")
+	l.Warnf("w")
+	l.Errorf("e")
+	out := buf.String()
+	if strings.Contains(out, "DEBUG") || strings.Contains(out, "INFO") {
+		t.Fatalf("filtered levels leaked: %q", out)
+	}
+	if !strings.Contains(out, "WARN") || !strings.Contains(out, "ERROR") {
+		t.Fatalf("expected WARN and ERROR lines, got %q", out)
+	}
+	if l.Lines() != 2 {
+		t.Fatalf("Lines() = %d, want 2", l.Lines())
+	}
+}
+
+func TestOutputFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, "portal", Info)
+	l.SetNow(fixedNow)
+	l.Infof("job %s dispatched to %d nodes", "job-000001", 4)
+	want := "2012-01-17T09:00:00.000 INFO  [portal] job job-000001 dispatched to 4 nodes\n"
+	if buf.String() != want {
+		t.Fatalf("got %q, want %q", buf.String(), want)
+	}
+}
+
+func TestUnnamedLoggerOmitsBrackets(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, "", Info)
+	l.SetNow(fixedNow)
+	l.Infof("hello")
+	if strings.Contains(buf.String(), "[") {
+		t.Fatalf("unnamed logger printed brackets: %q", buf.String())
+	}
+}
+
+func TestNamedChild(t *testing.T) {
+	var buf bytes.Buffer
+	parent := New(&buf, "parent", Info)
+	parent.SetNow(fixedNow)
+	child := parent.Named("child")
+	child.SetNow(fixedNow)
+	child.Infof("msg")
+	if !strings.Contains(buf.String(), "[child]") {
+		t.Fatalf("child log missing name: %q", buf.String())
+	}
+}
+
+func TestDiscardDropsEverything(t *testing.T) {
+	l := Discard()
+	l.Errorf("should vanish")
+	if l.Lines() != 0 {
+		t.Fatalf("Discard logger emitted %d lines", l.Lines())
+	}
+}
+
+func TestSetLevel(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, "x", Error)
+	l.SetNow(fixedNow)
+	l.Infof("dropped")
+	l.SetLevel(Debug)
+	l.Infof("kept")
+	if l.Lines() != 1 {
+		t.Fatalf("Lines() = %d, want 1", l.Lines())
+	}
+}
+
+func TestConcurrentLogging(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, "conc", Info)
+	l.SetNow(fixedNow)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				l.Infof("worker %d line %d", i, j)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if l.Lines() != 16*50 {
+		t.Fatalf("Lines() = %d, want %d", l.Lines(), 16*50)
+	}
+	// Every line must be complete (no interleaving).
+	for _, line := range strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n") {
+		if !strings.HasPrefix(line, "2012-01-17") || !strings.Contains(line, "worker") {
+			t.Fatalf("mangled log line: %q", line)
+		}
+	}
+}
+
+func TestNilWriterDefaultsToStderr(t *testing.T) {
+	l := New(nil, "x", Off)
+	// Must not panic even though we passed nil.
+	l.Errorf("nothing")
+}

@@ -1,0 +1,384 @@
+// Package memsim simulates the memory hierarchy the course's Memory
+// Management module teaches: per-core caches kept coherent with a MESI-style
+// directory protocol, over either a UMA memory (all cores equidistant from
+// one memory) or a NUMA memory (each core domain has fast local memory and
+// slow remote memory).
+//
+// The simulator is cycle-accounted, not cycle-accurate: each access returns
+// the number of cycles it cost under a simple, explainable model, and the
+// system accumulates the statistics the labs examine — cache hits and misses,
+// invalidations, update broadcasts, and local vs remote memory accesses.
+//
+// Lab 2 (spin lock and cache coherence) runs a TAS lock on a shared line and
+// watches invalidation counts; Lab 3 (UMA and NUMA access) measures the
+// latency gap between local and remote reads and writes.
+package memsim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Protocol selects the coherence strategy.
+type Protocol int
+
+// Coherence protocols.
+const (
+	// WriteInvalidate: a writer gains exclusive ownership by invalidating
+	// all other cached copies (MESI-style). The common choice.
+	WriteInvalidate Protocol = iota
+	// WriteUpdate: a writer broadcasts the new value to all sharers, which
+	// stay valid. Trades invalidation misses for update traffic.
+	WriteUpdate
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case WriteInvalidate:
+		return "write-invalidate"
+	case WriteUpdate:
+		return "write-update"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// lineState is the MESI state of a cached line.
+type lineState int
+
+const (
+	invalid lineState = iota
+	shared
+	exclusive
+	modified
+)
+
+func (s lineState) String() string {
+	switch s {
+	case invalid:
+		return "I"
+	case shared:
+		return "S"
+	case exclusive:
+		return "E"
+	case modified:
+		return "M"
+	default:
+		return "?"
+	}
+}
+
+// Costs define the cycle cost of each access class.
+type Costs struct {
+	// CacheHit is a load/store served by the local cache.
+	CacheHit int64
+	// LocalMemory is a miss served by the core's own memory domain.
+	LocalMemory int64
+	// RemoteMemory is a miss served by another domain (NUMA penalty).
+	RemoteMemory int64
+	// Invalidation is the per-sharer cost of an invalidate message.
+	Invalidation int64
+	// Update is the per-sharer cost of an update broadcast.
+	Update int64
+}
+
+// DefaultCosts is a textbook-flavoured cost model: L1 hit 2 cycles, local
+// DRAM 100, remote DRAM 300, coherence messages 40.
+func DefaultCosts() Costs {
+	return Costs{CacheHit: 2, LocalMemory: 100, RemoteMemory: 300, Invalidation: 40, Update: 40}
+}
+
+// Stats accumulate the observable behaviour of the memory system.
+type Stats struct {
+	Reads          int64
+	Writes         int64
+	CacheHits      int64
+	CacheMisses    int64
+	LocalAccesses  int64
+	RemoteAccesses int64
+	Invalidations  int64
+	Updates        int64
+	Cycles         int64
+}
+
+// Config describes the machine.
+type Config struct {
+	// Cores is the number of cores, each with a private cache.
+	Cores int
+	// Domains is the number of memory domains. 1 models a UMA machine;
+	// more than 1 models NUMA with cores striped across domains
+	// round-robin (core i lives in domain i%Domains).
+	Domains int
+	// Protocol selects write-invalidate or write-update coherence.
+	Protocol Protocol
+	// Costs is the cycle model; zero value means DefaultCosts.
+	Costs Costs
+}
+
+type cacheLine struct {
+	state lineState
+	value uint64
+}
+
+// System is the simulated machine. All methods are safe for concurrent use;
+// each access is atomic with respect to the coherence protocol, which is what
+// lets the TAS-lock experiment behave like real hardware test-and-set.
+type System struct {
+	mu     sync.Mutex
+	cfg    Config
+	memory map[uint64]uint64 // backing store, by address
+	homes  map[uint64]int    // address → home domain
+	caches []map[uint64]*cacheLine
+	stats  Stats
+}
+
+// New builds a System. Cores must be positive; Domains defaults to 1.
+func New(cfg Config) (*System, error) {
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("memsim: cores must be positive, got %d", cfg.Cores)
+	}
+	if cfg.Domains <= 0 {
+		cfg.Domains = 1
+	}
+	if cfg.Costs == (Costs{}) {
+		cfg.Costs = DefaultCosts()
+	}
+	s := &System{
+		cfg:    cfg,
+		memory: make(map[uint64]uint64),
+		homes:  make(map[uint64]int),
+		caches: make([]map[uint64]*cacheLine, cfg.Cores),
+	}
+	for i := range s.caches {
+		s.caches[i] = make(map[uint64]*cacheLine)
+	}
+	return s, nil
+}
+
+// Cores returns the core count.
+func (s *System) Cores() int { return s.cfg.Cores }
+
+// Domains returns the memory domain count.
+func (s *System) Domains() int { return s.cfg.Domains }
+
+// DomainOf returns the memory domain a core belongs to.
+func (s *System) DomainOf(core int) int { return core % s.cfg.Domains }
+
+// Place pins an address's home to a specific domain; by default an address
+// homes in the domain of the first core that touches it (first-touch policy,
+// like Linux).
+func (s *System) Place(addr uint64, domain int) error {
+	if domain < 0 || domain >= s.cfg.Domains {
+		return fmt.Errorf("memsim: domain %d out of range [0,%d)", domain, s.cfg.Domains)
+	}
+	s.mu.Lock()
+	s.homes[addr] = domain
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *System) homeOf(addr uint64, touchingCore int) int {
+	if d, ok := s.homes[addr]; ok {
+		return d
+	}
+	d := s.DomainOf(touchingCore)
+	s.homes[addr] = d
+	return d
+}
+
+func (s *System) checkCore(core int) {
+	if core < 0 || core >= s.cfg.Cores {
+		panic(fmt.Sprintf("memsim: core %d out of range [0,%d)", core, s.cfg.Cores))
+	}
+}
+
+// memoryCost returns the cycles for core fetching addr from memory.
+func (s *System) memoryCost(core int, addr uint64) int64 {
+	if s.homeOf(addr, core) == s.DomainOf(core) {
+		s.stats.LocalAccesses++
+		return s.cfg.Costs.LocalMemory
+	}
+	s.stats.RemoteAccesses++
+	return s.cfg.Costs.RemoteMemory
+}
+
+// Read performs a load by core from addr, returning the value and its cycle
+// cost.
+func (s *System) Read(core int, addr uint64) (uint64, int64) {
+	s.checkCore(core)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readLocked(core, addr)
+}
+
+func (s *System) readLocked(core int, addr uint64) (uint64, int64) {
+	s.stats.Reads++
+	line := s.caches[core][addr]
+	if line != nil && line.state != invalid {
+		s.stats.CacheHits++
+		s.stats.Cycles += s.cfg.Costs.CacheHit
+		return line.value, s.cfg.Costs.CacheHit
+	}
+	// Miss: fetch from memory (or a modified copy elsewhere, which we model
+	// as a write-back plus fetch at the same cost class).
+	s.stats.CacheMisses++
+	cost := s.memoryCost(core, addr)
+	val := s.flushModifiedLocked(addr)
+	// Install as shared if anyone else holds it, else exclusive.
+	st := exclusive
+	for other, c := range s.caches {
+		if other == core {
+			continue
+		}
+		if l := c[addr]; l != nil && l.state != invalid {
+			st = shared
+			// Demote the other holder's E to S.
+			if l.state == exclusive {
+				l.state = shared
+			}
+		}
+	}
+	s.caches[core][addr] = &cacheLine{state: st, value: val}
+	s.stats.Cycles += cost
+	return val, cost
+}
+
+// flushModifiedLocked writes back any modified copy of addr and returns the
+// current value.
+func (s *System) flushModifiedLocked(addr uint64) uint64 {
+	for _, c := range s.caches {
+		if l := c[addr]; l != nil && l.state == modified {
+			s.memory[addr] = l.value
+			l.state = shared
+		}
+	}
+	return s.memory[addr]
+}
+
+// Write performs a store by core to addr, returning its cycle cost.
+func (s *System) Write(core int, addr uint64, value uint64) int64 {
+	s.checkCore(core)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writeLocked(core, addr, value)
+}
+
+func (s *System) writeLocked(core int, addr uint64, value uint64) int64 {
+	s.stats.Writes++
+	line := s.caches[core][addr]
+	var cost int64
+	if line != nil && line.state != invalid {
+		s.stats.CacheHits++
+		cost = s.cfg.Costs.CacheHit
+	} else {
+		s.stats.CacheMisses++
+		cost = s.memoryCost(core, addr)
+		s.flushModifiedLocked(addr)
+		line = &cacheLine{}
+		s.caches[core][addr] = line
+	}
+	switch s.cfg.Protocol {
+	case WriteInvalidate:
+		for other, c := range s.caches {
+			if other == core {
+				continue
+			}
+			if l := c[addr]; l != nil && l.state != invalid {
+				if l.state == modified {
+					s.memory[addr] = l.value
+				}
+				l.state = invalid
+				s.stats.Invalidations++
+				cost += s.cfg.Costs.Invalidation
+			}
+		}
+		line.state = modified
+		line.value = value
+	case WriteUpdate:
+		for other, c := range s.caches {
+			if other == core {
+				continue
+			}
+			if l := c[addr]; l != nil && l.state != invalid {
+				l.value = value
+				l.state = shared
+				s.stats.Updates++
+				cost += s.cfg.Costs.Update
+			}
+		}
+		// Write-update keeps memory current (write-through semantics).
+		s.memory[addr] = value
+		line.state = shared
+		line.value = value
+	}
+	s.stats.Cycles += cost
+	return cost
+}
+
+// TestAndSet atomically reads addr and sets it to 1, returning the previous
+// value and the cycle cost. This is the instruction Lab 2's TAS lock is
+// built from; every call is a write, so under write-invalidate every
+// spinning core's copy is invalidated each time — the coherence storm the
+// lab demonstrates.
+func (s *System) TestAndSet(core int, addr uint64) (uint64, int64) {
+	s.checkCore(core)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, c1 := s.readLocked(core, addr)
+	c2 := s.writeLocked(core, addr, 1)
+	return old, c1 + c2
+}
+
+// CompareAndSwap atomically replaces the value at addr with new if it equals
+// old, returning success and the cycle cost.
+func (s *System) CompareAndSwap(core int, addr uint64, old, new uint64) (bool, int64) {
+	s.checkCore(core)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, c1 := s.readLocked(core, addr)
+	if cur != old {
+		return false, c1
+	}
+	c2 := s.writeLocked(core, addr, new)
+	return true, c1 + c2
+}
+
+// State reports the MESI state of addr in the given core's cache, for tests
+// and teaching displays: "M", "E", "S" or "I".
+func (s *System) State(core int, addr uint64) string {
+	s.checkCore(core)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if l := s.caches[core][addr]; l != nil {
+		return l.state.String()
+	}
+	return invalid.String()
+}
+
+// Stats returns a snapshot of the accumulated counters.
+func (s *System) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ResetStats zeroes the counters (the labs reset between phases).
+func (s *System) ResetStats() {
+	s.mu.Lock()
+	s.stats = Stats{}
+	s.mu.Unlock()
+}
+
+// MemoryValue returns the value of addr visible after flushing any modified
+// cached copy — "what the program would read next".
+func (s *System) MemoryValue(addr uint64) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.caches {
+		if l := c[addr]; l != nil && l.state == modified {
+			return l.value
+		}
+	}
+	return s.memory[addr]
+}

@@ -1,0 +1,155 @@
+// Package metrics is a small counter/gauge registry the subsystems publish
+// operational numbers through, and the portal exposes at /api/metrics — the
+// observability a lab administrator needs to see whether the cluster is
+// earning its electricity ("the project has an expected impact on
+// utilization of the computational resources provided by the cluster").
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative n is ignored; counters never decrease).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can move both ways.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// GaugeFunc is a gauge computed at read time.
+type GaugeFunc func() int64
+
+// Registry holds named metrics. The zero value is not usable; call
+// NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	funcs    map[string]GaugeFunc
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		funcs:    make(map[string]GaugeFunc),
+	}
+}
+
+// Counter returns (registering on first use) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (registering on first use) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// RegisterFunc installs a computed gauge; it replaces any previous function
+// under the same name.
+func (r *Registry) RegisterFunc(name string, fn GaugeFunc) {
+	r.mu.Lock()
+	r.funcs[name] = fn
+	r.mu.Unlock()
+}
+
+// Snapshot returns all metric values by name.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]int64, len(r.counters)+len(r.gauges)+len(r.funcs))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, fn := range r.funcs {
+		out[name] = fn()
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as a JSON object with sorted keys.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := r.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ordered := make(map[string]int64, len(snap)) // json sorts object keys
+	for _, k := range keys {
+		ordered[k] = snap[k]
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ordered)
+}
+
+// WriteText writes "name value" lines, sorted, in the style of a
+// Prometheus exposition (no types or help text — it's a teaching cluster).
+func (r *Registry) WriteText(w io.Writer) error {
+	snap := r.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s %d\n", k, snap[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Default is the process-wide registry used when subsystems are not given
+// one explicitly.
+var Default = NewRegistry()

@@ -1,0 +1,212 @@
+package minic
+
+import "fmt"
+
+// Node is any AST node; Pos reports its source position for diagnostics.
+type Node interface {
+	Pos() (line, col int)
+}
+
+type position struct {
+	line, col int
+}
+
+func (p position) Pos() (int, int) { return p.line, p.col }
+
+// Program is a parsed source file: global variable declarations plus
+// function definitions.
+type Program struct {
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// Func returns the function with the given name, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	position
+	Name   string
+	Params []string
+	Body   *Block
+}
+
+// Statements -----------------------------------------------------------------
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmt()
+}
+
+// Block is a brace-delimited statement list.
+type Block struct {
+	position
+	Stmts []Stmt
+}
+
+// VarDecl declares a variable with an initializer: var x = expr;
+type VarDecl struct {
+	position
+	Name string
+	Init Expr
+}
+
+// AssignStmt assigns to a variable or an index expression.
+type AssignStmt struct {
+	position
+	// Target is either *Ident or *IndexExpr.
+	Target Expr
+	Value  Expr
+}
+
+// IfStmt is if (cond) block [else block|if].
+type IfStmt struct {
+	position
+	Cond Expr
+	Then *Block
+	Else Stmt // *Block, *IfStmt, or nil
+}
+
+// WhileStmt is while (cond) block.
+type WhileStmt struct {
+	position
+	Cond Expr
+	Body *Block
+}
+
+// ForStmt is for (init; cond; post) block. Any clause may be nil.
+type ForStmt struct {
+	position
+	Init Stmt // *VarDecl or *AssignStmt
+	Cond Expr
+	Post Stmt // *AssignStmt
+	Body *Block
+}
+
+// ReturnStmt returns an optional value.
+type ReturnStmt struct {
+	position
+	Value Expr // nil for bare return
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ position }
+
+// ContinueStmt jumps to the innermost loop's next iteration.
+type ContinueStmt struct{ position }
+
+// ExprStmt evaluates an expression for its side effects (a call).
+type ExprStmt struct {
+	position
+	X Expr
+}
+
+func (*Block) stmt()        {}
+func (*VarDecl) stmt()      {}
+func (*AssignStmt) stmt()   {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*ForStmt) stmt()      {}
+func (*ReturnStmt) stmt()   {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+func (*ExprStmt) stmt()     {}
+
+// Expressions ------------------------------------------------------------------
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	expr()
+}
+
+// Ident references a variable.
+type Ident struct {
+	position
+	Name string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	position
+	Value int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	position
+	Value float64
+}
+
+// StringLit is a string literal.
+type StringLit struct {
+	position
+	Value string
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	position
+	Value bool
+}
+
+// BinaryExpr applies Op to X and Y.
+type BinaryExpr struct {
+	position
+	Op   string // + - * / % == != < <= > >= && ||
+	X, Y Expr
+}
+
+// UnaryExpr applies Op to X.
+type UnaryExpr struct {
+	position
+	Op string // - !
+	X  Expr
+}
+
+// CallExpr calls a user function or builtin.
+type CallExpr struct {
+	position
+	Name string
+	Args []Expr
+}
+
+// IndexExpr is a[i].
+type IndexExpr struct {
+	position
+	X     Expr
+	Index Expr
+}
+
+func (*Ident) expr()      {}
+func (*IntLit) expr()     {}
+func (*FloatLit) expr()   {}
+func (*StringLit) expr()  {}
+func (*BoolLit) expr()    {}
+func (*BinaryExpr) expr() {}
+func (*UnaryExpr) expr()  {}
+func (*CallExpr) expr()   {}
+func (*IndexExpr) expr()  {}
+
+// Error is a compile-time diagnostic with position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(line, col int, format string, args ...interface{}) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

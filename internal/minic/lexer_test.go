@@ -1,0 +1,130 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasicProgram(t *testing.T) {
+	toks := Tokenize(`func main() { var x = 42; }`)
+	want := []struct {
+		kind Kind
+		lit  string
+	}{
+		{TokKeyword, "func"}, {TokIdent, "main"}, {TokOp, "("}, {TokOp, ")"},
+		{TokOp, "{"}, {TokKeyword, "var"}, {TokIdent, "x"}, {TokOp, "="},
+		{TokInt, "42"}, {TokOp, ";"}, {TokOp, "}"}, {TokEOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Lit != w.lit {
+			t.Errorf("token %d = {%d %q}, want {%d %q}", i, toks[i].Kind, toks[i].Lit, w.kind, w.lit)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks := Tokenize("1 23 4.5 0.25 7.")
+	if toks[0].Kind != TokInt || toks[1].Kind != TokInt {
+		t.Fatal("integers mis-lexed")
+	}
+	if toks[2].Kind != TokFloat || toks[2].Lit != "4.5" {
+		t.Fatalf("float mis-lexed: %+v", toks[2])
+	}
+	if toks[3].Kind != TokFloat || toks[3].Lit != "0.25" {
+		t.Fatalf("float mis-lexed: %+v", toks[3])
+	}
+	// "7." without a following digit lexes as int 7 then operator error dot
+	if toks[4].Kind != TokInt || toks[4].Lit != "7" {
+		t.Fatalf("trailing-dot number mis-lexed: %+v", toks[4])
+	}
+}
+
+func TestLexStringsAndEscapes(t *testing.T) {
+	toks := Tokenize(`"hello" "a\nb" "t\tab" "q\"q" "back\\slash"`)
+	want := []string{"hello", "a\nb", "t\tab", `q"q`, `back\slash`}
+	for i, w := range want {
+		if toks[i].Kind != TokString || toks[i].Lit != w {
+			t.Errorf("string %d = %q (kind %d), want %q", i, toks[i].Lit, toks[i].Kind, w)
+		}
+	}
+}
+
+func TestLexStringErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, "\"new\nline\"", `"bad \q escape"`} {
+		toks := Tokenize(src)
+		last := toks[len(toks)-1]
+		if last.Kind != TokError {
+			t.Errorf("source %q did not produce a lex error: %v", src, toks)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `
+// a line comment
+var x = 1; /* a block
+   comment */ var y = 2;`
+	toks := Tokenize(src)
+	var idents []string
+	for _, tok := range toks {
+		if tok.Kind == TokIdent {
+			idents = append(idents, tok.Lit)
+		}
+	}
+	if strings.Join(idents, ",") != "x,y" {
+		t.Fatalf("idents = %v", idents)
+	}
+}
+
+func TestLexTwoCharOperators(t *testing.T) {
+	toks := Tokenize("== != <= >= && || < > = !")
+	wantLits := []string{"==", "!=", "<=", ">=", "&&", "||", "<", ">", "=", "!"}
+	for i, w := range wantLits {
+		if toks[i].Kind != TokOp || toks[i].Lit != w {
+			t.Errorf("op %d = %q, want %q", i, toks[i].Lit, w)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := Tokenize("a\n  bb\n   c")
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("a at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("bb at %d:%d, want 2:3", toks[1].Line, toks[1].Col)
+	}
+	if toks[2].Line != 3 || toks[2].Col != 4 {
+		t.Errorf("c at %d:%d, want 3:4", toks[2].Line, toks[2].Col)
+	}
+}
+
+func TestLexUnexpectedCharacter(t *testing.T) {
+	toks := Tokenize("var x = 1 @")
+	last := toks[len(toks)-1]
+	if last.Kind != TokError || !strings.Contains(last.Lit, "@") {
+		t.Fatalf("expected error about '@', got %+v", last)
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks := Tokenize("if iffy while whiled true truely")
+	wantKinds := []Kind{TokKeyword, TokIdent, TokKeyword, TokIdent, TokKeyword, TokIdent}
+	got := kinds(toks[:6])
+	for i := range wantKinds {
+		if got[i] != wantKinds[i] {
+			t.Fatalf("token %d (%q) kind = %d, want %d", i, toks[i].Lit, got[i], wantKinds[i])
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseMinimalProgram(t *testing.T) {
+	prog, err := Parse(`func main() {}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Funcs) != 1 || prog.Funcs[0].Name != "main" {
+		t.Fatalf("funcs = %+v", prog.Funcs)
+	}
+	if prog.Func("main") == nil || prog.Func("ghost") != nil {
+		t.Fatal("Func lookup broken")
+	}
+}
+
+func TestParseGlobalsAndParams(t *testing.T) {
+	prog, err := Parse(`
+var balance = 1000000;
+var name = "account";
+func deposit(amount, times) { }
+func main() { deposit(1, 2); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Globals) != 2 || prog.Globals[0].Name != "balance" {
+		t.Fatalf("globals = %+v", prog.Globals)
+	}
+	f := prog.Func("deposit")
+	if len(f.Params) != 2 || f.Params[0] != "amount" || f.Params[1] != "times" {
+		t.Fatalf("params = %v", f.Params)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog, err := Parse(`func main() { var x = 1 + 2 * 3; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decl := prog.Funcs[0].Body.Stmts[0].(*VarDecl)
+	add, ok := decl.Init.(*BinaryExpr)
+	if !ok || add.Op != "+" {
+		t.Fatalf("top op = %+v, want +", decl.Init)
+	}
+	mul, ok := add.Y.(*BinaryExpr)
+	if !ok || mul.Op != "*" {
+		t.Fatalf("right = %+v, want 2*3", add.Y)
+	}
+}
+
+func TestParseParenthesesOverridePrecedence(t *testing.T) {
+	prog, err := Parse(`func main() { var x = (1 + 2) * 3; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decl := prog.Funcs[0].Body.Stmts[0].(*VarDecl)
+	mul := decl.Init.(*BinaryExpr)
+	if mul.Op != "*" {
+		t.Fatalf("top op = %q, want *", mul.Op)
+	}
+	if add, ok := mul.X.(*BinaryExpr); !ok || add.Op != "+" {
+		t.Fatalf("left = %+v, want (1+2)", mul.X)
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	prog, err := Parse(`
+func main() {
+	if (1 < 2) { return 1; } else if (2 < 3) { return 2; } else { return 3; }
+	while (true) { break; }
+	for (var i = 0; i < 10; i = i + 1) { continue; }
+	return;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := prog.Funcs[0].Body.Stmts
+	ifs := body[0].(*IfStmt)
+	if _, ok := ifs.Else.(*IfStmt); !ok {
+		t.Fatalf("else-if parsed as %T", ifs.Else)
+	}
+	if _, ok := body[1].(*WhileStmt); !ok {
+		t.Fatalf("while parsed as %T", body[1])
+	}
+	fs := body[2].(*ForStmt)
+	if fs.Init == nil || fs.Cond == nil || fs.Post == nil {
+		t.Fatal("for clauses missing")
+	}
+	if ret := body[3].(*ReturnStmt); ret.Value != nil {
+		t.Fatal("bare return has a value")
+	}
+}
+
+func TestParseForWithEmptyClauses(t *testing.T) {
+	prog, err := Parse(`func main() { for (;;) { break; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := prog.Funcs[0].Body.Stmts[0].(*ForStmt)
+	if fs.Init != nil || fs.Cond != nil || fs.Post != nil {
+		t.Fatal("empty for clauses not nil")
+	}
+}
+
+func TestParseIndexingAndCalls(t *testing.T) {
+	prog, err := Parse(`func main() { var a = array(10); a[0] = f(1, 2)[3]; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asn := prog.Funcs[0].Body.Stmts[1].(*AssignStmt)
+	if _, ok := asn.Target.(*IndexExpr); !ok {
+		t.Fatalf("target = %T", asn.Target)
+	}
+	idx, ok := asn.Value.(*IndexExpr)
+	if !ok {
+		t.Fatalf("value = %T", asn.Value)
+	}
+	if call, ok := idx.X.(*CallExpr); !ok || call.Name != "f" || len(call.Args) != 2 {
+		t.Fatalf("call = %+v", idx.X)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		`func main() { 1 + 2; }`:        "must be a call",
+		`func main() { 1 = 2; }`:        "assignment target",
+		`func main() { var x 3; }`:      `expected "="`,
+		`func main() { if 1 < 2 {} }`:   `expected "("`,
+		`func main() {`:                 `expected "}"`,
+		`banana`:                        "expected 'func' or 'var'",
+		`func main() { var x = ; }`:     "unexpected token",
+		`func main() { var x = "bad; }`: "unterminated",
+		`func f(a b) {}`:                `expected ","`,
+	}
+	for src, wantSub := range cases {
+		_, err := Parse(src)
+		if err == nil {
+			t.Errorf("source %q parsed without error", src)
+			continue
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("source %q: error %q does not mention %q", src, err, wantSub)
+		}
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	_, err := Parse("func main() {\n  var x = ;\n}")
+	perr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if perr.Line != 2 {
+		t.Fatalf("error line = %d, want 2", perr.Line)
+	}
+}
+
+func TestParseUnaryChains(t *testing.T) {
+	prog, err := Parse(`func main() { var x = --1; var y = !!true; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := prog.Funcs[0].Body.Stmts[0].(*VarDecl)
+	outer := d.Init.(*UnaryExpr)
+	if _, ok := outer.X.(*UnaryExpr); !ok {
+		t.Fatal("nested unary not parsed")
+	}
+}
+
+func TestMustParsePanicsOnBadSource(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse did not panic")
+		}
+	}()
+	MustParse("not a program")
+}
+
+func TestParseLogicalOperators(t *testing.T) {
+	prog, err := Parse(`func main() { var x = true && false || true; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := prog.Funcs[0].Body.Stmts[0].(*VarDecl)
+	or := d.Init.(*BinaryExpr)
+	if or.Op != "||" {
+		t.Fatalf("top op = %q, want || (lower precedence)", or.Op)
+	}
+	if and, ok := or.X.(*BinaryExpr); !ok || and.Op != "&&" {
+		t.Fatalf("left = %+v", or.X)
+	}
+}

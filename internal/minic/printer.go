@@ -1,0 +1,249 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders a parsed program back to canonical minic source. The
+// output always re-parses to an equivalent AST (Print ∘ Parse is the
+// identity up to formatting), which the property tests verify; the portal
+// uses it for the file manager's "format source" action.
+func Print(prog *Program) string {
+	var p printer
+	for i, g := range prog.Globals {
+		if i > 0 {
+			p.nl()
+		}
+		p.writef("var %s = ", g.Name)
+		p.expr(g.Init, 0)
+		p.write(";")
+		p.nl()
+	}
+	for _, f := range prog.Funcs {
+		if p.sb.Len() > 0 {
+			p.nl()
+		}
+		p.writef("func %s(%s) ", f.Name, strings.Join(f.Params, ", "))
+		p.block(f.Body)
+		p.nl()
+	}
+	return p.sb.String()
+}
+
+// Format parses and reprints source, returning a canonical form.
+func Format(src string) (string, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	return Print(prog), nil
+}
+
+type printer struct {
+	sb     strings.Builder
+	indent int
+}
+
+func (p *printer) write(s string) { p.sb.WriteString(s) }
+
+func (p *printer) writef(format string, args ...interface{}) {
+	fmt.Fprintf(&p.sb, format, args...)
+}
+
+func (p *printer) nl() {
+	p.sb.WriteByte('\n')
+}
+
+func (p *printer) pad() {
+	for i := 0; i < p.indent; i++ {
+		p.sb.WriteByte('\t')
+	}
+}
+
+func (p *printer) block(b *Block) {
+	p.write("{")
+	if len(b.Stmts) == 0 {
+		p.write("}")
+		return
+	}
+	p.nl()
+	p.indent++
+	for _, s := range b.Stmts {
+		p.pad()
+		p.stmt(s)
+		p.nl()
+	}
+	p.indent--
+	p.pad()
+	p.write("}")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch st := s.(type) {
+	case *Block:
+		p.block(st)
+	case *VarDecl:
+		p.writef("var %s = ", st.Name)
+		p.expr(st.Init, 0)
+		p.write(";")
+	case *AssignStmt:
+		p.expr(st.Target, 0)
+		p.write(" = ")
+		p.expr(st.Value, 0)
+		p.write(";")
+	case *IfStmt:
+		p.ifStmt(st)
+	case *WhileStmt:
+		p.write("while (")
+		p.expr(st.Cond, 0)
+		p.write(") ")
+		p.block(st.Body)
+	case *ForStmt:
+		p.write("for (")
+		if st.Init != nil {
+			p.simpleStmtNoSemi(st.Init)
+		}
+		p.write("; ")
+		if st.Cond != nil {
+			p.expr(st.Cond, 0)
+		}
+		p.write("; ")
+		if st.Post != nil {
+			p.simpleStmtNoSemi(st.Post)
+		}
+		p.write(") ")
+		p.block(st.Body)
+	case *ReturnStmt:
+		if st.Value == nil {
+			p.write("return;")
+		} else {
+			p.write("return ")
+			p.expr(st.Value, 0)
+			p.write(";")
+		}
+	case *BreakStmt:
+		p.write("break;")
+	case *ContinueStmt:
+		p.write("continue;")
+	case *ExprStmt:
+		p.expr(st.X, 0)
+		p.write(";")
+	default:
+		p.writef("/* unknown statement %T */", s)
+	}
+}
+
+// simpleStmtNoSemi prints a for-clause statement without its semicolon.
+func (p *printer) simpleStmtNoSemi(s Stmt) {
+	switch st := s.(type) {
+	case *VarDecl:
+		p.writef("var %s = ", st.Name)
+		p.expr(st.Init, 0)
+	case *AssignStmt:
+		p.expr(st.Target, 0)
+		p.write(" = ")
+		p.expr(st.Value, 0)
+	case *ExprStmt:
+		p.expr(st.X, 0)
+	default:
+		p.writef("/* unknown clause %T */", s)
+	}
+}
+
+func (p *printer) ifStmt(st *IfStmt) {
+	p.write("if (")
+	p.expr(st.Cond, 0)
+	p.write(") ")
+	p.block(st.Then)
+	switch els := st.Else.(type) {
+	case nil:
+	case *IfStmt:
+		p.write(" else ")
+		p.ifStmt(els)
+	case *Block:
+		p.write(" else ")
+		p.block(els)
+	default:
+		p.writef(" else /* unknown %T */", st.Else)
+	}
+}
+
+// expr prints e, parenthesizing when the context precedence demands it.
+func (p *printer) expr(e Expr, ctxPrec int) {
+	switch ex := e.(type) {
+	case *IntLit:
+		p.write(strconv.FormatInt(ex.Value, 10))
+	case *FloatLit:
+		s := strconv.FormatFloat(ex.Value, 'f', -1, 64)
+		if !strings.Contains(s, ".") {
+			s += ".0"
+		}
+		p.write(s)
+	case *StringLit:
+		p.write(quoteString(ex.Value))
+	case *BoolLit:
+		if ex.Value {
+			p.write("true")
+		} else {
+			p.write("false")
+		}
+	case *Ident:
+		p.write(ex.Name)
+	case *BinaryExpr:
+		prec := binaryPrec[ex.Op]
+		if prec < ctxPrec {
+			p.write("(")
+		}
+		p.expr(ex.X, prec)
+		p.writef(" %s ", ex.Op)
+		// Right operand binds one tighter: the parser is left-associative.
+		p.expr(ex.Y, prec+1)
+		if prec < ctxPrec {
+			p.write(")")
+		}
+	case *UnaryExpr:
+		p.write(ex.Op)
+		p.expr(ex.X, 100)
+	case *CallExpr:
+		p.write(ex.Name)
+		p.write("(")
+		for i, a := range ex.Args {
+			if i > 0 {
+				p.write(", ")
+			}
+			p.expr(a, 0)
+		}
+		p.write(")")
+	case *IndexExpr:
+		p.expr(ex.X, 100)
+		p.write("[")
+		p.expr(ex.Index, 0)
+		p.write("]")
+	default:
+		p.writef("/* unknown expression %T */", e)
+	}
+}
+
+// quoteString emits a minic string literal with the language's escapes.
+func quoteString(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\t':
+			sb.WriteString(`\t`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\\':
+			sb.WriteString(`\\`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}

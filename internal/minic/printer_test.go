@@ -1,0 +1,236 @@
+package minic
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// canonical parses src and pretty-prints it, failing the test on error.
+func canonical(t *testing.T, src string) string {
+	t.Helper()
+	out, err := Format(src)
+	if err != nil {
+		t.Fatalf("Format: %v\nsource:\n%s", err, src)
+	}
+	return out
+}
+
+func TestPrintIdempotentOnHandWrittenPrograms(t *testing.T) {
+	sources := []string{
+		`func main() {}`,
+		`var g = 1; func main() { g = g + 1; }`,
+		`func main() { var x = 1 + 2 * 3 - (4 / 5); }`,
+		`func main() { var s = "a\nb\t\"c\"\\d"; println(s); }`,
+		`func f(a, b) { return a % b; } func main() { f(1, 2); }`,
+		`func main() { if (true) { return; } else if (false) { return; } else { return; } }`,
+		`func main() { while (1 < 2) { break; } }`,
+		`func main() { for (var i = 0; i < 3; i = i + 1) { continue; } }`,
+		`func main() { for (;;) { break; } }`,
+		`func main() { var a = array(3); a[0] = a[1 + 2]; }`,
+		`func main() { var x = -1; var y = !true; var z = --2; }`,
+		`func main() { var t = spawn(helper, 1); join(t); } func helper(n) {}`,
+		`func main() { var x = 1.5 + 0.25; var y = 2.0; }`,
+		`func main() { var b = true && false || !true; }`,
+		`func main() { { var inner = 1; } }`,
+	}
+	for _, src := range sources {
+		once := canonical(t, src)
+		twice := canonical(t, once)
+		if once != twice {
+			t.Errorf("printer not idempotent for %q:\nfirst:\n%s\nsecond:\n%s", src, once, twice)
+		}
+	}
+}
+
+func TestPrintPreservesSemantics(t *testing.T) {
+	// The reprinted program must behave identically: compile both and run
+	// both, comparing outputs.
+	src := `
+var total = 0;
+func accumulate(n) {
+	for (var i = 1; i <= n; i = i + 1) {
+		if (i % 3 == 0) { continue; }
+		total = total + i;
+	}
+}
+func main() {
+	accumulate(10);
+	println("total", total, 2.5 * 2.0, "x" + "y", 7 % 3, -(1 + 2));
+}`
+	formatted := canonical(t, src)
+	runBoth := func(text string) string {
+		u, err := CompileSource(text)
+		if err != nil {
+			t.Fatalf("compile: %v\n%s", err, text)
+		}
+		var out bytes.Buffer
+		if _, err := NewMachine(u, MachineConfig{Out: &out}).Run(); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if a, b := runBoth(src), runBoth(formatted); a != b {
+		t.Fatalf("reprinted program diverges: %q vs %q", a, b)
+	}
+}
+
+func TestPrintAllLabSourcesRoundTrip(t *testing.T) {
+	// Every embedded lab program must survive a format round trip and stay
+	// compilable.
+	for _, src := range allLabLikePrograms() {
+		once := canonical(t, src)
+		if _, err := CompileSource(once); err != nil {
+			t.Fatalf("formatted source does not compile: %v\n%s", err, once)
+		}
+		if twice := canonical(t, once); once != twice {
+			t.Fatalf("not idempotent:\n%s\nvs\n%s", once, twice)
+		}
+	}
+}
+
+// allLabLikePrograms returns a few realistic programs (the labs live in
+// package labs, which imports this one, so mirror two of them here).
+func allLabLikePrograms() []string {
+	return []string{
+		`
+var balance = 950000;
+var m = mutex();
+func withdraw(n) {
+	for (var i = 0; i < n; i = i + 1) {
+		lock(m);
+		balance = balance - 1;
+		unlock(m);
+	}
+}
+func main() {
+	var tw = spawn(withdraw, 100);
+	join(tw);
+	println("RESULT balance", balance);
+}`,
+		`
+func main() {
+	if (size() < 2) { return; }
+	if (rank() == 0) { send(1, 42); }
+	if (rank() == 1) { println(recv(0)); }
+	barrier();
+}`,
+	}
+}
+
+// randomExpr builds a random expression tree of bounded depth using only
+// declared variables, for the generative round-trip property.
+func randomExpr(rng *rand.Rand, depth int) string {
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return "x"
+		case 1:
+			return "1"
+		case 2:
+			return "2.5"
+		default:
+			return "7"
+		}
+	}
+	switch rng.Intn(7) {
+	case 0:
+		ops := []string{"+", "-", "*"}
+		return randomExpr(rng, depth-1) + " " + ops[rng.Intn(len(ops))] + " " + randomExpr(rng, depth-1)
+	case 1:
+		return "(" + randomExpr(rng, depth-1) + ")"
+	case 2:
+		return "-" + randomExpr(rng, depth-1)
+	case 3:
+		cmp := []string{"<", "<=", ">", ">=", "==", "!="}
+		// Comparisons only at the top to keep the program type-correct;
+		// wrap in int() to reuse as a value.
+		_ = cmp
+		return randomExpr(rng, depth-1)
+	case 4:
+		return "min(" + randomExpr(rng, depth-1) + ", " + randomExpr(rng, depth-1) + ")"
+	case 5:
+		return "abs(" + randomExpr(rng, depth-1) + ")"
+	default:
+		return randomExpr(rng, depth-1) + " * " + randomExpr(rng, depth-1)
+	}
+}
+
+func TestPrintRoundTripPropertyRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(20120117))
+	for trial := 0; trial < 200; trial++ {
+		src := "func main() { var x = 3; var y = " + randomExpr(rng, 4) + "; }"
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("generated program does not parse: %v\n%s", err, src)
+		}
+		printed := Print(prog)
+		prog2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed program does not parse: %v\n%s", err, printed)
+		}
+		if again := Print(prog2); again != printed {
+			t.Fatalf("round trip unstable:\n%s\nvs\n%s", printed, again)
+		}
+	}
+}
+
+func TestPrintParenthesizationMatters(t *testing.T) {
+	// (1 + 2) * 3 must keep its parentheses; 1 + (2 * 3) must not grow any.
+	out := canonical(t, `func main() { var a = (1 + 2) * 3; var b = 1 + 2 * 3; }`)
+	if !strings.Contains(out, "(1 + 2) * 3") {
+		t.Fatalf("necessary parens dropped:\n%s", out)
+	}
+	if strings.Contains(out, "1 + (2 * 3)") {
+		t.Fatalf("gratuitous parens added:\n%s", out)
+	}
+	// Left-associativity: a - b - c means (a-b)-c; a - (b - c) keeps parens.
+	out = canonical(t, `func main() { var a = 10 - 4 - 3; var b = 10 - (4 - 3); }`)
+	if !strings.Contains(out, "10 - 4 - 3") || !strings.Contains(out, "10 - (4 - 3)") {
+		t.Fatalf("associativity mishandled:\n%s", out)
+	}
+}
+
+func TestPrintSemanticsOfAssociativity(t *testing.T) {
+	// The two programs above must produce different values, and formatting
+	// must not change either.
+	run := func(src string) string {
+		u, err := CompileSource(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		NewMachine(u, MachineConfig{Out: &out}).Run()
+		return out.String()
+	}
+	left := `func main() { println(10 - 4 - 3); }`
+	paren := `func main() { println(10 - (4 - 3)); }`
+	if run(left) != "3\n" || run(paren) != "9\n" {
+		t.Fatalf("baseline wrong: %q %q", run(left), run(paren))
+	}
+	if run(canonical(t, left)) != "3\n" || run(canonical(t, paren)) != "9\n" {
+		t.Fatal("formatting changed arithmetic meaning")
+	}
+}
+
+func TestFormatRejectsBadSource(t *testing.T) {
+	if _, err := Format("not minic"); err == nil {
+		t.Fatal("Format accepted garbage")
+	}
+}
+
+func TestQuoteString(t *testing.T) {
+	cases := map[string]string{
+		"plain":     `"plain"`,
+		"a\nb":      `"a\nb"`,
+		"t\tx":      `"t\tx"`,
+		`q"q`:       `"q\"q"`,
+		`back\lash`: `"back\\lash"`,
+	}
+	for in, want := range cases {
+		if got := quoteString(in); got != want {
+			t.Errorf("quoteString(%q) = %s, want %s", in, got, want)
+		}
+	}
+}

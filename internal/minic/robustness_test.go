@@ -1,0 +1,125 @@
+package minic
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanicsOnArbitraryInput hammers the front end with random
+// byte soup: the parser must return an error or a program, never panic.
+func TestParseNeverPanicsOnArbitraryInput(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				t.Logf("panic on input %q", src)
+				ok = false
+			}
+		}()
+		Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseNeverPanicsOnTokenSoup does the same with syntactically
+// plausible fragments: real tokens in random order find deeper parser
+// paths than raw bytes do.
+func TestParseNeverPanicsOnTokenSoup(t *testing.T) {
+	pieces := []string{
+		"func", "var", "if", "else", "while", "for", "return", "break",
+		"continue", "true", "false", "main", "x", "f", "(", ")", "{", "}",
+		"[", "]", ";", ",", "=", "==", "<", "+", "-", "*", "/", "%", "&&",
+		"!", "42", "3.5", `"s"`, "spawn", "println",
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(40)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteString(pieces[rng.Intn(len(pieces))])
+			sb.WriteByte(' ')
+		}
+		src := sb.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on %q: %v", src, r)
+				}
+			}()
+			if prog, err := Parse(src); err == nil {
+				// If it parsed, it must also compile or fail gracefully.
+				Compile(prog)
+			}
+		}()
+	}
+}
+
+// TestCompileSourceNeverPanicsOnMutatedLabs mutates a known-good program
+// one byte at a time; every mutant must compile cleanly or error cleanly.
+func TestCompileSourceNeverPanicsOnMutatedLabs(t *testing.T) {
+	base := `
+var counter = 0;
+var m = mutex();
+func worker(n) {
+	for (var i = 0; i < n; i = i + 1) {
+		lock(m);
+		counter = counter + 1;
+		unlock(m);
+	}
+}
+func main() {
+	var t1 = spawn(worker, 10);
+	join(t1);
+	println(counter);
+}`
+	rng := rand.New(rand.NewSource(7))
+	chars := []byte("abc(){};=+-*/%<>!&|\"'0123456789 \n")
+	for trial := 0; trial < 400; trial++ {
+		mutant := []byte(base)
+		pos := rng.Intn(len(mutant))
+		mutant[pos] = chars[rng.Intn(len(chars))]
+		src := string(mutant)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("compiler panicked on mutant (pos %d): %v\n%s", pos, r, src)
+				}
+			}()
+			CompileSource(src)
+		}()
+	}
+}
+
+// TestVMHandlesDeepExpressionNesting guards the expression stack: a
+// deeply right-nested expression compiles and evaluates without blowing
+// the VM's value stack.
+func TestVMHandlesDeepExpressionNesting(t *testing.T) {
+	depth := 300
+	src := "func main() { var x = " + strings.Repeat("(1 + ", depth) + "0" +
+		strings.Repeat(")", depth) + "; println(x); }"
+	out, err := tryRun(src, "")
+	if err != nil {
+		t.Fatalf("deep nesting failed: %v", err)
+	}
+	if strings.TrimSpace(out) != "300" {
+		t.Fatalf("deep nesting result = %q", out)
+	}
+}
+
+// TestVMHandlesManyLocals exercises slot allocation across many scopes.
+func TestVMHandlesManyLocals(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("func main() { var sum = 0;\n")
+	for i := 0; i < 200; i++ {
+		sb.WriteString("{ var v = 1; sum = sum + v; }\n")
+	}
+	sb.WriteString("println(sum); }")
+	out, err := tryRun(sb.String(), "")
+	if err != nil || strings.TrimSpace(out) != "200" {
+		t.Fatalf("many locals = %q, %v", out, err)
+	}
+}

@@ -1,0 +1,345 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"repro/internal/primitives"
+)
+
+// ValueKind tags a runtime value.
+type ValueKind int
+
+// Value kinds.
+const (
+	KindUnit ValueKind = iota
+	KindInt
+	KindBool
+	KindFloat
+	KindString
+	KindArray
+	KindMutex
+	KindSem
+	KindThread
+)
+
+// String names the kind.
+func (k ValueKind) String() string {
+	switch k {
+	case KindUnit:
+		return "unit"
+	case KindInt:
+		return "int"
+	case KindBool:
+		return "bool"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindArray:
+		return "array"
+	case KindMutex:
+		return "mutex"
+	case KindSem:
+		return "semaphore"
+	case KindThread:
+		return "thread"
+	default:
+		return fmt.Sprintf("ValueKind(%d)", int(k))
+	}
+}
+
+// Array is a shared, mutable array value. Element access is serialized by
+// the owning machine's memory lock, so Go-level memory stays safe while
+// language-level races (load/compute/store interleavings) remain observable.
+type Array struct {
+	Elems []Value
+}
+
+// Value is a minic runtime value: a small tagged union.
+type Value struct {
+	Kind ValueKind
+	I    int64
+	F    float64
+	S    string
+	Arr  *Array
+	Mu   *sync.Mutex
+	Sem  *primitives.Semaphore
+	Th   *Thread
+}
+
+// Constructors.
+
+// UnitValue is the unit (no value) result.
+func UnitValue() Value { return Value{Kind: KindUnit} }
+
+// IntValue wraps an int64.
+func IntValue(v int64) Value { return Value{Kind: KindInt, I: v} }
+
+// BoolValue wraps a bool.
+func BoolValue(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{Kind: KindBool, I: i}
+}
+
+// FloatValue wraps a float64.
+func FloatValue(v float64) Value { return Value{Kind: KindFloat, F: v} }
+
+// StringValue wraps a string.
+func StringValue(v string) Value { return Value{Kind: KindString, S: v} }
+
+// Bool reports the truthiness of a bool value.
+func (v Value) Bool() bool { return v.Kind == KindBool && v.I != 0 }
+
+// String renders the value the way print does.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindUnit:
+		return "()"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return v.S
+	case KindArray:
+		s := "["
+		for i, e := range v.Arr.Elems {
+			if i > 0 {
+				s += " "
+			}
+			s += e.String()
+		}
+		return s + "]"
+	case KindMutex:
+		return "<mutex>"
+	case KindSem:
+		return "<semaphore>"
+	case KindThread:
+		return fmt.Sprintf("<thread %d>", v.I)
+	default:
+		return "<?>"
+	}
+}
+
+// numeric returns the value as float64 for mixed arithmetic.
+func (v Value) numeric() (float64, bool) {
+	switch v.Kind {
+	case KindInt:
+		return float64(v.I), true
+	case KindFloat:
+		return v.F, true
+	default:
+		return 0, false
+	}
+}
+
+// applyBinary evaluates a binary operator over two values with the
+// language's coercion rules: int⊕int→int, any numeric mix→float,
+// string+string→concat, comparisons on numbers and strings, && || on bools.
+func applyBinary(op int, a, b Value, line int) (Value, error) {
+	switch op {
+	case BinAdd:
+		if a.Kind == KindString && b.Kind == KindString {
+			return StringValue(a.S + b.S), nil
+		}
+		fallthrough
+	case BinSub, BinMul, BinDiv, BinMod:
+		return arith(op, a, b, line)
+	case BinEq, BinNe:
+		eq, err := valueEq(a, b, line)
+		if err != nil {
+			return Value{}, err
+		}
+		if op == BinNe {
+			eq = !eq
+		}
+		return BoolValue(eq), nil
+	case BinLt, BinLe, BinGt, BinGe:
+		return compare(op, a, b, line)
+	case BinAnd, BinOr:
+		if a.Kind != KindBool || b.Kind != KindBool {
+			return Value{}, errAt(line, 0, "logical operator needs bool operands, got %s and %s", a.Kind, b.Kind)
+		}
+		if op == BinAnd {
+			return BoolValue(a.I != 0 && b.I != 0), nil
+		}
+		return BoolValue(a.I != 0 || b.I != 0), nil
+	default:
+		return Value{}, errAt(line, 0, "internal: bad binary op %d", op)
+	}
+}
+
+func arith(op int, a, b Value, line int) (Value, error) {
+	if a.Kind == KindInt && b.Kind == KindInt {
+		switch op {
+		case BinAdd:
+			return IntValue(a.I + b.I), nil
+		case BinSub:
+			return IntValue(a.I - b.I), nil
+		case BinMul:
+			return IntValue(a.I * b.I), nil
+		case BinDiv:
+			if b.I == 0 {
+				return Value{}, errAt(line, 0, "division by zero")
+			}
+			return IntValue(a.I / b.I), nil
+		case BinMod:
+			if b.I == 0 {
+				return Value{}, errAt(line, 0, "modulo by zero")
+			}
+			return IntValue(a.I % b.I), nil
+		}
+	}
+	af, aok := a.numeric()
+	bf, bok := b.numeric()
+	if !aok || !bok {
+		return Value{}, errAt(line, 0, "arithmetic needs numeric operands, got %s and %s", a.Kind, b.Kind)
+	}
+	switch op {
+	case BinAdd:
+		return FloatValue(af + bf), nil
+	case BinSub:
+		return FloatValue(af - bf), nil
+	case BinMul:
+		return FloatValue(af * bf), nil
+	case BinDiv:
+		if bf == 0 {
+			return Value{}, errAt(line, 0, "division by zero")
+		}
+		return FloatValue(af / bf), nil
+	case BinMod:
+		return Value{}, errAt(line, 0, "modulo needs integer operands")
+	}
+	return Value{}, errAt(line, 0, "internal: bad arith op %d", op)
+}
+
+func valueEq(a, b Value, line int) (bool, error) {
+	if a.Kind == KindString && b.Kind == KindString {
+		return a.S == b.S, nil
+	}
+	if a.Kind == KindBool && b.Kind == KindBool {
+		return a.I == b.I, nil
+	}
+	af, aok := a.numeric()
+	bf, bok := b.numeric()
+	if aok && bok {
+		if a.Kind == KindInt && b.Kind == KindInt {
+			return a.I == b.I, nil
+		}
+		return af == bf, nil
+	}
+	return false, errAt(line, 0, "cannot compare %s and %s", a.Kind, b.Kind)
+}
+
+func compare(op int, a, b Value, line int) (Value, error) {
+	var lt, eq bool
+	switch {
+	case a.Kind == KindString && b.Kind == KindString:
+		lt, eq = a.S < b.S, a.S == b.S
+	default:
+		af, aok := a.numeric()
+		bf, bok := b.numeric()
+		if !aok || !bok {
+			return Value{}, errAt(line, 0, "cannot order %s and %s", a.Kind, b.Kind)
+		}
+		lt, eq = af < bf, af == bf
+	}
+	switch op {
+	case BinLt:
+		return BoolValue(lt), nil
+	case BinLe:
+		return BoolValue(lt || eq), nil
+	case BinGt:
+		return BoolValue(!lt && !eq), nil
+	case BinGe:
+		return BoolValue(!lt), nil
+	}
+	return Value{}, errAt(line, 0, "internal: bad compare op %d", op)
+}
+
+func applyUnary(op int, a Value, line int) (Value, error) {
+	switch op {
+	case UnNeg:
+		switch a.Kind {
+		case KindInt:
+			return IntValue(-a.I), nil
+		case KindFloat:
+			return FloatValue(-a.F), nil
+		}
+		return Value{}, errAt(line, 0, "negation needs a numeric operand, got %s", a.Kind)
+	case UnNot:
+		if a.Kind != KindBool {
+			return Value{}, errAt(line, 0, "! needs a bool operand, got %s", a.Kind)
+		}
+		return BoolValue(a.I == 0), nil
+	default:
+		return Value{}, errAt(line, 0, "internal: bad unary op %d", op)
+	}
+}
+
+// encodeValue serializes a sendable value (int, float, bool, string) for the
+// message-passing builtins.
+func encodeValue(v Value) ([]byte, error) {
+	switch v.Kind {
+	case KindInt, KindBool:
+		b := make([]byte, 9)
+		b[0] = byte(v.Kind)
+		for k := 0; k < 8; k++ {
+			b[1+k] = byte(uint64(v.I) >> (8 * k))
+		}
+		return b, nil
+	case KindFloat:
+		b := make([]byte, 9)
+		b[0] = byte(v.Kind)
+		bits := floatBitsOf(v.F)
+		for k := 0; k < 8; k++ {
+			b[1+k] = byte(bits >> (8 * k))
+		}
+		return b, nil
+	case KindString:
+		return append([]byte{byte(KindString)}, v.S...), nil
+	default:
+		return nil, fmt.Errorf("minic: cannot send a %s", v.Kind)
+	}
+}
+
+func decodeValue(b []byte) (Value, error) {
+	if len(b) == 0 {
+		return Value{}, fmt.Errorf("minic: empty message")
+	}
+	kind := ValueKind(b[0])
+	switch kind {
+	case KindInt, KindBool:
+		if len(b) != 9 {
+			return Value{}, fmt.Errorf("minic: bad int message length %d", len(b))
+		}
+		var u uint64
+		for k := 0; k < 8; k++ {
+			u |= uint64(b[1+k]) << (8 * k)
+		}
+		return Value{Kind: kind, I: int64(u)}, nil
+	case KindFloat:
+		if len(b) != 9 {
+			return Value{}, fmt.Errorf("minic: bad float message length %d", len(b))
+		}
+		var u uint64
+		for k := 0; k < 8; k++ {
+			u |= uint64(b[1+k]) << (8 * k)
+		}
+		return FloatValue(floatFromBitsOf(u)), nil
+	case KindString:
+		return StringValue(string(b[1:])), nil
+	default:
+		return Value{}, fmt.Errorf("minic: undecodable message kind %d", b[0])
+	}
+}

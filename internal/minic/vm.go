@@ -1,0 +1,762 @@
+package minic
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/primitives"
+)
+
+// ErrStepBudget is returned when a program exceeds its instruction budget —
+// the portal's defence against runaway student programs wedging a node.
+var ErrStepBudget = errors.New("minic: step budget exceeded")
+
+func floatBitsOf(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBitsOf(b uint64) float64 { return math.Float64frombits(b) }
+
+// MPIHooks connects a running program to its communication world. Sequential
+// executions use NoMPI; cluster jobs get an adapter over an mpi.Comm.
+type MPIHooks interface {
+	// Rank and Size identify this process in the job.
+	Rank() int
+	Size() int
+	// Send and Recv are point-to-point with implicit tag 0.
+	Send(dst int, data []byte) error
+	Recv(src int) ([]byte, error)
+	// Barrier blocks until all ranks arrive.
+	Barrier() error
+	// Bcast distributes root's payload; all ranks receive it.
+	Bcast(root int, data []byte) ([]byte, error)
+	// AllReduce combines v across ranks with op "sum", "max" or "min".
+	AllReduce(op string, v float64) (float64, error)
+	// ElapsedNS is this rank's virtual clock, for the timing labs.
+	ElapsedNS() int64
+	// Tick models local computation of d nanoseconds.
+	Tick(ns int64)
+}
+
+// NoMPI is the sequential stub: rank 0 of 1, no communication.
+type NoMPI struct{}
+
+// Rank returns 0.
+func (NoMPI) Rank() int { return 0 }
+
+// Size returns 1.
+func (NoMPI) Size() int { return 1 }
+
+// Send fails: a 1-rank world has no peers.
+func (NoMPI) Send(int, []byte) error { return errors.New("minic: send in a sequential program") }
+
+// Recv fails: a 1-rank world has no peers.
+func (NoMPI) Recv(int) ([]byte, error) {
+	return nil, errors.New("minic: recv in a sequential program")
+}
+
+// Barrier is a no-op.
+func (NoMPI) Barrier() error { return nil }
+
+// Bcast returns the payload unchanged.
+func (NoMPI) Bcast(_ int, data []byte) ([]byte, error) { return data, nil }
+
+// AllReduce returns v unchanged.
+func (NoMPI) AllReduce(_ string, v float64) (float64, error) { return v, nil }
+
+// ElapsedNS returns 0.
+func (NoMPI) ElapsedNS() int64 { return 0 }
+
+// Tick is a no-op.
+func (NoMPI) Tick(int64) {}
+
+// Thread is a spawned minic thread.
+type Thread struct {
+	id     int64
+	done   chan struct{}
+	result Value
+	err    error
+}
+
+// MachineConfig configures an execution.
+type MachineConfig struct {
+	// Out receives print output; nil discards it.
+	Out io.Writer
+	// In supplies readline(); nil means empty input.
+	In io.Reader
+	// Hooks is the MPI connection; nil means NoMPI.
+	Hooks MPIHooks
+	// StepBudget bounds total interpreted instructions across all threads;
+	// 0 means the default of 50 million.
+	StepBudget int64
+	// Seed seeds the deterministic random() builtin.
+	Seed int64
+}
+
+// Machine executes one compiled Unit as one process (one MPI rank).
+type Machine struct {
+	unit  *Unit
+	hooks MPIHooks
+
+	outMu sync.Mutex
+	out   io.Writer
+	in    *bufio.Reader
+	inMu  sync.Mutex
+
+	memMu   sync.Mutex // guards globals and array elements
+	globals []Value
+
+	steps    atomic.Int64
+	budget   int64
+	rngMu    sync.Mutex
+	rng      *rand.Rand
+	threads  sync.WaitGroup
+	threadID atomic.Int64
+
+	errMu    sync.Mutex
+	firstErr error
+}
+
+// NewMachine prepares a machine for the unit.
+func NewMachine(u *Unit, cfg MachineConfig) *Machine {
+	if cfg.Hooks == nil {
+		cfg.Hooks = NoMPI{}
+	}
+	if cfg.Out == nil {
+		cfg.Out = io.Discard
+	}
+	if cfg.In == nil {
+		cfg.In = strings.NewReader("")
+	}
+	if cfg.StepBudget <= 0 {
+		cfg.StepBudget = 50_000_000
+	}
+	return &Machine{
+		unit:    u,
+		hooks:   cfg.Hooks,
+		out:     cfg.Out,
+		in:      bufio.NewReader(cfg.In),
+		globals: make([]Value, len(u.Globals)),
+		budget:  cfg.StepBudget,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Steps reports instructions executed so far.
+func (m *Machine) Steps() int64 { return m.steps.Load() }
+
+func (m *Machine) recordErr(err error) {
+	m.errMu.Lock()
+	if m.firstErr == nil {
+		m.firstErr = err
+	}
+	m.errMu.Unlock()
+}
+
+// Run executes global initializers then main, waits for all spawned threads,
+// and returns main's result and the first error from any thread.
+func (m *Machine) Run() (Value, error) {
+	if err := m.runInit(); err != nil {
+		return UnitValue(), err
+	}
+	res, err := m.callFunction(m.unit.EntryPoint, nil, 0)
+	if err != nil {
+		m.recordErr(err)
+	}
+	m.threads.Wait()
+	m.errMu.Lock()
+	first := m.firstErr
+	m.errMu.Unlock()
+	return res, first
+}
+
+func (m *Machine) runInit() error {
+	if len(m.unit.GlobalInit) == 0 {
+		return nil
+	}
+	f := &CompiledFunc{Name: "<init>", Code: m.unit.GlobalInit}
+	_, err := m.exec(f, nil, 0)
+	return err
+}
+
+// maxCallDepth bounds minic recursion so a runaway recursive program fails
+// with a diagnostic instead of exhausting the Go stack.
+const maxCallDepth = 10_000
+
+// callFunction runs Funcs[fi] with args in the current goroutine.
+func (m *Machine) callFunction(fi int, args []Value, depth int) (Value, error) {
+	if depth > maxCallDepth {
+		return UnitValue(), fmt.Errorf("minic: call depth exceeds %d (runaway recursion?)", maxCallDepth)
+	}
+	f := m.unit.Funcs[fi]
+	locals := make([]Value, f.NumLocals)
+	copy(locals, args)
+	return m.exec(f, locals, depth)
+}
+
+// exec is the interpreter loop for one function activation.
+func (m *Machine) exec(f *CompiledFunc, locals []Value, depth int) (Value, error) {
+	var stack []Value
+	push := func(v Value) { stack = append(stack, v) }
+	pop := func() Value {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v
+	}
+	code := f.Code
+	for pc := 0; pc < len(code); pc++ {
+		if m.steps.Add(1) > m.budget {
+			return UnitValue(), fmt.Errorf("%w after %d instructions", ErrStepBudget, m.budget)
+		}
+		in := code[pc]
+		switch in.Op {
+		case OpConst:
+			push(m.unit.Consts[in.A])
+		case OpLoadLocal:
+			push(locals[in.A])
+		case OpStoreLocal:
+			locals[in.A] = pop()
+		case OpLoadGlobal:
+			m.memMu.Lock()
+			v := m.globals[in.A]
+			m.memMu.Unlock()
+			push(v)
+		case OpStoreGlobal:
+			v := pop()
+			m.memMu.Lock()
+			m.globals[in.A] = v
+			m.memMu.Unlock()
+		case OpJump:
+			pc = in.A - 1
+		case OpJumpIfFalse:
+			c := pop()
+			if c.Kind != KindBool {
+				return UnitValue(), errAt(in.Line, 0, "condition is %s, not bool", c.Kind)
+			}
+			if c.I == 0 {
+				pc = in.A - 1
+			}
+		case OpCall:
+			args := make([]Value, in.B)
+			for i := in.B - 1; i >= 0; i-- {
+				args[i] = pop()
+			}
+			v, err := m.callFunction(in.A, args, depth+1)
+			if err != nil {
+				return UnitValue(), err
+			}
+			push(v)
+		case OpCallBuiltin:
+			args := make([]Value, in.B)
+			for i := in.B - 1; i >= 0; i-- {
+				args[i] = pop()
+			}
+			v, err := builtins[in.A].fn(m, args, in.Line)
+			if err != nil {
+				return UnitValue(), err
+			}
+			push(v)
+		case OpSpawn:
+			args := make([]Value, in.B)
+			for i := in.B - 1; i >= 0; i-- {
+				args[i] = pop()
+			}
+			push(m.spawn(in.A, args))
+		case OpReturn:
+			return pop(), nil
+		case OpReturnNil:
+			return UnitValue(), nil
+		case OpPop:
+			pop()
+		case OpBinary:
+			b := pop()
+			a := pop()
+			v, err := applyBinary(in.A, a, b, in.Line)
+			if err != nil {
+				return UnitValue(), err
+			}
+			push(v)
+		case OpUnary:
+			a := pop()
+			v, err := applyUnary(in.A, a, in.Line)
+			if err != nil {
+				return UnitValue(), err
+			}
+			push(v)
+		case OpIndex:
+			idx := pop()
+			arr := pop()
+			v, err := m.indexGet(arr, idx, in.Line)
+			if err != nil {
+				return UnitValue(), err
+			}
+			push(v)
+		case OpSetIndex:
+			val := pop()
+			idx := pop()
+			arr := pop()
+			if err := m.indexSet(arr, idx, val, in.Line); err != nil {
+				return UnitValue(), err
+			}
+		default:
+			return UnitValue(), errAt(in.Line, 0, "internal: bad opcode %d", in.Op)
+		}
+	}
+	return UnitValue(), nil
+}
+
+func (m *Machine) indexGet(arr, idx Value, line int) (Value, error) {
+	if idx.Kind != KindInt {
+		return Value{}, errAt(line, 0, "array index is %s, not int", idx.Kind)
+	}
+	switch arr.Kind {
+	case KindArray:
+		m.memMu.Lock()
+		defer m.memMu.Unlock()
+		if idx.I < 0 || idx.I >= int64(len(arr.Arr.Elems)) {
+			return Value{}, errAt(line, 0, "index %d out of range [0,%d)", idx.I, len(arr.Arr.Elems))
+		}
+		return arr.Arr.Elems[idx.I], nil
+	case KindString:
+		if idx.I < 0 || idx.I >= int64(len(arr.S)) {
+			return Value{}, errAt(line, 0, "index %d out of range [0,%d)", idx.I, len(arr.S))
+		}
+		return StringValue(string(arr.S[idx.I])), nil
+	default:
+		return Value{}, errAt(line, 0, "cannot index a %s", arr.Kind)
+	}
+}
+
+func (m *Machine) indexSet(arr, idx, val Value, line int) error {
+	if arr.Kind != KindArray {
+		return errAt(line, 0, "cannot assign into a %s", arr.Kind)
+	}
+	if idx.Kind != KindInt {
+		return errAt(line, 0, "array index is %s, not int", idx.Kind)
+	}
+	m.memMu.Lock()
+	defer m.memMu.Unlock()
+	if idx.I < 0 || idx.I >= int64(len(arr.Arr.Elems)) {
+		return errAt(line, 0, "index %d out of range [0,%d)", idx.I, len(arr.Arr.Elems))
+	}
+	arr.Arr.Elems[idx.I] = val
+	return nil
+}
+
+func (m *Machine) spawn(fi int, args []Value) Value {
+	t := &Thread{id: m.threadID.Add(1), done: make(chan struct{})}
+	m.threads.Add(1)
+	go func() {
+		defer m.threads.Done()
+		defer close(t.done)
+		res, err := m.callFunction(fi, args, 0)
+		t.result = res
+		t.err = err
+		if err != nil {
+			m.recordErr(fmt.Errorf("thread %d: %w", t.id, err))
+		}
+	}()
+	return Value{Kind: KindThread, I: t.id, Th: t}
+}
+
+// --- builtins ----------------------------------------------------------------
+
+type builtinSpec struct {
+	name  string
+	arity int // -1 means variadic
+	fn    func(m *Machine, args []Value, line int) (Value, error)
+}
+
+var builtins []builtinSpec
+var builtinIndex map[string]int
+
+func isBuiltin(name string) bool {
+	_, ok := builtinIndex[name]
+	return ok || name == "spawn"
+}
+
+func init() {
+	builtins = []builtinSpec{
+		{"print", -1, biPrint},
+		{"println", -1, biPrintln},
+		{"len", 1, biLen},
+		{"array", 1, biArray},
+		{"atoi", 1, biAtoi},
+		{"itoa", 1, biItoa},
+		{"int", 1, biInt},
+		{"float", 1, biFloat},
+		{"abs", 1, biAbs},
+		{"min", 2, biMin},
+		{"max", 2, biMax},
+		{"sqrt", 1, biSqrt},
+		{"readline", 0, biReadline},
+		{"random", 1, biRandom},
+		{"assert", 2, biAssert},
+		{"rank", 0, biRank},
+		{"size", 0, biSize},
+		{"send", 2, biSend},
+		{"recv", 1, biRecv},
+		{"barrier", 0, biBarrier},
+		{"bcast", 2, biBcast},
+		{"reduce_sum", 1, biReduceSum},
+		{"reduce_max", 1, biReduceMax},
+		{"reduce_min", 1, biReduceMin},
+		{"time_ns", 0, biTimeNS},
+		{"work_ns", 1, biWorkNS},
+		{"mutex", 0, biMutex},
+		{"lock", 1, biLock},
+		{"unlock", 1, biUnlock},
+		{"sem", 1, biSem},
+		{"sem_wait", 1, biSemWait},
+		{"sem_signal", 1, biSemSignal},
+		{"sem_trywait", 1, biSemTryWait},
+		{"join", 1, biJoin},
+		{"yield", 0, biYield},
+	}
+	builtinIndex = make(map[string]int, len(builtins))
+	for i, b := range builtins {
+		builtinIndex[b.name] = i
+	}
+}
+
+func (m *Machine) printArgs(args []Value, nl bool) {
+	m.outMu.Lock()
+	defer m.outMu.Unlock()
+	for i, a := range args {
+		if i > 0 {
+			io.WriteString(m.out, " ")
+		}
+		io.WriteString(m.out, a.String())
+	}
+	if nl {
+		io.WriteString(m.out, "\n")
+	}
+}
+
+func biPrint(m *Machine, args []Value, _ int) (Value, error) {
+	m.printArgs(args, false)
+	return UnitValue(), nil
+}
+
+func biPrintln(m *Machine, args []Value, _ int) (Value, error) {
+	m.printArgs(args, true)
+	return UnitValue(), nil
+}
+
+func biLen(m *Machine, args []Value, line int) (Value, error) {
+	switch args[0].Kind {
+	case KindString:
+		return IntValue(int64(len(args[0].S))), nil
+	case KindArray:
+		m.memMu.Lock()
+		n := len(args[0].Arr.Elems)
+		m.memMu.Unlock()
+		return IntValue(int64(n)), nil
+	default:
+		return Value{}, errAt(line, 0, "len of %s", args[0].Kind)
+	}
+}
+
+func biArray(m *Machine, args []Value, line int) (Value, error) {
+	if args[0].Kind != KindInt || args[0].I < 0 {
+		return Value{}, errAt(line, 0, "array size must be a non-negative int")
+	}
+	if args[0].I > 1<<22 {
+		return Value{}, errAt(line, 0, "array size %d exceeds limit", args[0].I)
+	}
+	elems := make([]Value, args[0].I)
+	for i := range elems {
+		elems[i] = IntValue(0)
+	}
+	return Value{Kind: KindArray, Arr: &Array{Elems: elems}}, nil
+}
+
+func biAtoi(_ *Machine, args []Value, line int) (Value, error) {
+	if args[0].Kind != KindString {
+		return Value{}, errAt(line, 0, "atoi needs a string")
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(args[0].S), 10, 64)
+	if err != nil {
+		return Value{}, errAt(line, 0, "atoi(%q): not a number", args[0].S)
+	}
+	return IntValue(n), nil
+}
+
+func biItoa(_ *Machine, args []Value, line int) (Value, error) {
+	if args[0].Kind != KindInt {
+		return Value{}, errAt(line, 0, "itoa needs an int")
+	}
+	return StringValue(strconv.FormatInt(args[0].I, 10)), nil
+}
+
+func biInt(_ *Machine, args []Value, line int) (Value, error) {
+	switch args[0].Kind {
+	case KindInt:
+		return args[0], nil
+	case KindFloat:
+		return IntValue(int64(args[0].F)), nil
+	case KindBool:
+		return IntValue(args[0].I), nil
+	default:
+		return Value{}, errAt(line, 0, "int(%s)", args[0].Kind)
+	}
+}
+
+func biFloat(_ *Machine, args []Value, line int) (Value, error) {
+	f, ok := args[0].numeric()
+	if !ok {
+		return Value{}, errAt(line, 0, "float(%s)", args[0].Kind)
+	}
+	return FloatValue(f), nil
+}
+
+func biAbs(_ *Machine, args []Value, line int) (Value, error) {
+	switch args[0].Kind {
+	case KindInt:
+		if args[0].I < 0 {
+			return IntValue(-args[0].I), nil
+		}
+		return args[0], nil
+	case KindFloat:
+		return FloatValue(math.Abs(args[0].F)), nil
+	default:
+		return Value{}, errAt(line, 0, "abs(%s)", args[0].Kind)
+	}
+}
+
+func biMin(_ *Machine, args []Value, line int) (Value, error) {
+	return compareAndPick(args, line, true)
+}
+
+func biMax(_ *Machine, args []Value, line int) (Value, error) {
+	return compareAndPick(args, line, false)
+}
+
+func compareAndPick(args []Value, line int, wantMin bool) (Value, error) {
+	af, aok := args[0].numeric()
+	bf, bok := args[1].numeric()
+	if !aok || !bok {
+		return Value{}, errAt(line, 0, "min/max need numeric operands")
+	}
+	pickFirst := af < bf
+	if !wantMin {
+		pickFirst = af > bf
+	}
+	if pickFirst {
+		return args[0], nil
+	}
+	return args[1], nil
+}
+
+func biSqrt(_ *Machine, args []Value, line int) (Value, error) {
+	f, ok := args[0].numeric()
+	if !ok || f < 0 {
+		return Value{}, errAt(line, 0, "sqrt needs a non-negative number")
+	}
+	return FloatValue(math.Sqrt(f)), nil
+}
+
+func biReadline(m *Machine, _ []Value, _ int) (Value, error) {
+	m.inMu.Lock()
+	defer m.inMu.Unlock()
+	line, err := m.in.ReadString('\n')
+	if err != nil && line == "" {
+		return StringValue(""), nil // EOF → empty string
+	}
+	return StringValue(strings.TrimRight(line, "\n")), nil
+}
+
+func biRandom(m *Machine, args []Value, line int) (Value, error) {
+	if args[0].Kind != KindInt || args[0].I <= 0 {
+		return Value{}, errAt(line, 0, "random needs a positive int bound")
+	}
+	m.rngMu.Lock()
+	v := m.rng.Int63n(args[0].I)
+	m.rngMu.Unlock()
+	return IntValue(v), nil
+}
+
+func biAssert(_ *Machine, args []Value, line int) (Value, error) {
+	if args[0].Kind != KindBool {
+		return Value{}, errAt(line, 0, "assert condition must be bool")
+	}
+	if args[0].I == 0 {
+		return Value{}, errAt(line, 0, "assertion failed: %s", args[1].String())
+	}
+	return UnitValue(), nil
+}
+
+func biRank(m *Machine, _ []Value, _ int) (Value, error) {
+	return IntValue(int64(m.hooks.Rank())), nil
+}
+
+func biSize(m *Machine, _ []Value, _ int) (Value, error) {
+	return IntValue(int64(m.hooks.Size())), nil
+}
+
+func biSend(m *Machine, args []Value, line int) (Value, error) {
+	if args[0].Kind != KindInt {
+		return Value{}, errAt(line, 0, "send destination must be an int rank")
+	}
+	data, err := encodeValue(args[1])
+	if err != nil {
+		return Value{}, errAt(line, 0, "%v", err)
+	}
+	if err := m.hooks.Send(int(args[0].I), data); err != nil {
+		return Value{}, errAt(line, 0, "send: %v", err)
+	}
+	return UnitValue(), nil
+}
+
+func biRecv(m *Machine, args []Value, line int) (Value, error) {
+	if args[0].Kind != KindInt {
+		return Value{}, errAt(line, 0, "recv source must be an int rank")
+	}
+	data, err := m.hooks.Recv(int(args[0].I))
+	if err != nil {
+		return Value{}, errAt(line, 0, "recv: %v", err)
+	}
+	v, err := decodeValue(data)
+	if err != nil {
+		return Value{}, errAt(line, 0, "%v", err)
+	}
+	return v, nil
+}
+
+func biBarrier(m *Machine, _ []Value, line int) (Value, error) {
+	if err := m.hooks.Barrier(); err != nil {
+		return Value{}, errAt(line, 0, "barrier: %v", err)
+	}
+	return UnitValue(), nil
+}
+
+func biBcast(m *Machine, args []Value, line int) (Value, error) {
+	if args[0].Kind != KindInt {
+		return Value{}, errAt(line, 0, "bcast root must be an int rank")
+	}
+	data, err := encodeValue(args[1])
+	if err != nil {
+		return Value{}, errAt(line, 0, "%v", err)
+	}
+	out, err := m.hooks.Bcast(int(args[0].I), data)
+	if err != nil {
+		return Value{}, errAt(line, 0, "bcast: %v", err)
+	}
+	v, err := decodeValue(out)
+	if err != nil {
+		return Value{}, errAt(line, 0, "%v", err)
+	}
+	return v, nil
+}
+
+func reduceWith(m *Machine, op string, args []Value, line int) (Value, error) {
+	f, ok := args[0].numeric()
+	if !ok {
+		return Value{}, errAt(line, 0, "reduce needs a numeric value")
+	}
+	out, err := m.hooks.AllReduce(op, f)
+	if err != nil {
+		return Value{}, errAt(line, 0, "reduce: %v", err)
+	}
+	if args[0].Kind == KindInt {
+		return IntValue(int64(out)), nil
+	}
+	return FloatValue(out), nil
+}
+
+func biReduceSum(m *Machine, args []Value, line int) (Value, error) {
+	return reduceWith(m, "sum", args, line)
+}
+
+func biReduceMax(m *Machine, args []Value, line int) (Value, error) {
+	return reduceWith(m, "max", args, line)
+}
+
+func biReduceMin(m *Machine, args []Value, line int) (Value, error) {
+	return reduceWith(m, "min", args, line)
+}
+
+func biTimeNS(m *Machine, _ []Value, _ int) (Value, error) {
+	return IntValue(m.hooks.ElapsedNS()), nil
+}
+
+func biWorkNS(m *Machine, args []Value, line int) (Value, error) {
+	if args[0].Kind != KindInt || args[0].I < 0 {
+		return Value{}, errAt(line, 0, "work_ns needs a non-negative int")
+	}
+	m.hooks.Tick(args[0].I)
+	return UnitValue(), nil
+}
+
+func biMutex(_ *Machine, _ []Value, _ int) (Value, error) {
+	return Value{Kind: KindMutex, Mu: &sync.Mutex{}}, nil
+}
+
+func biLock(_ *Machine, args []Value, line int) (Value, error) {
+	if args[0].Kind != KindMutex {
+		return Value{}, errAt(line, 0, "lock needs a mutex, got %s", args[0].Kind)
+	}
+	args[0].Mu.Lock()
+	return UnitValue(), nil
+}
+
+func biUnlock(_ *Machine, args []Value, line int) (Value, error) {
+	if args[0].Kind != KindMutex {
+		return Value{}, errAt(line, 0, "unlock needs a mutex, got %s", args[0].Kind)
+	}
+	args[0].Mu.Unlock()
+	return UnitValue(), nil
+}
+
+func biSem(_ *Machine, args []Value, line int) (Value, error) {
+	if args[0].Kind != KindInt || args[0].I < 0 {
+		return Value{}, errAt(line, 0, "sem needs a non-negative initial value")
+	}
+	return Value{Kind: KindSem, Sem: primitives.NewSemaphore(int(args[0].I))}, nil
+}
+
+func biSemWait(_ *Machine, args []Value, line int) (Value, error) {
+	if args[0].Kind != KindSem {
+		return Value{}, errAt(line, 0, "sem_wait needs a semaphore")
+	}
+	args[0].Sem.Wait()
+	return UnitValue(), nil
+}
+
+func biSemSignal(_ *Machine, args []Value, line int) (Value, error) {
+	if args[0].Kind != KindSem {
+		return Value{}, errAt(line, 0, "sem_signal needs a semaphore")
+	}
+	args[0].Sem.Signal()
+	return UnitValue(), nil
+}
+
+func biSemTryWait(_ *Machine, args []Value, line int) (Value, error) {
+	if args[0].Kind != KindSem {
+		return Value{}, errAt(line, 0, "sem_trywait needs a semaphore")
+	}
+	return BoolValue(args[0].Sem.TryWait()), nil
+}
+
+func biJoin(_ *Machine, args []Value, line int) (Value, error) {
+	if args[0].Kind != KindThread {
+		return Value{}, errAt(line, 0, "join needs a thread handle, got %s", args[0].Kind)
+	}
+	<-args[0].Th.done
+	if args[0].Th.err != nil {
+		return Value{}, args[0].Th.err
+	}
+	return args[0].Th.result, nil
+}
+
+func biYield(_ *Machine, _ []Value, _ int) (Value, error) {
+	// Gives other threads a chance to run; makes race interleavings in
+	// the teaching labs much more likely.
+	yieldNow()
+	return UnitValue(), nil
+}

@@ -1,0 +1,7 @@
+package minic
+
+import "runtime"
+
+// yieldNow cedes the processor to other goroutines. It exists as its own
+// function so the VM and builtins share one definition.
+func yieldNow() { runtime.Gosched() }

@@ -1,0 +1,584 @@
+// Package mpi is the message-passing runtime that parallel jobs on the
+// simulated cluster use, covering the Message Passing topics the course
+// introduces: point-to-point send/receive, collectives (barrier, broadcast,
+// reduce, scatter, gather), topology-aware latency and routing.
+//
+// Timing uses virtual-time propagation in the style of a LogP simulation:
+// every rank carries a local virtual clock; Tick models local computation,
+// and a message stamps the sender's clock so the receiver's clock advances to
+// at least send-time + wire-cost, where the wire cost comes from the grid
+// topology (package topology). Ranks on the same node talk at UMA speed,
+// ranks in different segments pay the NUMA penalty — which is exactly what
+// Lab 3 measures.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// Errors returned by communication calls.
+var (
+	ErrBadRank     = errors.New("mpi: rank out of range")
+	ErrSelfSend    = errors.New("mpi: send to self without buffering would deadlock")
+	ErrWorldClosed = errors.New("mpi: world is closed")
+)
+
+// Algorithm selects the collective implementation (the ablation axis).
+type Algorithm int
+
+// Collective algorithms.
+const (
+	// Linear: the root exchanges with every rank directly. O(P) steps.
+	Linear Algorithm = iota
+	// Tree: binomial tree. O(log P) rounds.
+	Tree
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	if a == Tree {
+		return "tree"
+	}
+	return "linear"
+}
+
+// Op is a reduction operator.
+type Op int
+
+// Reduction operators over float64.
+const (
+	OpSum Op = iota
+	OpProd
+	OpMax
+	OpMin
+)
+
+func (o Op) apply(a, b float64) float64 {
+	switch o {
+	case OpSum:
+		return a + b
+	case OpProd:
+		return a * b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	default:
+		panic(fmt.Sprintf("mpi: unknown op %d", int(o)))
+	}
+}
+
+type message struct {
+	tag      int
+	data     []byte
+	sendTime time.Duration // sender's virtual clock at send
+}
+
+// World is one parallel program instance: size ranks placed on cluster
+// nodes. Create it with New, obtain per-rank endpoints with Comm, and run
+// each rank in its own goroutine.
+type World struct {
+	size     int
+	grid     *topology.Grid
+	places   []topology.NodeID
+	algo     Algorithm
+	overhead time.Duration
+
+	// queues[src][dst] carries messages; buffered so sends are async up to
+	// the buffer depth, like a real MPI eager protocol.
+	queues [][]chan message
+
+	mu     sync.Mutex
+	closed bool
+	comms  []*Comm
+}
+
+// Options tune a World.
+type Options struct {
+	// Algorithm selects the collective implementation; default Linear.
+	Algorithm Algorithm
+	// BufferDepth is the per-channel eager buffer; default 64.
+	BufferDepth int
+	// SendOverhead is the CPU time a rank spends injecting one message
+	// (LogP's o); it serializes a sender's messages so, e.g., a linear
+	// broadcast's root pays (P-1)·o. Default 5µs; negative disables.
+	SendOverhead time.Duration
+}
+
+// New creates a World with one rank per entry of places. places[i] is the
+// cluster node rank i runs on; two ranks may share a node (multi-core).
+func New(grid *topology.Grid, places []topology.NodeID, opts Options) (*World, error) {
+	if len(places) == 0 {
+		return nil, errors.New("mpi: world needs at least one rank")
+	}
+	for i, p := range places {
+		if !grid.Valid(p) {
+			return nil, fmt.Errorf("mpi: rank %d placed on invalid node %v", i, p)
+		}
+	}
+	depth := opts.BufferDepth
+	if depth <= 0 {
+		depth = 64
+	}
+	overhead := opts.SendOverhead
+	if overhead == 0 {
+		overhead = 5 * time.Microsecond
+	}
+	if overhead < 0 {
+		overhead = 0
+	}
+	size := len(places)
+	w := &World{
+		size:     size,
+		grid:     grid,
+		places:   append([]topology.NodeID(nil), places...),
+		algo:     opts.Algorithm,
+		overhead: overhead,
+		queues:   make([][]chan message, size),
+		comms:    make([]*Comm, size),
+	}
+	for i := range w.queues {
+		w.queues[i] = make([]chan message, size)
+		for j := range w.queues[i] {
+			w.queues[i][j] = make(chan message, depth)
+		}
+	}
+	for r := 0; r < size; r++ {
+		w.comms[r] = &Comm{world: w, rank: r}
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Algorithm returns the collective algorithm in use.
+func (w *World) Algorithm() Algorithm { return w.algo }
+
+// Place returns the node a rank runs on.
+func (w *World) Place(rank int) (topology.NodeID, error) {
+	if rank < 0 || rank >= w.size {
+		return topology.NodeID{}, fmt.Errorf("%w: %d", ErrBadRank, rank)
+	}
+	return w.places[rank], nil
+}
+
+// Comm returns rank r's endpoint. Each endpoint must be used from a single
+// goroutine (the rank's own), matching the MPI process model.
+func (w *World) Comm(r int) (*Comm, error) {
+	if r < 0 || r >= w.size {
+		return nil, fmt.Errorf("%w: %d", ErrBadRank, r)
+	}
+	return w.comms[r], nil
+}
+
+// Close tears the world down; subsequent sends fail.
+func (w *World) Close() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return
+	}
+	w.closed = true
+	for _, row := range w.queues {
+		for _, ch := range row {
+			close(ch)
+		}
+	}
+}
+
+// MaxElapsed returns the largest per-rank virtual time — the parallel
+// program's makespan.
+func (w *World) MaxElapsed() time.Duration {
+	var max time.Duration
+	for _, c := range w.comms {
+		if e := c.Elapsed(); e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// Comm is one rank's communication endpoint.
+type Comm struct {
+	world *World
+	rank  int
+
+	vmu   sync.Mutex
+	vtime time.Duration
+
+	sent     int64
+	received int64
+	bytesOut int64
+}
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Node returns the cluster node this rank runs on.
+func (c *Comm) Node() topology.NodeID { return c.world.places[c.rank] }
+
+// Elapsed returns this rank's virtual clock.
+func (c *Comm) Elapsed() time.Duration {
+	c.vmu.Lock()
+	defer c.vmu.Unlock()
+	return c.vtime
+}
+
+// Tick advances this rank's virtual clock by d, modelling local computation.
+func (c *Comm) Tick(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.vmu.Lock()
+	c.vtime += d
+	c.vmu.Unlock()
+}
+
+func (c *Comm) advanceTo(t time.Duration) {
+	c.vmu.Lock()
+	if t > c.vtime {
+		c.vtime = t
+	}
+	c.vmu.Unlock()
+}
+
+// Sent and Received report message counts; BytesOut total payload sent.
+func (c *Comm) Sent() int64     { return c.sent }
+func (c *Comm) Received() int64 { return c.received }
+func (c *Comm) BytesOut() int64 { return c.bytesOut }
+
+// Send delivers data to rank dst with the given tag. It is asynchronous up
+// to the world's buffer depth, then blocks (rendezvous), like MPI's standard
+// mode. Sending to self is allowed thanks to buffering.
+func (c *Comm) Send(dst, tag int, data []byte) error {
+	w := c.world
+	if dst < 0 || dst >= w.size {
+		return fmt.Errorf("%w: dst %d", ErrBadRank, dst)
+	}
+	w.mu.Lock()
+	closed := w.closed
+	w.mu.Unlock()
+	if closed {
+		return ErrWorldClosed
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	// The sender pays the injection overhead; the message departs at the
+	// sender's clock after that, so back-to-back sends serialize.
+	c.vmu.Lock()
+	c.vtime += w.overhead
+	st := c.vtime
+	c.vmu.Unlock()
+	c.sent++
+	c.bytesOut += int64(len(data))
+	w.queues[c.rank][dst] <- message{tag: tag, data: cp, sendTime: st}
+	return nil
+}
+
+// Recv blocks for the next message from rank src with the given tag,
+// advancing this rank's virtual clock to send-time + wire cost. Messages
+// with other tags from the same source are delivered in order per tag
+// matching MPI non-overtaking semantics within a (src,dst,tag) triple; a
+// mismatched tag at the queue head is an error (the labs use disjoint tags).
+func (c *Comm) Recv(src, tag int) ([]byte, error) {
+	w := c.world
+	if src < 0 || src >= w.size {
+		return nil, fmt.Errorf("%w: src %d", ErrBadRank, src)
+	}
+	m, ok := <-w.queues[src][c.rank]
+	if !ok {
+		return nil, ErrWorldClosed
+	}
+	if m.tag != tag {
+		return nil, fmt.Errorf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, src, m.tag)
+	}
+	cost := w.grid.Cost(w.places[src], w.places[c.rank], int64(len(m.data)))
+	c.advanceTo(m.sendTime + cost)
+	c.received++
+	return m.data, nil
+}
+
+// --- typed convenience wrappers -------------------------------------------
+
+// SendFloats sends a float64 slice.
+func (c *Comm) SendFloats(dst, tag int, v []float64) error {
+	return c.Send(dst, tag, encodeFloats(v))
+}
+
+// RecvFloats receives a float64 slice.
+func (c *Comm) RecvFloats(src, tag int) ([]float64, error) {
+	b, err := c.Recv(src, tag)
+	if err != nil {
+		return nil, err
+	}
+	return decodeFloats(b)
+}
+
+// --- collectives -----------------------------------------------------------
+
+// Collective tags live in a reserved space above user tags.
+const (
+	tagBarrier = 1 << 20
+	tagBcast   = 1<<20 + 1
+	tagReduce  = 1<<20 + 2
+	tagGather  = 1<<20 + 3
+	tagScatter = 1<<20 + 4
+)
+
+// Barrier blocks until every rank has entered it. All ranks must call it.
+func (c *Comm) Barrier() error {
+	// Linear dissemination through rank 0: everyone reports in, rank 0
+	// replies. Virtual time converges to the slowest participant.
+	if c.rank == 0 {
+		for r := 1; r < c.world.size; r++ {
+			if _, err := c.Recv(r, tagBarrier); err != nil {
+				return err
+			}
+		}
+		for r := 1; r < c.world.size; r++ {
+			if err := c.Send(r, tagBarrier, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.Send(0, tagBarrier, nil); err != nil {
+		return err
+	}
+	_, err := c.Recv(0, tagBarrier)
+	return err
+}
+
+// Bcast distributes root's buffer to every rank; all ranks call it and
+// receive the payload as the return value (root gets its own buf back).
+func (c *Comm) Bcast(root int, buf []byte) ([]byte, error) {
+	w := c.world
+	if root < 0 || root >= w.size {
+		return nil, fmt.Errorf("%w: root %d", ErrBadRank, root)
+	}
+	if w.size == 1 {
+		return buf, nil
+	}
+	if w.algo == Tree {
+		return c.bcastTree(root, buf)
+	}
+	if c.rank == root {
+		for r := 0; r < w.size; r++ {
+			if r == root {
+				continue
+			}
+			if err := c.Send(r, tagBcast, buf); err != nil {
+				return nil, err
+			}
+		}
+		return buf, nil
+	}
+	return c.Recv(root, tagBcast)
+}
+
+// bcastTree implements a binomial-tree broadcast on ranks relabelled so the
+// root is virtual rank 0.
+func (c *Comm) bcastTree(root int, buf []byte) ([]byte, error) {
+	w := c.world
+	vr := (c.rank - root + w.size) % w.size // virtual rank
+	unvr := func(v int) int { return (v + root) % w.size }
+	data := buf
+	if vr != 0 {
+		// Receive from parent: clear the lowest set bit.
+		parent := vr & (vr - 1)
+		b, err := c.Recv(unvr(parent), tagBcast)
+		if err != nil {
+			return nil, err
+		}
+		data = b
+	}
+	// Forward to children: set each bit above our lowest set bit range.
+	for bit := 1; bit < w.size; bit <<= 1 {
+		if vr&bit != 0 {
+			break // bits below our lowest set bit were our parent's job
+		}
+		child := vr | bit
+		if child < w.size && child != vr {
+			if err := c.Send(unvr(child), tagBcast, data); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return data, nil
+}
+
+// Reduce combines every rank's value with op; the result is returned at
+// root (other ranks get 0). All ranks call it.
+func (c *Comm) Reduce(root int, op Op, value float64) (float64, error) {
+	w := c.world
+	if root < 0 || root >= w.size {
+		return 0, fmt.Errorf("%w: root %d", ErrBadRank, root)
+	}
+	if w.size == 1 {
+		return value, nil
+	}
+	if w.algo == Tree {
+		return c.reduceTree(root, op, value)
+	}
+	if c.rank == root {
+		acc := value
+		for r := 0; r < w.size; r++ {
+			if r == root {
+				continue
+			}
+			v, err := c.RecvFloats(r, tagReduce)
+			if err != nil {
+				return 0, err
+			}
+			acc = op.apply(acc, v[0])
+		}
+		return acc, nil
+	}
+	return 0, c.SendFloats(root, tagReduce, []float64{value})
+}
+
+// reduceTree is the binomial-tree mirror of bcastTree: children fold into
+// parents over log2(P) rounds.
+func (c *Comm) reduceTree(root int, op Op, value float64) (float64, error) {
+	w := c.world
+	vr := (c.rank - root + w.size) % w.size
+	unvr := func(v int) int { return (v + root) % w.size }
+	acc := value
+	for bit := 1; bit < w.size; bit <<= 1 {
+		if vr&bit != 0 {
+			// Send our accumulator to the parent and stop.
+			parent := vr &^ bit
+			return 0, c.SendFloats(unvr(parent), tagReduce, []float64{acc})
+		}
+		child := vr | bit
+		if child < w.size {
+			v, err := c.RecvFloats(unvr(child), tagReduce)
+			if err != nil {
+				return 0, err
+			}
+			acc = op.apply(acc, v[0])
+		}
+	}
+	if vr == 0 {
+		return acc, nil
+	}
+	return 0, nil
+}
+
+// AllReduce is Reduce to rank 0 followed by Bcast of the result; every rank
+// receives the combined value.
+func (c *Comm) AllReduce(op Op, value float64) (float64, error) {
+	v, err := c.Reduce(0, op, value)
+	if err != nil {
+		return 0, err
+	}
+	b, err := c.Bcast(0, encodeFloats([]float64{v}))
+	if err != nil {
+		return 0, err
+	}
+	out, err := decodeFloats(b)
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// Gather collects each rank's value at root, indexed by rank; non-roots
+// return nil. All ranks call it.
+func (c *Comm) Gather(root int, value float64) ([]float64, error) {
+	w := c.world
+	if root < 0 || root >= w.size {
+		return nil, fmt.Errorf("%w: root %d", ErrBadRank, root)
+	}
+	if c.rank != root {
+		return nil, c.SendFloats(root, tagGather, []float64{value})
+	}
+	out := make([]float64, w.size)
+	out[root] = value
+	for r := 0; r < w.size; r++ {
+		if r == root {
+			continue
+		}
+		v, err := c.RecvFloats(r, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = v[0]
+	}
+	return out, nil
+}
+
+// Scatter distributes values[i] from root to rank i; every rank returns its
+// element. At root, len(values) must equal Size. All ranks call it.
+func (c *Comm) Scatter(root int, values []float64) (float64, error) {
+	w := c.world
+	if root < 0 || root >= w.size {
+		return 0, fmt.Errorf("%w: root %d", ErrBadRank, root)
+	}
+	if c.rank == root {
+		if len(values) != w.size {
+			return 0, fmt.Errorf("mpi: scatter needs %d values, got %d", w.size, len(values))
+		}
+		for r := 0; r < w.size; r++ {
+			if r == root {
+				continue
+			}
+			if err := c.SendFloats(r, tagScatter, values[r:r+1]); err != nil {
+				return 0, err
+			}
+		}
+		return values[root], nil
+	}
+	v, err := c.RecvFloats(root, tagScatter)
+	if err != nil {
+		return 0, err
+	}
+	return v[0], nil
+}
+
+// --- encoding ---------------------------------------------------------------
+
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+func encodeFloats(v []float64) []byte {
+	b := make([]byte, 8*len(v))
+	for i, f := range v {
+		bits := floatBits(f)
+		for k := 0; k < 8; k++ {
+			b[i*8+k] = byte(bits >> (8 * k))
+		}
+	}
+	return b
+}
+
+func decodeFloats(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("mpi: float payload length %d not a multiple of 8", len(b))
+	}
+	v := make([]float64, len(b)/8)
+	for i := range v {
+		var bits uint64
+		for k := 0; k < 8; k++ {
+			bits |= uint64(b[i*8+k]) << (8 * k)
+		}
+		v[i] = floatFromBits(bits)
+	}
+	return v, nil
+}

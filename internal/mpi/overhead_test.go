@@ -1,0 +1,106 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// bcastMakespan runs one broadcast over size ranks with the given options
+// and returns the virtual makespan.
+func bcastMakespan(t *testing.T, size int, opts Options) time.Duration {
+	t.Helper()
+	g := testGrid(t)
+	w, err := New(g, placeRanks(g, size), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c, _ := w.Comm(r)
+			if _, err := c.Bcast(0, []byte("x")); err != nil {
+				t.Error(err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	return w.MaxElapsed()
+}
+
+func TestSendOverheadSerializesSends(t *testing.T) {
+	g := testGrid(t)
+	w, err := New(g, placeRanks(g, 3), Options{SendOverhead: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	c0, _ := w.Comm(0)
+	c0.Send(1, 0, nil)
+	c0.Send(2, 0, nil)
+	if got := c0.Elapsed(); got != 2*time.Millisecond {
+		t.Fatalf("sender clock after 2 sends = %v, want 2ms", got)
+	}
+	// The second message departs later, so its receiver's clock reflects
+	// the serialization.
+	var wg sync.WaitGroup
+	for r := 1; r <= 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c, _ := w.Comm(r)
+			c.Recv(0, 0)
+		}(r)
+	}
+	wg.Wait()
+	c1, _ := w.Comm(1)
+	c2, _ := w.Comm(2)
+	if !(c2.Elapsed() > c1.Elapsed()) {
+		t.Fatalf("second receiver (%v) not after first (%v)", c2.Elapsed(), c1.Elapsed())
+	}
+}
+
+func TestNegativeOverheadDisables(t *testing.T) {
+	g := testGrid(t)
+	w, err := New(g, placeRanks(g, 2), Options{SendOverhead: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	c0, _ := w.Comm(0)
+	c0.Send(1, 0, nil)
+	if c0.Elapsed() != 0 {
+		t.Fatalf("sender paid overhead %v with overhead disabled", c0.Elapsed())
+	}
+}
+
+func TestTreeBeatsLinearWhenOverheadDominates(t *testing.T) {
+	// With o >> L, a linear root pays (P-1)·o serially while the tree
+	// amortizes across log2(P) levels — the classic collective crossover.
+	const size = 32
+	opts := func(a Algorithm) Options {
+		return Options{Algorithm: a, SendOverhead: 500 * time.Microsecond}
+	}
+	linear := bcastMakespan(t, size, opts(Linear))
+	tree := bcastMakespan(t, size, opts(Tree))
+	if !(tree < linear) {
+		t.Fatalf("tree (%v) not faster than linear (%v) at P=%d with high overhead", tree, linear, size)
+	}
+}
+
+func TestLinearCompetitiveAtSmallScaleLowOverhead(t *testing.T) {
+	// With L >> o and small P, linear pipelining is latency-parallel, so
+	// the tree's extra hops cost it; the ablation bench quantifies this.
+	const size = 8
+	opts := func(a Algorithm) Options {
+		return Options{Algorithm: a, SendOverhead: time.Microsecond}
+	}
+	linear := bcastMakespan(t, size, opts(Linear))
+	tree := bcastMakespan(t, size, opts(Tree))
+	if !(linear <= tree) {
+		t.Fatalf("linear (%v) unexpectedly slower than tree (%v) at P=%d", linear, tree, size)
+	}
+}

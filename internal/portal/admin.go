@@ -1,0 +1,174 @@
+package portal
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+// installAdmin registers the administrative and observability endpoints:
+// node up/down (admin only), node heartbeats, stale-node queries (faculty
+// and admin), and the metrics exposition.
+func (s *Server) installAdmin(mux *http.ServeMux) {
+	mux.HandleFunc("GET /api/metrics", s.handleMetrics)
+	mux.HandleFunc("POST /api/cluster/nodes/{id}/down", s.withRole(auth.RoleAdmin, s.handleNodeDown))
+	mux.HandleFunc("POST /api/cluster/nodes/{id}/up", s.withRole(auth.RoleAdmin, s.handleNodeUp))
+	mux.HandleFunc("POST /api/cluster/nodes/{id}/heartbeat", s.withAuth(s.handleNodeHeartbeat))
+	mux.HandleFunc("GET /api/cluster/stale", s.withRole(auth.RoleFaculty, s.handleStaleNodes))
+	mux.HandleFunc("GET /api/cluster/events", s.withAuth(s.handleSchedulerEvents))
+}
+
+// handleSchedulerEvents streams the scheduler's recent activity feed; the
+// since parameter lets clients poll incrementally by sequence number.
+func (s *Server) handleSchedulerEvents(w http.ResponseWriter, r *http.Request, _ *auth.Session) {
+	var since int64
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		n, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, "bad since sequence number")
+			return
+		}
+		since = n
+	}
+	events := s.Sched.Events(since)
+	type eventJSON struct {
+		Seq    int64     `json:"seq"`
+		Time   time.Time `json:"time"`
+		Kind   string    `json:"kind"`
+		JobID  string    `json:"job_id"`
+		Nodes  []string  `json:"nodes,omitempty"`
+		Detail string    `json:"detail,omitempty"`
+	}
+	out := make([]eventJSON, len(events))
+	for i, e := range events {
+		nodes := make([]string, len(e.Nodes))
+		for j, n := range e.Nodes {
+			nodes[j] = n.String()
+		}
+		out[i] = eventJSON{
+			Seq: e.Seq, Time: e.Time, Kind: e.Kind.String(),
+			JobID: e.JobID, Nodes: nodes, Detail: e.Detail,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// withRole wraps withAuth and additionally requires at least the given role
+// (student < faculty < admin).
+func (s *Server) withRole(min auth.Role, next func(http.ResponseWriter, *http.Request, *auth.Session)) http.HandlerFunc {
+	return s.withAuth(func(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
+		if sess.Role < min {
+			writeErr(w, http.StatusForbidden, "requires "+min.String()+" role")
+			return
+		}
+		next(w, r, sess)
+	})
+}
+
+// handleMetrics serves the registry; ?format=text gives the line format,
+// anything else JSON. Deliberately unauthenticated, like most metrics
+// endpoints, and carrying no per-user data.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := s.metricsRegistry()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		reg.WriteText(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	reg.WriteJSON(w)
+}
+
+func (s *Server) metricsRegistry() *metrics.Registry {
+	if s.Metrics != nil {
+		return s.Metrics
+	}
+	return metrics.Default
+}
+
+// parseNodeID turns the path form "s2n07" into a NodeID.
+func parseNodeID(raw string) (topology.NodeID, bool) {
+	// Expected form: s<digit+>n<digit+>
+	if len(raw) < 4 || raw[0] != 's' {
+		return topology.NodeID{}, false
+	}
+	nIdx := -1
+	for i := 1; i < len(raw); i++ {
+		if raw[i] == 'n' {
+			nIdx = i
+			break
+		}
+	}
+	if nIdx <= 1 || nIdx == len(raw)-1 {
+		return topology.NodeID{}, false
+	}
+	seg, err1 := strconv.Atoi(raw[1:nIdx])
+	idx, err2 := strconv.Atoi(raw[nIdx+1:])
+	if err1 != nil || err2 != nil || seg < 0 || idx < 0 {
+		return topology.NodeID{}, false
+	}
+	return topology.NodeID{Segment: seg, Index: idx}, true
+}
+
+func (s *Server) handleNodeDown(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
+	id, ok := parseNodeID(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusBadRequest, "bad node id; want sXnYY")
+		return
+	}
+	if err := s.Cluster.MarkDown(id); err != nil {
+		writeErr(w, http.StatusNotFound, err.Error())
+		return
+	}
+	s.Log.Warnf("node %v marked down by %s", id, sess.User)
+	writeJSON(w, http.StatusOK, map[string]string{"node": id.String(), "state": "down"})
+}
+
+func (s *Server) handleNodeUp(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
+	id, ok := parseNodeID(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusBadRequest, "bad node id; want sXnYY")
+		return
+	}
+	if err := s.Cluster.MarkUp(id); err != nil {
+		writeErr(w, http.StatusNotFound, err.Error())
+		return
+	}
+	s.Log.Infof("node %v returned to service by %s", id, sess.User)
+	writeJSON(w, http.StatusOK, map[string]string{"node": id.String(), "state": "up"})
+}
+
+func (s *Server) handleNodeHeartbeat(w http.ResponseWriter, r *http.Request, _ *auth.Session) {
+	id, ok := parseNodeID(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusBadRequest, "bad node id; want sXnYY")
+		return
+	}
+	if err := s.Cluster.Heartbeat(id); err != nil {
+		writeErr(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"node": id.String()})
+}
+
+func (s *Server) handleStaleNodes(w http.ResponseWriter, r *http.Request, _ *auth.Session) {
+	maxAge := 5 * time.Minute
+	if raw := r.URL.Query().Get("max_age"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d <= 0 {
+			writeErr(w, http.StatusBadRequest, "bad max_age duration")
+			return
+		}
+		maxAge = d
+	}
+	stale := s.Cluster.StaleNodes(maxAge)
+	out := make([]string, len(stale))
+	for i, id := range stale {
+		out[i] = id.String()
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,642 @@
+// Package portal is the web interface of the system — the part of the paper
+// the students actually touched. It exposes the backend (auth, per-user file
+// manager, compiler, job distributor, cluster monitor) over HTTP as a JSON
+// API plus a minimal HTML front page, satisfying the paper's requirements
+// list: user authentication, intuitive navigation, file manipulation
+// (browse, upload, download, copy, move, rename), and client access to
+// compilation and execution of user programs on the cluster, including
+// monitoring the standard streams and providing input.
+package portal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/cluster"
+	"repro/internal/jobs"
+	"repro/internal/logging"
+	"repro/internal/metrics"
+	"repro/internal/minic"
+	"repro/internal/scheduler"
+	"repro/internal/toolchain"
+	"repro/internal/vfs"
+)
+
+// SessionCookie is the browser cookie carrying the session token.
+const SessionCookie = "uhd_portal_session"
+
+// Server glues the subsystems behind an http.Handler.
+type Server struct {
+	Auth    *auth.Service
+	FS      *vfs.FS
+	Tools   *toolchain.Service
+	Jobs    *jobs.Store
+	Sched   *scheduler.Scheduler
+	Cluster *cluster.Cluster
+	Log     *logging.Logger
+
+	// MaxUploadBytes bounds a single upload.
+	MaxUploadBytes int64
+	// Metrics is the registry served at /api/metrics. NewServer gives
+	// every server its own registry; replace it before first use to share
+	// one across servers.
+	Metrics *metrics.Registry
+
+	mux *http.ServeMux
+}
+
+// NewServer wires the handler tree.
+func NewServer(a *auth.Service, fs *vfs.FS, tools *toolchain.Service, store *jobs.Store,
+	sched *scheduler.Scheduler, clus *cluster.Cluster, log *logging.Logger, maxUpload int64) *Server {
+	if log == nil {
+		log = logging.Discard()
+	}
+	if maxUpload <= 0 {
+		maxUpload = 8 << 20
+	}
+	s := &Server{
+		Auth: a, FS: fs, Tools: tools, Jobs: store, Sched: sched, Cluster: clus,
+		Log: log, MaxUploadBytes: maxUpload, Metrics: metrics.NewRegistry(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /", s.handleIndex)
+	mux.HandleFunc("POST /api/register", s.handleRegister)
+	mux.HandleFunc("POST /api/login", s.handleLogin)
+	mux.HandleFunc("POST /api/logout", s.withAuth(s.handleLogout))
+	mux.HandleFunc("GET /api/whoami", s.withAuth(s.handleWhoami))
+
+	mux.HandleFunc("GET /api/files", s.withAuth(s.handleFileList))
+	mux.HandleFunc("GET /api/files/content", s.withAuth(s.handleFileDownload))
+	mux.HandleFunc("PUT /api/files/content", s.withAuth(s.handleFileUpload))
+	mux.HandleFunc("POST /api/files/mkdir", s.withAuth(s.handleMkdir))
+	mux.HandleFunc("POST /api/files/rename", s.withAuth(s.handleRename))
+	mux.HandleFunc("POST /api/files/copy", s.withAuth(s.handleCopy))
+	mux.HandleFunc("POST /api/files/delete", s.withAuth(s.handleDelete))
+	mux.HandleFunc("POST /api/files/format", s.withAuth(s.handleFormat))
+
+	mux.HandleFunc("GET /api/languages", s.withAuth(s.handleLanguages))
+	mux.HandleFunc("POST /api/compile", s.withAuth(s.handleCompile))
+
+	mux.HandleFunc("POST /api/jobs", s.withAuth(s.handleSubmit))
+	mux.HandleFunc("GET /api/jobs", s.withAuth(s.handleJobList))
+	mux.HandleFunc("GET /api/jobs/{id}", s.withAuth(s.handleJobGet))
+	mux.HandleFunc("GET /api/jobs/{id}/output", s.withAuth(s.handleJobOutput))
+	mux.HandleFunc("POST /api/jobs/{id}/input", s.withAuth(s.handleJobInput))
+	mux.HandleFunc("POST /api/jobs/{id}/cancel", s.withAuth(s.handleJobCancel))
+
+	mux.HandleFunc("GET /api/cluster/nodes", s.withAuth(s.handleNodes))
+	mux.HandleFunc("GET /api/cluster/stats", s.withAuth(s.handleStats))
+	s.installAdmin(mux)
+	s.installStandardMetrics()
+	s.mux = mux
+	return s
+}
+
+// installStandardMetrics publishes the live cluster/job gauges.
+func (s *Server) installStandardMetrics() {
+	reg := s.metricsRegistry()
+	reg.RegisterFunc("cluster_nodes_total", func() int64 { return int64(s.Cluster.Size()) })
+	reg.RegisterFunc("cluster_nodes_free", func() int64 { return int64(s.Cluster.FreeCount()) })
+	reg.RegisterFunc("jobs_running", func() int64 {
+		return int64(s.Jobs.Counts()[jobs.StateRunning])
+	})
+	reg.RegisterFunc("jobs_queued", func() int64 {
+		return int64(s.Jobs.Counts()[jobs.StateQueued])
+	})
+	reg.RegisterFunc("scheduler_dispatched_total", func() int64 { return s.Sched.Dispatched() })
+	reg.RegisterFunc("auth_active_sessions", func() int64 { return int64(s.Auth.ActiveSessions()) })
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// --- plumbing -----------------------------------------------------------------
+
+// withAuth wraps a handler with session validation; the session rides in a
+// cookie or an Authorization: Bearer header.
+func (s *Server) withAuth(next func(http.ResponseWriter, *http.Request, *auth.Session)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		token := ""
+		if c, err := r.Cookie(SessionCookie); err == nil {
+			token = c.Value
+		}
+		if h := r.Header.Get("Authorization"); strings.HasPrefix(h, "Bearer ") {
+			token = strings.TrimPrefix(h, "Bearer ")
+		}
+		if token == "" {
+			writeErr(w, http.StatusUnauthorized, "not logged in")
+			return
+		}
+		sess, err := s.Auth.Lookup(token)
+		if err != nil {
+			writeErr(w, http.StatusUnauthorized, err.Error())
+			return
+		}
+		next(w, r, sess)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// decode reads a JSON body into v with a size cap.
+func decode(r *http.Request, v interface{}) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// fsStatus maps vfs errors to HTTP status codes.
+func fsStatus(err error) int {
+	switch {
+	case errors.Is(err, vfs.ErrNotFound), errors.Is(err, vfs.ErrNoHome):
+		return http.StatusNotFound
+	case errors.Is(err, vfs.ErrExists):
+		return http.StatusConflict
+	case errors.Is(err, vfs.ErrQuotaExceeded):
+		return http.StatusInsufficientStorage
+	case errors.Is(err, vfs.ErrInvalidPath), errors.Is(err, vfs.ErrNotDir),
+		errors.Is(err, vfs.ErrIsDir), errors.Is(err, vfs.ErrDirNotEmpty):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// --- auth handlers --------------------------------------------------------------
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		User     string `json:"user"`
+		Password string `json:"password"`
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	u, err := s.Auth.Register(req.User, req.Password, auth.RoleStudent)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.FS.EnsureHome(u.Name)
+	s.Log.Infof("registered user %s", u.Name)
+	writeJSON(w, http.StatusCreated, map[string]string{"user": u.Name, "role": u.Role.String()})
+}
+
+func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		User     string `json:"user"`
+		Password string `json:"password"`
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sess, err := s.Auth.Login(req.User, req.Password)
+	if err != nil {
+		writeErr(w, http.StatusUnauthorized, err.Error())
+		return
+	}
+	s.FS.EnsureHome(sess.User)
+	http.SetCookie(w, &http.Cookie{
+		Name:     SessionCookie,
+		Value:    sess.Token,
+		Path:     "/",
+		HttpOnly: true,
+		SameSite: http.SameSiteLaxMode,
+		Expires:  sess.Expires,
+	})
+	s.metricsRegistry().Counter("auth_logins_total").Inc()
+	s.Log.Infof("user %s logged in (session %s)", sess.User, auth.FingerprintToken(sess.Token))
+	writeJSON(w, http.StatusOK, map[string]string{
+		"token": sess.Token, "user": sess.User, "role": sess.Role.String(),
+	})
+}
+
+func (s *Server) handleLogout(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
+	s.Auth.Logout(sess.Token)
+	http.SetCookie(w, &http.Cookie{Name: SessionCookie, Value: "", Path: "/", MaxAge: -1})
+	writeJSON(w, http.StatusOK, map[string]string{"status": "logged out"})
+}
+
+func (s *Server) handleWhoami(w http.ResponseWriter, _ *http.Request, sess *auth.Session) {
+	writeJSON(w, http.StatusOK, map[string]string{"user": sess.User, "role": sess.Role.String()})
+}
+
+// --- file manager handlers -------------------------------------------------------
+
+func (s *Server) home(sess *auth.Session) *vfs.Home {
+	return s.FS.EnsureHome(sess.User)
+}
+
+type fileInfoJSON struct {
+	Name    string    `json:"name"`
+	Path    string    `json:"path"`
+	Dir     bool      `json:"dir"`
+	Size    int64     `json:"size"`
+	ModTime time.Time `json:"mod_time"`
+}
+
+func toFileJSON(in vfs.Info) fileInfoJSON {
+	return fileInfoJSON{Name: in.Name, Path: in.Path, Dir: in.Dir, Size: in.Size, ModTime: in.ModTime}
+}
+
+func (s *Server) handleFileList(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
+	path := r.URL.Query().Get("path")
+	infos, err := s.home(sess).List(path)
+	if err != nil {
+		writeErr(w, fsStatus(err), err.Error())
+		return
+	}
+	out := make([]fileInfoJSON, len(infos))
+	for i, in := range infos {
+		out[i] = toFileJSON(in)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleFileDownload(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
+	path := r.URL.Query().Get("path")
+	data, err := s.home(sess).ReadFile(path)
+	if err != nil {
+		writeErr(w, fsStatus(err), err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Write(data)
+}
+
+func (s *Server) handleFileUpload(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
+	path := r.URL.Query().Get("path")
+	if path == "" {
+		writeErr(w, http.StatusBadRequest, "missing path")
+		return
+	}
+	home := s.home(sess)
+	// Create parent directories the way file managers do.
+	if cp, err := vfs.Clean(path); err == nil {
+		if idx := strings.LastIndex(cp, "/"); idx > 0 {
+			if err := home.MkdirAll(cp[:idx]); err != nil {
+				writeErr(w, fsStatus(err), err.Error())
+				return
+			}
+		}
+	}
+	n, err := home.Upload(path, r.Body, s.MaxUploadBytes)
+	if err != nil {
+		writeErr(w, fsStatus(err), err.Error())
+		return
+	}
+	s.metricsRegistry().Counter("files_uploaded_total").Inc()
+	s.Log.Infof("user %s uploaded %s (%d bytes)", sess.User, path, n)
+	writeJSON(w, http.StatusCreated, map[string]interface{}{"path": path, "bytes": n})
+}
+
+func (s *Server) handleMkdir(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
+	var req struct {
+		Path string `json:"path"`
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.home(sess).MkdirAll(req.Path); err != nil {
+		writeErr(w, fsStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"path": req.Path})
+}
+
+func (s *Server) handleRename(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
+	var req struct {
+		Src string `json:"src"`
+		Dst string `json:"dst"`
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.home(sess).Rename(req.Src, req.Dst); err != nil {
+		writeErr(w, fsStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"src": req.Src, "dst": req.Dst})
+}
+
+func (s *Server) handleCopy(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
+	var req struct {
+		Src string `json:"src"`
+		Dst string `json:"dst"`
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.home(sess).Copy(req.Src, req.Dst); err != nil {
+		writeErr(w, fsStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"src": req.Src, "dst": req.Dst})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
+	var req struct {
+		Path      string `json:"path"`
+		Recursive bool   `json:"recursive"`
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.home(sess).Remove(req.Path, req.Recursive); err != nil {
+		writeErr(w, fsStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"path": req.Path})
+}
+
+// handleFormat pretty-prints a minic source file in place — the file
+// manager's "format source" action.
+func (s *Server) handleFormat(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
+	var req struct {
+		Path string `json:"path"`
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	home := s.home(sess)
+	src, err := home.ReadFile(req.Path)
+	if err != nil {
+		writeErr(w, fsStatus(err), err.Error())
+		return
+	}
+	formatted, err := minic.Format(string(src))
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	if err := home.WriteFile(req.Path, []byte(formatted)); err != nil {
+		writeErr(w, fsStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"path": req.Path, "bytes": len(formatted)})
+}
+
+// --- compile and job handlers ----------------------------------------------------
+
+func (s *Server) handleLanguages(w http.ResponseWriter, _ *http.Request, _ *auth.Session) {
+	writeJSON(w, http.StatusOK, s.Tools.Languages())
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
+	var req struct {
+		Path     string `json:"path"`
+		Language string `json:"language"`
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	src, err := s.home(sess).ReadFile(req.Path)
+	if err != nil {
+		writeErr(w, fsStatus(err), err.Error())
+		return
+	}
+	lang := req.Language
+	if lang == "" || lang == "auto" {
+		lang = s.Tools.DetectLanguage(req.Path)
+		if lang == "" {
+			writeErr(w, http.StatusBadRequest, "cannot detect language; pass one explicitly")
+			return
+		}
+	}
+	res, err := s.Tools.Compile(lang, req.Path, string(src))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if !res.OK {
+		diags := make([]string, len(res.Diagnostics))
+		for i, d := range res.Diagnostics {
+			diags[i] = d.String()
+		}
+		writeJSON(w, http.StatusUnprocessableEntity, map[string]interface{}{
+			"ok": false, "diagnostics": diags,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"ok": true, "artifact": res.Artifact.ID, "language": lang, "cached": res.Cached,
+	})
+}
+
+type jobJSON struct {
+	ID         string    `json:"id"`
+	Owner      string    `json:"owner"`
+	SourcePath string    `json:"source_path"`
+	Language   string    `json:"language"`
+	Ranks      int       `json:"ranks"`
+	State      string    `json:"state"`
+	Submitted  time.Time `json:"submitted"`
+	Started    time.Time `json:"started,omitempty"`
+	Finished   time.Time `json:"finished,omitempty"`
+	Failure    string    `json:"failure,omitempty"`
+	Nodes      []string  `json:"nodes,omitempty"`
+}
+
+func toJobJSON(snap jobs.Snapshot) jobJSON {
+	nodes := make([]string, len(snap.Nodes))
+	for i, n := range snap.Nodes {
+		nodes[i] = n.String()
+	}
+	return jobJSON{
+		ID:         snap.ID,
+		Owner:      snap.Spec.Owner,
+		SourcePath: snap.Spec.SourcePath,
+		Language:   snap.Spec.Language,
+		Ranks:      snap.Spec.Ranks,
+		State:      snap.State.String(),
+		Submitted:  snap.Submitted,
+		Started:    snap.Started,
+		Finished:   snap.Finished,
+		Failure:    snap.Failure,
+		Nodes:      nodes,
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
+	var req struct {
+		SourcePath string `json:"source_path"`
+		Language   string `json:"language"`
+		Ranks      int    `json:"ranks"`
+		GPU        bool   `json:"gpu"`
+		Stdin      string `json:"stdin"`
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Language == "" {
+		req.Language = "auto"
+	}
+	if req.Ranks == 0 {
+		req.Ranks = 1
+	}
+	job, err := s.Jobs.Submit(jobs.Spec{
+		Owner:      sess.User,
+		SourcePath: req.SourcePath,
+		Language:   req.Language,
+		Ranks:      req.Ranks,
+		GPU:        req.GPU,
+		Stdin:      req.Stdin,
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.metricsRegistry().Counter("jobs_submitted_total").Inc()
+	s.Log.Infof("user %s submitted %s as %s (%d ranks)", sess.User, req.SourcePath, job.ID, req.Ranks)
+	writeJSON(w, http.StatusAccepted, toJobJSON(job.Snapshot()))
+}
+
+// jobForRequest fetches the job and enforces ownership (faculty and admin
+// may view any job).
+func (s *Server) jobForRequest(r *http.Request, sess *auth.Session) (*jobs.Job, int, error) {
+	id := r.PathValue("id")
+	job, err := s.Jobs.Get(id)
+	if err != nil {
+		return nil, http.StatusNotFound, err
+	}
+	if job.Spec.Owner != sess.User && sess.Role == auth.RoleStudent {
+		return nil, http.StatusForbidden, fmt.Errorf("job %s belongs to %s", id, job.Spec.Owner)
+	}
+	return job, 0, nil
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
+	owner := sess.User
+	if r.URL.Query().Get("all") == "1" && sess.Role != auth.RoleStudent {
+		owner = ""
+	}
+	snaps := s.Jobs.List(owner)
+	out := make([]jobJSON, len(snaps))
+	for i, snap := range snaps {
+		out[i] = toJobJSON(snap)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
+	job, status, err := s.jobForRequest(r, sess)
+	if err != nil {
+		writeErr(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, toJobJSON(job.Snapshot()))
+}
+
+func (s *Server) handleJobOutput(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
+	job, status, err := s.jobForRequest(r, sess)
+	if err != nil {
+		writeErr(w, status, err.Error())
+		return
+	}
+	offset, _ := strconv.ParseInt(r.URL.Query().Get("offset"), 10, 64)
+	if r.URL.Query().Get("wait") == "1" {
+		job.Stdout.WaitChange(offset)
+	}
+	data, next, done := job.Stdout.ReadAt(offset)
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"data": string(data), "next": next, "done": done, "state": job.State().String(),
+	})
+}
+
+func (s *Server) handleJobInput(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
+	job, status, err := s.jobForRequest(r, sess)
+	if err != nil {
+		writeErr(w, status, err.Error())
+		return
+	}
+	var req struct {
+		Data string `json:"data"`
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if job.State().Terminal() {
+		writeErr(w, http.StatusConflict, "job already finished")
+		return
+	}
+	job.Stdin.Feed([]byte(req.Data))
+	writeJSON(w, http.StatusOK, map[string]int{"fed": len(req.Data)})
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
+	job, status, err := s.jobForRequest(r, sess)
+	if err != nil {
+		writeErr(w, status, err.Error())
+		return
+	}
+	if err := s.Sched.Cancel(job.ID); err != nil {
+		writeErr(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": job.ID, "state": "cancelled"})
+}
+
+// --- cluster handlers -------------------------------------------------------------
+
+func (s *Server) handleNodes(w http.ResponseWriter, _ *http.Request, _ *auth.Session) {
+	nodes := s.Cluster.Nodes()
+	type nodeJSON struct {
+		ID    string `json:"id"`
+		Cores int    `json:"cores"`
+		MemMB int    `json:"memory_mb"`
+		GPU   bool   `json:"gpu"`
+		State string `json:"state"`
+		Job   string `json:"job,omitempty"`
+	}
+	out := make([]nodeJSON, len(nodes))
+	for i, n := range nodes {
+		out[i] = nodeJSON{
+			ID: n.ID.String(), Cores: n.Cores, MemMB: n.MemoryMB,
+			GPU: n.GPU, State: n.State.String(), Job: n.JobID,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request, _ *auth.Session) {
+	counts := s.Jobs.Counts()
+	byState := map[string]int{}
+	for st, n := range counts {
+		byState[st.String()] = n
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"total_nodes": s.Cluster.Size(),
+		"free_nodes":  s.Cluster.FreeCount(),
+		"utilization": s.Cluster.Utilization(),
+		"jobs":        byState,
+		"dispatched":  s.Sched.Dispatched(),
+	})
+}

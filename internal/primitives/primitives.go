@@ -1,0 +1,217 @@
+// Package primitives implements the synchronization tools the course modules
+// teach: test-and-set (TAS) spin locks, test-and-test-and-set (TTAS) locks,
+// ticket locks, counting semaphores and cyclic barriers. The spin locks are
+// real atomics-based implementations — the labs use them to demonstrate
+// mutual exclusion, contention and (with package memsim) cache-coherence
+// traffic, and the lock-flavour ablation bench compares them to sync.Mutex.
+package primitives
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Locker matches sync.Locker so the lock flavours are interchangeable.
+type Locker interface {
+	Lock()
+	Unlock()
+}
+
+// TASLock is a test-and-set spin lock: every acquisition attempt performs an
+// atomic exchange, which in a real machine invalidates the cache line in
+// every other core on every spin — the behaviour Lab 2 studies.
+type TASLock struct {
+	state atomic.Int32
+	spins atomic.Int64
+}
+
+// Lock spins until the lock is acquired.
+func (l *TASLock) Lock() {
+	for !l.TryLock() {
+		l.spins.Add(1)
+		runtime.Gosched()
+	}
+}
+
+// TryLock attempts one test-and-set; it reports whether the lock was taken.
+func (l *TASLock) TryLock() bool {
+	return l.state.CompareAndSwap(0, 1)
+}
+
+// Unlock releases the lock. Unlocking an unlocked TASLock panics, mirroring
+// sync.Mutex.
+func (l *TASLock) Unlock() {
+	if !l.state.CompareAndSwap(1, 0) {
+		panic("primitives: unlock of unlocked TASLock")
+	}
+}
+
+// Spins reports how many failed acquisition attempts have occurred; the
+// Lab 2 harness uses it as a proxy for coherence traffic.
+func (l *TASLock) Spins() int64 { return l.spins.Load() }
+
+// TTASLock is a test-and-test-and-set lock: it spins on a plain read (which
+// hits the local cache) and only attempts the expensive exchange when the
+// lock looks free, reducing coherence traffic versus TAS.
+type TTASLock struct {
+	state atomic.Int32
+	spins atomic.Int64
+}
+
+// Lock spins (read-only) until the lock looks free, then tries to take it.
+func (l *TTASLock) Lock() {
+	for {
+		for l.state.Load() != 0 {
+			l.spins.Add(1)
+			runtime.Gosched()
+		}
+		if l.state.CompareAndSwap(0, 1) {
+			return
+		}
+	}
+}
+
+// TryLock attempts a single acquisition.
+func (l *TTASLock) TryLock() bool {
+	return l.state.Load() == 0 && l.state.CompareAndSwap(0, 1)
+}
+
+// Unlock releases the lock.
+func (l *TTASLock) Unlock() {
+	if !l.state.CompareAndSwap(1, 0) {
+		panic("primitives: unlock of unlocked TTASLock")
+	}
+}
+
+// Spins reports read-spin iterations observed while waiting.
+func (l *TTASLock) Spins() int64 { return l.spins.Load() }
+
+// TicketLock grants the lock in FIFO order: each arrival takes a ticket and
+// waits for the now-serving counter to reach it. It is fair under contention,
+// unlike TAS/TTAS.
+type TicketLock struct {
+	next    atomic.Uint64
+	serving atomic.Uint64
+}
+
+// Lock takes a ticket and waits its turn.
+func (l *TicketLock) Lock() {
+	t := l.next.Add(1) - 1
+	for l.serving.Load() != t {
+		runtime.Gosched()
+	}
+}
+
+// Unlock admits the next ticket holder.
+func (l *TicketLock) Unlock() {
+	l.serving.Add(1)
+}
+
+// Semaphore is a counting semaphore with the classic P/V (Wait/Signal)
+// interface used by the dining-philosophers and bounded-buffer labs.
+type Semaphore struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	value int
+}
+
+// NewSemaphore returns a semaphore with the given initial value. A negative
+// initial value panics.
+func NewSemaphore(initial int) *Semaphore {
+	if initial < 0 {
+		panic(fmt.Sprintf("primitives: negative semaphore value %d", initial))
+	}
+	s := &Semaphore{value: initial}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Wait (P) decrements the semaphore, blocking while the value is zero.
+func (s *Semaphore) Wait() {
+	s.mu.Lock()
+	for s.value == 0 {
+		s.cond.Wait()
+	}
+	s.value--
+	s.mu.Unlock()
+}
+
+// TryWait decrements without blocking; it reports whether it succeeded.
+func (s *Semaphore) TryWait() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.value == 0 {
+		return false
+	}
+	s.value--
+	return true
+}
+
+// Signal (V) increments the semaphore, waking one waiter.
+func (s *Semaphore) Signal() {
+	s.mu.Lock()
+	s.value++
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// Value returns the current count (racy by nature; for tests and display).
+func (s *Semaphore) Value() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.value
+}
+
+// Barrier is a reusable (cyclic) barrier for a fixed party count; the MPI
+// runtime's Barrier collective and several labs are built on it.
+type Barrier struct {
+	mu         sync.Mutex
+	cond       *sync.Cond
+	parties    int
+	waiting    int
+	generation uint64
+}
+
+// NewBarrier returns a barrier for n parties. n must be positive.
+func NewBarrier(n int) *Barrier {
+	if n <= 0 {
+		panic(fmt.Sprintf("primitives: barrier parties must be positive, got %d", n))
+	}
+	b := &Barrier{parties: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Await blocks until all parties have arrived, then releases them together.
+// It returns the arrival index within this generation (0 is first, parties-1
+// is the releasing arrival).
+func (b *Barrier) Await() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.generation
+	idx := b.waiting
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.generation++
+		b.cond.Broadcast()
+		return idx
+	}
+	for gen == b.generation {
+		b.cond.Wait()
+	}
+	return idx
+}
+
+// Parties returns the configured party count.
+func (b *Barrier) Parties() int { return b.parties }
+
+// Compile-time interface checks.
+var (
+	_ Locker = (*TASLock)(nil)
+	_ Locker = (*TTASLock)(nil)
+	_ Locker = (*TicketLock)(nil)
+	_ Locker = (*sync.Mutex)(nil)
+)

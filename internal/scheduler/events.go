@@ -1,0 +1,140 @@
+package scheduler
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// EventKind classifies a scheduling event.
+type EventKind int
+
+// Scheduling events, in lifecycle order.
+const (
+	EventQueued EventKind = iota
+	EventAllocated
+	EventCompileStarted
+	EventCompileFailed
+	EventRunning
+	EventSucceeded
+	EventFailed
+	EventCancelled
+	EventReleased
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventQueued:
+		return "queued"
+	case EventAllocated:
+		return "allocated"
+	case EventCompileStarted:
+		return "compile-started"
+	case EventCompileFailed:
+		return "compile-failed"
+	case EventRunning:
+		return "running"
+	case EventSucceeded:
+		return "succeeded"
+	case EventFailed:
+		return "failed"
+	case EventCancelled:
+		return "cancelled"
+	case EventReleased:
+		return "released"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one scheduling decision, as shown in the portal's activity feed
+// — the distributed-systems teaching aid: students watch their job being
+// allocated, compiled and dispatched.
+type Event struct {
+	// Seq is a monotonically increasing sequence number.
+	Seq int64
+	// Time is the wall-clock moment the event was recorded.
+	Time time.Time
+	Kind EventKind
+	// JobID is the subject job.
+	JobID string
+	// Nodes is the allocation, for EventAllocated.
+	Nodes []topology.NodeID
+	// Detail carries failure reasons and similar.
+	Detail string
+}
+
+// String renders the event as one log line.
+func (e Event) String() string {
+	s := fmt.Sprintf("#%d %s %s", e.Seq, e.JobID, e.Kind)
+	if len(e.Nodes) > 0 {
+		s += fmt.Sprintf(" on %d node(s)", len(e.Nodes))
+	}
+	if e.Detail != "" {
+		s += ": " + e.Detail
+	}
+	return s
+}
+
+// eventLog is a fixed-capacity ring of recent events.
+type eventLog struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int64 // next sequence number
+	cap  int
+}
+
+func newEventLog(capacity int) *eventLog {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &eventLog{cap: capacity}
+}
+
+func (l *eventLog) add(kind EventKind, jobID string, nodes []topology.NodeID, detail string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := Event{
+		Seq:    l.next,
+		Time:   time.Now(),
+		Kind:   kind,
+		JobID:  jobID,
+		Nodes:  append([]topology.NodeID(nil), nodes...),
+		Detail: detail,
+	}
+	l.next++
+	if len(l.buf) < l.cap {
+		l.buf = append(l.buf, e)
+		return
+	}
+	copy(l.buf, l.buf[1:])
+	l.buf[len(l.buf)-1] = e
+}
+
+// since returns events with Seq >= seq, oldest first.
+func (l *eventLog) since(seq int64) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Event
+	for _, e := range l.buf {
+		if e.Seq >= seq {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Events returns the scheduler's recent events with sequence number >= seq
+// (pass 0 for everything retained), oldest first. The log holds the last
+// 256 events; older ones are dropped.
+func (s *Scheduler) Events(seq int64) []Event {
+	return s.events.since(seq)
+}
+
+// record is the scheduler's internal event hook.
+func (s *Scheduler) record(kind EventKind, jobID string, nodes []topology.NodeID, detail string) {
+	s.events.add(kind, jobID, nodes, detail)
+}

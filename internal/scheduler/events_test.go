@@ -1,0 +1,140 @@
+package scheduler
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/jobs"
+	"repro/internal/topology"
+)
+
+func TestEventLogRecordsLifecycle(t *testing.T) {
+	r := newRig(t, Options{})
+	r.addSource(t, "alice", "/e.mc", helloSrc)
+	j := r.submit(t, "alice", "/e.mc", "minic", 2)
+	snap := r.drive(t, j.ID)
+	if snap.State != jobs.StateSucceeded {
+		t.Fatalf("state = %v", snap.State)
+	}
+	events := r.sched.Events(0)
+	var kinds []string
+	for _, e := range events {
+		if e.JobID == j.ID {
+			kinds = append(kinds, e.Kind.String())
+		}
+	}
+	want := []string{"allocated", "compile-started", "running", "succeeded", "released"}
+	if strings.Join(kinds, ",") != strings.Join(want, ",") {
+		t.Fatalf("event kinds = %v, want %v", kinds, want)
+	}
+	// The allocation event carries the nodes and the policy name.
+	for _, e := range events {
+		if e.Kind == EventAllocated {
+			if len(e.Nodes) != 2 || e.Detail != "pack" {
+				t.Fatalf("allocation event = %+v", e)
+			}
+			if !strings.Contains(e.String(), "on 2 node(s)") {
+				t.Fatalf("event string = %q", e.String())
+			}
+		}
+	}
+}
+
+func TestEventLogFailurePath(t *testing.T) {
+	r := newRig(t, Options{})
+	r.addSource(t, "alice", "/bad.mc", "func main() { var x = ; }")
+	j := r.submit(t, "alice", "/bad.mc", "minic", 1)
+	r.drive(t, j.ID)
+	var sawFailed bool
+	for _, e := range r.sched.Events(0) {
+		if e.JobID == j.ID && e.Kind == EventFailed {
+			sawFailed = true
+			if !strings.Contains(e.Detail, "compile failed") {
+				t.Fatalf("failure detail = %q", e.Detail)
+			}
+		}
+	}
+	if !sawFailed {
+		t.Fatal("no failed event recorded")
+	}
+}
+
+func TestEventLogCancelled(t *testing.T) {
+	r := newRig(t, Options{})
+	r.addSource(t, "alice", "/h.mc", helloSrc)
+	if err := r.clus.AllocateNodes("blocker", r.clus.FreeNodes()); err != nil {
+		t.Fatal(err)
+	}
+	j := r.submit(t, "alice", "/h.mc", "minic", 1)
+	r.sched.Tick()
+	if err := r.sched.Cancel(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range r.sched.Events(0) {
+		if e.JobID == j.ID && e.Kind == EventCancelled {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no cancelled event recorded")
+	}
+}
+
+func TestEventsSinceFilters(t *testing.T) {
+	l := newEventLog(8)
+	for i := 0; i < 5; i++ {
+		l.add(EventQueued, "job-x", nil, "")
+	}
+	if got := len(l.since(0)); got != 5 {
+		t.Fatalf("since(0) = %d events", got)
+	}
+	if got := len(l.since(3)); got != 2 {
+		t.Fatalf("since(3) = %d events", got)
+	}
+	if got := len(l.since(99)); got != 0 {
+		t.Fatalf("since(99) = %d events", got)
+	}
+}
+
+func TestEventLogRingDropsOldest(t *testing.T) {
+	l := newEventLog(3)
+	for i := 0; i < 5; i++ {
+		l.add(EventQueued, "j", nil, "")
+	}
+	events := l.since(0)
+	if len(events) != 3 {
+		t.Fatalf("retained %d, want 3", len(events))
+	}
+	if events[0].Seq != 2 || events[2].Seq != 4 {
+		t.Fatalf("retained seqs %d..%d, want 2..4", events[0].Seq, events[2].Seq)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{
+		EventQueued, EventAllocated, EventCompileStarted, EventCompileFailed,
+		EventRunning, EventSucceeded, EventFailed, EventCancelled, EventReleased,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		name := k.String()
+		if strings.HasPrefix(name, "EventKind(") || seen[name] {
+			t.Fatalf("bad or duplicate name %q", name)
+		}
+		seen[name] = true
+	}
+	if EventKind(99).String() != "EventKind(99)" {
+		t.Fatal("unknown kind formatting")
+	}
+}
+
+func TestEventNodesAreCopied(t *testing.T) {
+	l := newEventLog(4)
+	nodes := []topology.NodeID{{Segment: 1, Index: 2}}
+	l.add(EventAllocated, "j", nodes, "")
+	nodes[0] = topology.NodeID{Segment: 9, Index: 9}
+	if l.since(0)[0].Nodes[0].Segment == 9 {
+		t.Fatal("event aliases caller's node slice")
+	}
+}

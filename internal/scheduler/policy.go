@@ -1,0 +1,88 @@
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// Policy selects which free nodes a job gets. Implementations must be pure:
+// same inputs, same choice.
+type Policy interface {
+	// Name identifies the policy in logs and benches.
+	Name() string
+	// Select picks n nodes from free (already in flat order). It returns
+	// nil when the request cannot be satisfied.
+	Select(grid *topology.Grid, free []topology.NodeID, n int) []topology.NodeID
+}
+
+// PackPolicy fills nodes in flat order, packing a job into as few segments
+// as possible — good locality for tightly-coupled MPI jobs, since
+// intra-segment links are faster than the inter-segment hop.
+type PackPolicy struct{}
+
+// Name returns "pack".
+func (PackPolicy) Name() string { return "pack" }
+
+// Select takes the first n free nodes in flat order.
+func (PackPolicy) Select(_ *topology.Grid, free []topology.NodeID, n int) []topology.NodeID {
+	if n <= 0 || len(free) < n {
+		return nil
+	}
+	return append([]topology.NodeID(nil), free[:n]...)
+}
+
+// SpreadPolicy round-robins across segments, balancing load (and heat) at
+// the cost of more inter-segment traffic.
+type SpreadPolicy struct{}
+
+// Name returns "spread".
+func (SpreadPolicy) Name() string { return "spread" }
+
+// Select interleaves segments: one node from each segment in turn.
+func (SpreadPolicy) Select(_ *topology.Grid, free []topology.NodeID, n int) []topology.NodeID {
+	if n <= 0 || len(free) < n {
+		return nil
+	}
+	bySeg := map[int][]topology.NodeID{}
+	var segs []int
+	for _, id := range free {
+		if _, seen := bySeg[id.Segment]; !seen {
+			segs = append(segs, id.Segment)
+		}
+		bySeg[id.Segment] = append(bySeg[id.Segment], id)
+	}
+	sort.Ints(segs)
+	out := make([]topology.NodeID, 0, n)
+	for len(out) < n {
+		progressed := false
+		for _, s := range segs {
+			if len(bySeg[s]) == 0 {
+				continue
+			}
+			out = append(out, bySeg[s][0])
+			bySeg[s] = bySeg[s][1:]
+			progressed = true
+			if len(out) == n {
+				break
+			}
+		}
+		if !progressed {
+			return nil // cannot happen when len(free) >= n, but stay safe
+		}
+	}
+	return out
+}
+
+// PolicyByName resolves a policy identifier.
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case "", "pack":
+		return PackPolicy{}, nil
+	case "spread":
+		return SpreadPolicy{}, nil
+	default:
+		return nil, fmt.Errorf("scheduler: unknown policy %q", name)
+	}
+}

@@ -1,0 +1,156 @@
+package scheduler
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/minic"
+	"repro/internal/mpi"
+	"repro/internal/topology"
+)
+
+// commHooks adapts an mpi.Comm to the minic VM's MPIHooks interface, so a
+// program's rank()/send()/recv()/barrier() builtins talk to the simulated
+// grid.
+type commHooks struct {
+	c *mpi.Comm
+}
+
+func (h commHooks) Rank() int { return h.c.Rank() }
+func (h commHooks) Size() int { return h.c.Size() }
+
+func (h commHooks) Send(dst int, data []byte) error { return h.c.Send(dst, 0, data) }
+
+func (h commHooks) Recv(src int) ([]byte, error) { return h.c.Recv(src, 0) }
+
+func (h commHooks) Barrier() error { return h.c.Barrier() }
+
+func (h commHooks) Bcast(root int, data []byte) ([]byte, error) { return h.c.Bcast(root, data) }
+
+func (h commHooks) AllReduce(op string, v float64) (float64, error) {
+	var mop mpi.Op
+	switch op {
+	case "sum":
+		mop = mpi.OpSum
+	case "max":
+		mop = mpi.OpMax
+	case "min":
+		mop = mpi.OpMin
+	default:
+		return 0, fmt.Errorf("scheduler: unknown reduce op %q", op)
+	}
+	return h.c.AllReduce(mop, v)
+}
+
+func (h commHooks) ElapsedNS() int64 { return h.c.Elapsed().Nanoseconds() }
+
+func (h commHooks) Tick(ns int64) { h.c.Tick(time.Duration(ns)) }
+
+// rankWriter prefixes each output line with the rank, so the merged job
+// stdout stays attributable; sequential jobs write through unprefixed. It is
+// line-buffered: the prefix is emitted once per line regardless of how many
+// Write calls compose the line.
+type rankWriter struct {
+	rank  int
+	multi bool
+	dst   io.Writer
+
+	mu          sync.Mutex
+	atLineStart bool
+}
+
+func newRankWriter(rank int, multi bool, dst io.Writer) *rankWriter {
+	return &rankWriter{rank: rank, multi: multi, dst: dst, atLineStart: true}
+}
+
+func (w *rankWriter) Write(p []byte) (int, error) {
+	if !w.multi {
+		return w.dst.Write(p)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	prefix := fmt.Sprintf("[rank %d] ", w.rank)
+	var sb strings.Builder
+	for _, b := range p {
+		if w.atLineStart {
+			sb.WriteString(prefix)
+			w.atLineStart = false
+		}
+		sb.WriteByte(b)
+		if b == '\n' {
+			w.atLineStart = true
+		}
+	}
+	if _, err := io.WriteString(w.dst, sb.String()); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// runArtifact executes a compiled unit as an MPI job over the given nodes.
+// It blocks until every rank finishes and returns the first rank error.
+func (s *Scheduler) runArtifact(job *jobs.Job, unit *minic.Unit, nodes []topology.NodeID) error {
+	ranks := job.Spec.Ranks
+	world, err := mpi.New(s.cluster.Grid(), nodes, mpi.Options{Algorithm: s.collective})
+	if err != nil {
+		return err
+	}
+
+	budget := s.stepBudget
+	if job.Spec.StepBudget > 0 {
+		budget = job.Spec.StepBudget
+	}
+
+	errs := make([]error, ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		comm, err := world.Comm(r)
+		if err != nil {
+			return err
+		}
+		var stdin io.Reader = strings.NewReader("")
+		if r == 0 {
+			stdin = job.Stdin // interactive input goes to rank 0
+		}
+		m := minic.NewMachine(unit, minic.MachineConfig{
+			Out:        newRankWriter(r, ranks > 1, job.Stdout),
+			In:         stdin,
+			Hooks:      commHooks{c: comm},
+			StepBudget: budget,
+			Seed:       int64(r) + 1,
+		})
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if _, err := m.Run(); err != nil {
+				errs[r] = fmt.Errorf("rank %d: %w", r, err)
+			}
+		}(r)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		// Closing only after every rank has finished keeps late sends off
+		// closed channels.
+		world.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(s.wallTime):
+		// The ranks cannot be killed, but the step budget bounds them;
+		// report the timeout now and let them drain in the background.
+		return fmt.Errorf("scheduler: job %s exceeded wall time %v", job.ID, s.wallTime)
+	}
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,315 @@
+// Package scheduler is the portal's job distributor: it takes queued jobs
+// from the store, compiles their sources through the toolchain, allocates
+// cluster resources under a placement policy, dispatches the compiled unit
+// onto those nodes as an MPI world, and drives each job's lifecycle to a
+// terminal state. This is the "backend workhorse" the paper's web interface
+// fronts: "it then creates a compilation and/or executor object, which in
+// turn upon success contacts a job distributor to allocate resources on the
+// cluster and finally dispatch the job onto those resources."
+package scheduler
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/jobs"
+	"repro/internal/logging"
+	"repro/internal/mpi"
+	"repro/internal/toolchain"
+	"repro/internal/vfs"
+)
+
+// Options tune the scheduler.
+type Options struct {
+	// Policy is the node placement policy; nil means PackPolicy.
+	Policy Policy
+	// Backfill lets a later job that fits run when the queue head does not
+	// (simple EASY-style backfill without reservations).
+	Backfill bool
+	// MaxNodesPerJob bounds a single allocation; 0 means 16.
+	MaxNodesPerJob int
+	// WallTime bounds a job's execution; 0 means 5 minutes.
+	WallTime time.Duration
+	// StepBudget is the default per-rank instruction budget; 0 means 50M.
+	StepBudget int64
+	// Collective selects the MPI collective algorithm for dispatched jobs.
+	Collective mpi.Algorithm
+	// Logger receives scheduling events; nil discards them.
+	Logger *logging.Logger
+}
+
+// Scheduler owns the dispatch loop.
+type Scheduler struct {
+	cluster    *cluster.Cluster
+	tools      *toolchain.Service
+	store      *jobs.Store
+	fs         *vfs.FS
+	policy     Policy
+	backfill   bool
+	maxNodes   int
+	wallTime   time.Duration
+	stepBudget int64
+	collective mpi.Algorithm
+	log        *logging.Logger
+
+	mu       sync.Mutex
+	inFlight map[string]bool
+	events   *eventLog
+
+	stopCh  chan struct{}
+	stopped sync.WaitGroup
+	once    sync.Once
+
+	dispatched int64
+}
+
+// New wires a Scheduler to its collaborators.
+func New(c *cluster.Cluster, tools *toolchain.Service, store *jobs.Store, fs *vfs.FS, opts Options) *Scheduler {
+	if opts.Policy == nil {
+		opts.Policy = PackPolicy{}
+	}
+	if opts.MaxNodesPerJob <= 0 {
+		opts.MaxNodesPerJob = 16
+	}
+	if opts.WallTime <= 0 {
+		opts.WallTime = 5 * time.Minute
+	}
+	if opts.StepBudget <= 0 {
+		opts.StepBudget = 50_000_000
+	}
+	if opts.Logger == nil {
+		opts.Logger = logging.Discard()
+	}
+	return &Scheduler{
+		cluster:    c,
+		tools:      tools,
+		store:      store,
+		fs:         fs,
+		policy:     opts.Policy,
+		backfill:   opts.Backfill,
+		maxNodes:   opts.MaxNodesPerJob,
+		wallTime:   opts.WallTime,
+		stepBudget: opts.StepBudget,
+		collective: opts.Collective,
+		log:        opts.Logger,
+		inFlight:   make(map[string]bool),
+		events:     newEventLog(256),
+		stopCh:     make(chan struct{}),
+	}
+}
+
+// Policy returns the active placement policy.
+func (s *Scheduler) Policy() Policy { return s.policy }
+
+// Dispatched reports how many jobs have been started.
+func (s *Scheduler) Dispatched() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dispatched
+}
+
+// Tick performs one scheduling pass: it walks the queue in submission order
+// and dispatches every job it can start right now. It returns the number of
+// jobs started. Tick is synchronous in its scheduling decisions but job
+// execution proceeds in background goroutines.
+func (s *Scheduler) Tick() int {
+	started := 0
+	for _, snap := range s.store.Active() {
+		if snap.State != jobs.StateQueued {
+			continue
+		}
+		s.mu.Lock()
+		busy := s.inFlight[snap.ID]
+		s.mu.Unlock()
+		if busy {
+			continue
+		}
+		if s.tryStart(snap.ID) {
+			started++
+		} else if !s.backfill {
+			break // FIFO: the head blocks the queue
+		}
+	}
+	return started
+}
+
+// tryStart claims the job and launches its pipeline; it reports whether the
+// job could be started (resources available and spec admissible).
+func (s *Scheduler) tryStart(id string) bool {
+	job, err := s.store.Get(id)
+	if err != nil {
+		return false
+	}
+	ranks := job.Spec.Ranks
+	if ranks > s.maxNodes {
+		// Permanently unsatisfiable: fail it rather than clog the queue.
+		s.failJob(job, fmt.Sprintf("requested %d nodes, limit is %d", ranks, s.maxNodes))
+		return false
+	}
+	free := s.cluster.FreeNodes()
+	if job.Spec.GPU {
+		free = s.cluster.FreeNodesWhere(func(n cluster.Node) bool { return n.GPU })
+		if total := s.countGPUNodes(); ranks > total {
+			s.failJob(job, fmt.Sprintf("requested %d GPU nodes, cluster has %d", ranks, total))
+			return false
+		}
+	}
+	nodes := s.policy.Select(s.cluster.Grid(), free, ranks)
+	if nodes == nil {
+		return false // not enough nodes right now
+	}
+	if err := s.cluster.AllocateNodes(job.ID, nodes); err != nil {
+		return false // lost a race with another allocation
+	}
+	job.SetNodes(nodes)
+	s.record(EventAllocated, job.ID, nodes, s.policy.Name())
+	s.mu.Lock()
+	s.inFlight[job.ID] = true
+	s.dispatched++
+	s.mu.Unlock()
+	s.stopped.Add(1)
+	go func() {
+		defer s.stopped.Done()
+		defer func() {
+			s.cluster.Release(job.ID)
+			s.record(EventReleased, job.ID, nil, "")
+			s.mu.Lock()
+			delete(s.inFlight, job.ID)
+			s.mu.Unlock()
+		}()
+		s.execute(job)
+	}()
+	return true
+}
+
+// countGPUNodes reports how many nodes in the whole cluster carry a GPU.
+func (s *Scheduler) countGPUNodes() int {
+	n := 0
+	for _, node := range s.cluster.Nodes() {
+		if node.GPU {
+			n++
+		}
+	}
+	return n
+}
+
+// failJob transitions a job to failed from whatever pre-running state it is
+// in.
+func (s *Scheduler) failJob(job *jobs.Job, reason string) {
+	s.record(EventFailed, job.ID, nil, reason)
+	if err := s.store.Transition(job.ID, jobs.StateFailed, reason); err != nil {
+		// Queued jobs fail directly; compiling jobs fail as usual. Other
+		// states mean someone else already moved it.
+		s.log.Warnf("job %s: could not fail (%v)", job.ID, err)
+	}
+	s.log.Infof("job %s failed: %s", job.ID, reason)
+}
+
+// execute runs the full pipeline for one allocated job.
+func (s *Scheduler) execute(job *jobs.Job) {
+	if err := s.store.Transition(job.ID, jobs.StateCompiling, ""); err != nil {
+		return // cancelled while queued
+	}
+	s.record(EventCompileStarted, job.ID, nil, job.Spec.Language)
+	home, err := s.fs.Home(job.Spec.Owner)
+	if err != nil {
+		s.failJob(job, fmt.Sprintf("no home for %s", job.Spec.Owner))
+		return
+	}
+	src, err := home.ReadFile(job.Spec.SourcePath)
+	if err != nil {
+		s.failJob(job, fmt.Sprintf("reading %s: %v", job.Spec.SourcePath, err))
+		return
+	}
+	lang := job.Spec.Language
+	if lang == "auto" {
+		lang = s.tools.DetectLanguage(job.Spec.SourcePath)
+		if lang == "" {
+			s.failJob(job, fmt.Sprintf("cannot detect language of %s", job.Spec.SourcePath))
+			return
+		}
+	}
+	res, err := s.tools.Compile(lang, job.Spec.SourcePath, string(src))
+	if err != nil {
+		s.failJob(job, err.Error())
+		return
+	}
+	if !res.OK {
+		var sb strings.Builder
+		sb.WriteString("compile failed:\n")
+		for _, d := range res.Diagnostics {
+			fmt.Fprintf(&sb, "  %s:%s\n", job.Spec.SourcePath, d)
+		}
+		job.Stdout.Write([]byte(sb.String()))
+		s.failJob(job, strings.TrimSpace(sb.String()))
+		return
+	}
+	job.SetArtifact(res.Artifact.ID)
+	if err := s.store.Transition(job.ID, jobs.StateRunning, ""); err != nil {
+		return // cancelled while compiling
+	}
+	s.record(EventRunning, job.ID, nil, "")
+	s.log.Infof("job %s running on %d node(s)", job.ID, job.Spec.Ranks)
+	snap := job.Snapshot()
+	if err := s.runArtifact(job, res.Artifact.Unit, snap.Nodes); err != nil {
+		s.failJob(job, err.Error())
+		return
+	}
+	if err := s.store.Transition(job.ID, jobs.StateSucceeded, ""); err != nil {
+		s.log.Warnf("job %s: %v", job.ID, err)
+	}
+	s.record(EventSucceeded, job.ID, nil, "")
+	s.log.Infof("job %s succeeded", job.ID)
+}
+
+// Cancel cancels a queued job. Running jobs cannot be cancelled (their
+// goroutines are unkillable); the wall-time and step budgets bound them.
+func (s *Scheduler) Cancel(id string) error {
+	job, err := s.store.Get(id)
+	if err != nil {
+		return err
+	}
+	if job.State() != jobs.StateQueued {
+		return fmt.Errorf("scheduler: job %s is %s; only queued jobs can be cancelled", id, job.State())
+	}
+	if err := s.store.Transition(id, jobs.StateCancelled, ""); err != nil {
+		return err
+	}
+	s.record(EventCancelled, id, nil, "")
+	return nil
+}
+
+// Start launches the background dispatch loop, polling at the given
+// interval. Stop shuts it down.
+func (s *Scheduler) Start(interval time.Duration) {
+	if interval <= 0 {
+		interval = 5 * time.Millisecond
+	}
+	s.stopped.Add(1)
+	go func() {
+		defer s.stopped.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stopCh:
+				return
+			case <-t.C:
+				s.Tick()
+			}
+		}
+	}()
+}
+
+// Stop halts the dispatch loop and waits for in-flight jobs to finish.
+func (s *Scheduler) Stop() {
+	s.once.Do(func() { close(s.stopCh) })
+	s.stopped.Wait()
+}
+
+// ErrNoCapacity is returned by helpers when a request can never fit.
+var ErrNoCapacity = errors.New("scheduler: request exceeds cluster capacity")

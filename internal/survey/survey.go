@@ -1,0 +1,111 @@
+// Package survey administers the paper's entrance/exit attitude survey to a
+// simulated cohort and aggregates the results into the per-question means of
+// Table 3.
+package survey
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cohort"
+)
+
+// Response is one student's answer to one question in one administration.
+type Response struct {
+	Student  string
+	Question int
+	Phase    cohort.SurveyPhase
+	Value    int
+}
+
+// Administration is the full response set of one survey run.
+type Administration struct {
+	Phase     cohort.SurveyPhase
+	Questions []cohort.SurveyQuestion
+	Responses []Response
+}
+
+// Administer runs the instrument over the whole cohort in the given phase.
+func Administer(c *cohort.Cohort, questions []cohort.SurveyQuestion, phase cohort.SurveyPhase) *Administration {
+	adm := &Administration{Phase: phase, Questions: questions}
+	for _, s := range c.Students {
+		for _, q := range questions {
+			adm.Responses = append(adm.Responses, Response{
+				Student:  s.Name,
+				Question: q.Number,
+				Phase:    phase,
+				Value:    c.Respond(s, q, phase),
+			})
+		}
+	}
+	return adm
+}
+
+// Mean returns the mean response to the given question number, or NaN-free 0
+// when the question was not asked.
+func (a *Administration) Mean(question int) float64 {
+	sum, n := 0, 0
+	for _, r := range a.Responses {
+		if r.Question == question {
+			sum += r.Value
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// Comparison is the entrance-vs-exit table the paper reports.
+type Comparison struct {
+	Questions []cohort.SurveyQuestion
+	Entrance  *Administration
+	Exit      *Administration
+}
+
+// Compare administers the instrument twice and pairs the results.
+func Compare(c *cohort.Cohort, questions []cohort.SurveyQuestion) Comparison {
+	return Comparison{
+		Questions: questions,
+		Entrance:  Administer(c, questions, cohort.Entrance),
+		Exit:      Administer(c, questions, cohort.Exit),
+	}
+}
+
+// Row is one line of Table 3.
+type Row struct {
+	Question      int
+	EntranceMean  float64
+	ExitMean      float64
+	PaperEntrance float64
+	PaperExit     float64
+}
+
+// Rows renders the comparison as table rows, carrying the paper's values
+// for side-by-side reporting.
+func (c Comparison) Rows() []Row {
+	rows := make([]Row, 0, len(c.Questions))
+	for _, q := range c.Questions {
+		rows = append(rows, Row{
+			Question:      q.Number,
+			EntranceMean:  c.Entrance.Mean(q.Number),
+			ExitMean:      c.Exit.Mean(q.Number),
+			PaperEntrance: q.EntranceMean,
+			PaperExit:     q.ExitMean,
+		})
+	}
+	return rows
+}
+
+// Render prints the table in the paper's layout.
+func (c Comparison) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %-18s %-18s %-18s %-18s\n",
+		"Question", "Entrance (ours)", "Exit (ours)", "Entrance (paper)", "Exit (paper)")
+	for _, r := range c.Rows() {
+		fmt.Fprintf(&sb, "%-10d %-18.2f %-18.2f %-18.2f %-18.2f\n",
+			r.Question, r.EntranceMean, r.ExitMean, r.PaperEntrance, r.PaperExit)
+	}
+	return sb.String()
+}

@@ -1,0 +1,85 @@
+package survey
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cohort"
+)
+
+func TestAdministerCoversAllStudentsAndQuestions(t *testing.T) {
+	c := cohort.New(19, 42)
+	qs := cohort.PaperSurvey()
+	adm := Administer(c, qs, cohort.Entrance)
+	if len(adm.Responses) != 19*len(qs) {
+		t.Fatalf("responses = %d, want %d", len(adm.Responses), 19*len(qs))
+	}
+	for _, r := range adm.Responses {
+		if r.Value < 1 {
+			t.Fatalf("bad response %+v", r)
+		}
+	}
+}
+
+func TestMeanUnknownQuestionIsZero(t *testing.T) {
+	c := cohort.New(5, 1)
+	adm := Administer(c, cohort.PaperSurvey(), cohort.Exit)
+	if adm.Mean(99) != 0 {
+		t.Fatal("mean of unasked question nonzero")
+	}
+}
+
+func TestCompareRowsTrackPaperDirections(t *testing.T) {
+	// With a large cohort the sampled means approach the paper's; the
+	// knowledge questions must move the right way between administrations.
+	c := cohort.New(2000, 7)
+	cmp := Compare(c, cohort.PaperSurvey())
+	rows := cmp.Rows()
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byQ := map[int]Row{}
+	for _, r := range rows {
+		byQ[r.Question] = r
+	}
+	if !(byQ[1].ExitMean < byQ[1].EntranceMean) {
+		t.Error("Q1 exit mean not below entrance")
+	}
+	if !(byQ[5].ExitMean > byQ[5].EntranceMean) {
+		t.Error("Q5 exit mean not above entrance")
+	}
+	if !(byQ[6].ExitMean > byQ[6].EntranceMean) {
+		t.Error("Q6 exit mean not above entrance")
+	}
+	// Sampled means near the paper's (the model is centred on them).
+	for _, r := range rows {
+		if math.Abs(r.EntranceMean-r.PaperEntrance) > 0.35 {
+			t.Errorf("Q%d entrance mean %.2f far from paper %.2f", r.Question, r.EntranceMean, r.PaperEntrance)
+		}
+		if math.Abs(r.ExitMean-r.PaperExit) > 0.35 {
+			t.Errorf("Q%d exit mean %.2f far from paper %.2f", r.Question, r.ExitMean, r.PaperExit)
+		}
+	}
+}
+
+func TestRenderContainsAllQuestions(t *testing.T) {
+	c := cohort.New(19, 42)
+	out := Compare(c, cohort.PaperSurvey()).Render()
+	for _, q := range []string{"1 ", "2 ", "3 ", "4 ", "5 ", "6 "} {
+		if !strings.Contains(out, "\n"+q) {
+			t.Errorf("render missing question %q:\n%s", q, out)
+		}
+	}
+	if !strings.Contains(out, "Entrance (paper)") {
+		t.Fatal("render missing paper columns")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a := Compare(cohort.New(19, 42), cohort.PaperSurvey()).Render()
+	b := Compare(cohort.New(19, 42), cohort.PaperSurvey()).Render()
+	if a != b {
+		t.Fatal("same seed produced different survey tables")
+	}
+}

@@ -1,0 +1,19 @@
+package toolchain
+
+import (
+	"testing"
+
+	"repro/internal/minic"
+)
+
+// runUnit executes a compiled artifact sequentially and returns main's
+// integer result.
+func runUnit(t *testing.T, res Result) (int64, error) {
+	t.Helper()
+	m := minic.NewMachine(res.Artifact.Unit, minic.MachineConfig{})
+	v, err := m.Run()
+	if err != nil {
+		return 0, err
+	}
+	return v.I, nil
+}

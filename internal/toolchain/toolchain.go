@@ -1,0 +1,279 @@
+// Package toolchain is the portal's compilation service. The paper's portal
+// offers "limited platform processing, compilation and execution of C, C++,
+// and Java source code"; here each language is a front-end profile over the
+// minic compiler: the profile recognises the file extension, strips the
+// host-language boilerplate it tolerates (#include lines for C/C++, package
+// and import lines for Java), and hands the remainder to the real
+// lexer/parser/compiler in package minic. The framework "can serve for
+// further expansion ... to handle additional programming languages":
+// registering a new Profile is all it takes.
+//
+// Compiled units are stored in an ArtifactStore keyed by content digest, so
+// recompiling an unchanged source is free — and so the scheduler can ship
+// one artifact to many nodes.
+package toolchain
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/minic"
+)
+
+// Errors returned by the service.
+var (
+	ErrUnknownLanguage = errors.New("toolchain: unknown language")
+	ErrUnknownArtifact = errors.New("toolchain: unknown artifact")
+)
+
+// Profile describes one supported source language.
+type Profile struct {
+	// Language is the identifier used by the portal ("c", "cpp", "java",
+	// "minic").
+	Language string
+	// Extensions are the recognised file suffixes, with dot.
+	Extensions []string
+	// Preprocess rewrites host-language boilerplate into plain minic; it
+	// returns the effective source.
+	Preprocess func(src string) string
+}
+
+// Diagnostic is a compile error with source position, as shown in the
+// portal's compile pane.
+type Diagnostic struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+// String formats like a compiler: file:line:col: message.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%d:%d: %s", d.Line, d.Col, d.Msg)
+}
+
+// Artifact is a successful compilation result.
+type Artifact struct {
+	// ID is the content digest of (language, source).
+	ID string
+	// Language is the profile that produced it.
+	Language string
+	// SourceName is the file name compiled.
+	SourceName string
+	// Unit is the executable bytecode.
+	Unit *minic.Unit
+	// BuiltAt is the compilation time.
+	BuiltAt time.Time
+}
+
+// Result is the outcome of a Compile call.
+type Result struct {
+	// OK reports whether compilation succeeded.
+	OK bool
+	// Artifact is set when OK.
+	Artifact *Artifact
+	// Diagnostics is set when !OK.
+	Diagnostics []Diagnostic
+	// Cached reports whether the artifact came from the store.
+	Cached bool
+}
+
+// Service compiles sources and stores artifacts.
+type Service struct {
+	mu        sync.RWMutex
+	profiles  map[string]*Profile
+	artifacts map[string]*Artifact
+	clk       clock.Clock
+	compiles  int64
+	cacheHits int64
+}
+
+// NewService returns a Service with the standard profiles (minic, c, cpp,
+// java) registered.
+func NewService(clk clock.Clock) *Service {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	s := &Service{
+		profiles:  make(map[string]*Profile),
+		artifacts: make(map[string]*Artifact),
+		clk:       clk,
+	}
+	for _, p := range StandardProfiles() {
+		s.Register(p)
+	}
+	return s
+}
+
+// Register adds (or replaces) a language profile.
+func (s *Service) Register(p *Profile) {
+	s.mu.Lock()
+	s.profiles[p.Language] = p
+	s.mu.Unlock()
+}
+
+// Languages lists registered language ids, sorted.
+func (s *Service) Languages() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.profiles))
+	for l := range s.profiles {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DetectLanguage guesses the language from a file name, or "" if unknown.
+func (s *Service) DetectLanguage(name string) string {
+	ext := strings.ToLower(path.Ext(name))
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	// Deterministic: check profiles in sorted order.
+	langs := make([]string, 0, len(s.profiles))
+	for l := range s.profiles {
+		langs = append(langs, l)
+	}
+	sort.Strings(langs)
+	for _, l := range langs {
+		for _, e := range s.profiles[l].Extensions {
+			if e == ext {
+				return l
+			}
+		}
+	}
+	return ""
+}
+
+// digest keys an artifact by language and source content.
+func digest(language, src string) string {
+	h := sha256.New()
+	h.Write([]byte(language))
+	h.Write([]byte{0})
+	h.Write([]byte(src))
+	return "art-" + hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// Compile runs the named profile over the source. Compile never returns an
+// error for source problems — those are reported as Diagnostics; errors are
+// reserved for misuse (unknown language).
+func (s *Service) Compile(language, sourceName, src string) (Result, error) {
+	s.mu.RLock()
+	p, ok := s.profiles[language]
+	s.mu.RUnlock()
+	if !ok {
+		return Result{}, fmt.Errorf("%w: %q", ErrUnknownLanguage, language)
+	}
+	id := digest(language, src)
+	s.mu.Lock()
+	if art, hit := s.artifacts[id]; hit {
+		s.cacheHits++
+		s.mu.Unlock()
+		return Result{OK: true, Artifact: art, Cached: true}, nil
+	}
+	s.compiles++
+	s.mu.Unlock()
+
+	effective := src
+	if p.Preprocess != nil {
+		effective = p.Preprocess(src)
+	}
+	unit, err := minic.CompileSource(effective)
+	if err != nil {
+		var diags []Diagnostic
+		var cerr *minic.Error
+		if errors.As(err, &cerr) {
+			diags = append(diags, Diagnostic{Line: cerr.Line, Col: cerr.Col, Msg: cerr.Msg})
+		} else {
+			diags = append(diags, Diagnostic{Line: 1, Col: 1, Msg: err.Error()})
+		}
+		return Result{OK: false, Diagnostics: diags}, nil
+	}
+	art := &Artifact{
+		ID:         id,
+		Language:   language,
+		SourceName: sourceName,
+		Unit:       unit,
+		BuiltAt:    s.clk.Now(),
+	}
+	s.mu.Lock()
+	s.artifacts[id] = art
+	s.mu.Unlock()
+	return Result{OK: true, Artifact: art}, nil
+}
+
+// Artifact fetches a stored artifact by id.
+func (s *Service) Artifact(id string) (*Artifact, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.artifacts[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownArtifact, id)
+	}
+	return a, nil
+}
+
+// Stats reports compile counts and cache hits.
+func (s *Service) Stats() (compiles, cacheHits int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.compiles, s.cacheHits
+}
+
+// StandardProfiles returns the four built-in language profiles.
+func StandardProfiles() []*Profile {
+	return []*Profile{
+		{
+			Language:   "minic",
+			Extensions: []string{".mc"},
+		},
+		{
+			Language:   "c",
+			Extensions: []string{".c"},
+			Preprocess: stripCPreamble,
+		},
+		{
+			Language:   "cpp",
+			Extensions: []string{".cc", ".cpp", ".cxx"},
+			Preprocess: stripCPreamble,
+		},
+		{
+			Language:   "java",
+			Extensions: []string{".java"},
+			Preprocess: stripJavaPreamble,
+		},
+	}
+}
+
+// stripCPreamble blanks out #include and #define lines so C-flavoured
+// sources that otherwise stick to the shared subset compile. Lines are
+// replaced, not removed, to keep diagnostics on the right line numbers.
+func stripCPreamble(src string) string {
+	lines := strings.Split(src, "\n")
+	for i, line := range lines {
+		t := strings.TrimSpace(line)
+		if strings.HasPrefix(t, "#include") || strings.HasPrefix(t, "#define") || strings.HasPrefix(t, "#pragma") {
+			lines[i] = ""
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// stripJavaPreamble blanks out package and import lines.
+func stripJavaPreamble(src string) string {
+	lines := strings.Split(src, "\n")
+	for i, line := range lines {
+		t := strings.TrimSpace(line)
+		if strings.HasPrefix(t, "package ") || strings.HasPrefix(t, "import ") {
+			lines[i] = ""
+		}
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,198 @@
+package toolchain
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+func newService(t *testing.T) *Service {
+	t.Helper()
+	return NewService(clock.NewSim())
+}
+
+func TestStandardLanguagesRegistered(t *testing.T) {
+	s := newService(t)
+	langs := s.Languages()
+	want := []string{"c", "cpp", "java", "minic"}
+	if strings.Join(langs, ",") != strings.Join(want, ",") {
+		t.Fatalf("Languages = %v, want %v", langs, want)
+	}
+}
+
+func TestDetectLanguage(t *testing.T) {
+	s := newService(t)
+	cases := map[string]string{
+		"main.mc":      "minic",
+		"prog.c":       "c",
+		"prog.CC":      "cpp",
+		"thing.cpp":    "cpp",
+		"x.cxx":        "cpp",
+		"Main.java":    "java",
+		"README.md":    "",
+		"no_extension": "",
+	}
+	for name, want := range cases {
+		if got := s.DetectLanguage(name); got != want {
+			t.Errorf("DetectLanguage(%q) = %q, want %q", name, got, want)
+		}
+	}
+}
+
+func TestCompileMinicSuccess(t *testing.T) {
+	s := newService(t)
+	res, err := s.Compile("minic", "hello.mc", `func main() { println("hi"); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || res.Artifact == nil {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Artifact.Language != "minic" || res.Artifact.SourceName != "hello.mc" {
+		t.Fatalf("artifact = %+v", res.Artifact)
+	}
+	if !strings.HasPrefix(res.Artifact.ID, "art-") {
+		t.Fatalf("artifact id = %q", res.Artifact.ID)
+	}
+	got, err := s.Artifact(res.Artifact.ID)
+	if err != nil || got != res.Artifact {
+		t.Fatalf("Artifact lookup = %v, %v", got, err)
+	}
+}
+
+func TestCompileDiagnostics(t *testing.T) {
+	s := newService(t)
+	res, err := s.Compile("minic", "bad.mc", "func main() {\n  var x = ;\n}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK {
+		t.Fatal("bad source compiled OK")
+	}
+	if len(res.Diagnostics) != 1 {
+		t.Fatalf("diagnostics = %v", res.Diagnostics)
+	}
+	d := res.Diagnostics[0]
+	if d.Line != 2 {
+		t.Fatalf("diagnostic line = %d, want 2", d.Line)
+	}
+	if !strings.Contains(d.String(), "2:") {
+		t.Fatalf("diagnostic format = %q", d.String())
+	}
+}
+
+func TestCompileUnknownLanguage(t *testing.T) {
+	s := newService(t)
+	if _, err := s.Compile("fortran", "x.f", ""); !errors.Is(err, ErrUnknownLanguage) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestArtifactCache(t *testing.T) {
+	s := newService(t)
+	src := `func main() { println(1); }`
+	r1, _ := s.Compile("minic", "a.mc", src)
+	r2, _ := s.Compile("minic", "b.mc", src) // same language+source → cached
+	if r2.Artifact.ID != r1.Artifact.ID || !r2.Cached || r1.Cached {
+		t.Fatalf("cache behaviour: r1=%+v r2=%+v", r1.Cached, r2.Cached)
+	}
+	compiles, hits := s.Stats()
+	if compiles != 1 || hits != 1 {
+		t.Fatalf("stats = %d compiles, %d hits", compiles, hits)
+	}
+	// Different language → different artifact even for identical text.
+	r3, _ := s.Compile("c", "a.c", src)
+	if r3.Artifact.ID == r1.Artifact.ID {
+		t.Fatal("language not part of the artifact key")
+	}
+}
+
+func TestCProfileStripsPreprocessor(t *testing.T) {
+	s := newService(t)
+	src := `#include <stdio.h>
+#define UNUSED 1
+#pragma once
+func main() { println("c-ish"); }`
+	res, err := s.Compile("c", "prog.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("diagnostics = %v", res.Diagnostics)
+	}
+}
+
+func TestCDiagnosticLinesPreserved(t *testing.T) {
+	// Stripping #include must not shift line numbers: an error on line 3
+	// is reported on line 3.
+	s := newService(t)
+	src := "#include <stdio.h>\nfunc main() {\n  var x = ;\n}"
+	res, _ := s.Compile("c", "prog.c", src)
+	if res.OK || res.Diagnostics[0].Line != 3 {
+		t.Fatalf("diagnostic = %+v", res.Diagnostics)
+	}
+}
+
+func TestJavaProfileStripsImports(t *testing.T) {
+	s := newService(t)
+	src := `package edu.uhd.cs4315;
+import java.util.concurrent;
+func main() { println("java-ish"); }`
+	res, err := s.Compile("java", "Main.java", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("diagnostics = %v", res.Diagnostics)
+	}
+}
+
+func TestRegisterCustomProfile(t *testing.T) {
+	s := newService(t)
+	s.Register(&Profile{
+		Language:   "shout",
+		Extensions: []string{".sh0ut"},
+		Preprocess: strings.ToLower, // a language that is minic in caps
+	})
+	res, err := s.Compile("shout", "x.sh0ut", `FUNC MAIN() { }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("custom profile diagnostics = %v", res.Diagnostics)
+	}
+	if s.DetectLanguage("y.sh0ut") != "shout" {
+		t.Fatal("custom extension not detected")
+	}
+}
+
+func TestUnknownArtifact(t *testing.T) {
+	s := newService(t)
+	if _, err := s.Artifact("art-nope"); !errors.Is(err, ErrUnknownArtifact) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCompiledArtifactRuns(t *testing.T) {
+	// End-to-end: compile through the service and execute the unit.
+	s := newService(t)
+	res, err := s.Compile("c", "sum.c", `
+#include <stdio.h>
+func main() {
+	var total = 0;
+	for (var i = 1; i <= 100; i = i + 1) { total = total + i; }
+	return total;
+}`)
+	if err != nil || !res.OK {
+		t.Fatalf("compile: %v %v", err, res.Diagnostics)
+	}
+	v, err := runUnit(t, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 5050 {
+		t.Fatalf("program returned %d, want 5050", v)
+	}
+}

@@ -1,0 +1,194 @@
+// Package topology models the cluster interconnect: four segments of slave
+// nodes hang off segment masters, which in turn hang off the grid's master
+// server. The model supplies the Message Passing teaching topics the paper
+// lists — topology, latency, and routing — and drives the UMA/NUMA timing
+// experiment: a transfer between cores of one node is fast (UMA), between
+// nodes of one segment slower, and between segments slower still (NUMA),
+// because the route crosses the master server.
+package topology
+
+import (
+	"fmt"
+	"time"
+)
+
+// NodeID addresses a slave node in the grid.
+type NodeID struct {
+	// Segment is the cluster segment index, 0-based.
+	Segment int
+	// Index is the node's position within its segment, 0-based.
+	Index int
+}
+
+// String formats the id as "s<segment>n<index>", e.g. "s2n07".
+func (id NodeID) String() string {
+	return fmt.Sprintf("s%dn%02d", id.Segment, id.Index)
+}
+
+// Distance classifies how far apart two endpoints are.
+type Distance int
+
+// Distance classes, in increasing cost order.
+const (
+	// DistanceLocal: same node — core-to-core through shared memory (UMA).
+	DistanceLocal Distance = iota
+	// DistanceSegment: different nodes in the same segment, one switch hop.
+	DistanceSegment
+	// DistanceRemote: different segments, routed via the master server (NUMA).
+	DistanceRemote
+)
+
+// String returns the class name.
+func (d Distance) String() string {
+	switch d {
+	case DistanceLocal:
+		return "local"
+	case DistanceSegment:
+		return "segment"
+	case DistanceRemote:
+		return "remote"
+	default:
+		return fmt.Sprintf("Distance(%d)", int(d))
+	}
+}
+
+// Params hold the link timing characteristics.
+type Params struct {
+	// IntraNode is the one-way latency between two cores of one node.
+	IntraNode time.Duration
+	// IntraSegment is the one-way latency between two nodes of a segment.
+	IntraSegment time.Duration
+	// InterSegment is the one-way latency between two segments via the
+	// master server.
+	InterSegment time.Duration
+	// BytesPerSecond is the per-link bandwidth.
+	BytesPerSecond int64
+}
+
+// Grid is the static interconnect description.
+type Grid struct {
+	segments        int
+	nodesPerSegment int
+	params          Params
+}
+
+// New returns a Grid with the given shape and timing.
+func New(segments, nodesPerSegment int, p Params) (*Grid, error) {
+	if segments <= 0 || nodesPerSegment <= 0 {
+		return nil, fmt.Errorf("topology: invalid shape %d×%d", segments, nodesPerSegment)
+	}
+	if p.BytesPerSecond <= 0 {
+		return nil, fmt.Errorf("topology: bandwidth must be positive, got %d", p.BytesPerSecond)
+	}
+	if p.IntraNode < 0 || p.IntraSegment < 0 || p.InterSegment < 0 {
+		return nil, fmt.Errorf("topology: latencies must be non-negative")
+	}
+	return &Grid{segments: segments, nodesPerSegment: nodesPerSegment, params: p}, nil
+}
+
+// Segments returns the number of segments.
+func (g *Grid) Segments() int { return g.segments }
+
+// NodesPerSegment returns nodes per segment.
+func (g *Grid) NodesPerSegment() int { return g.nodesPerSegment }
+
+// TotalNodes returns the total slave-node count.
+func (g *Grid) TotalNodes() int { return g.segments * g.nodesPerSegment }
+
+// Params returns the timing parameters.
+func (g *Grid) Params() Params { return g.params }
+
+// Valid reports whether the id addresses a node in this grid.
+func (g *Grid) Valid(id NodeID) bool {
+	return id.Segment >= 0 && id.Segment < g.segments &&
+		id.Index >= 0 && id.Index < g.nodesPerSegment
+}
+
+// NodeAt converts a flat rank in [0, TotalNodes) to a NodeID, filling
+// segments in order. It panics on an out-of-range rank, which indicates a
+// scheduler bug.
+func (g *Grid) NodeAt(flat int) NodeID {
+	if flat < 0 || flat >= g.TotalNodes() {
+		panic(fmt.Sprintf("topology: flat index %d out of range [0,%d)", flat, g.TotalNodes()))
+	}
+	return NodeID{Segment: flat / g.nodesPerSegment, Index: flat % g.nodesPerSegment}
+}
+
+// Flat converts a NodeID to its flat rank.
+func (g *Grid) Flat(id NodeID) int {
+	return id.Segment*g.nodesPerSegment + id.Index
+}
+
+// DistanceBetween classifies the separation of two nodes.
+func (g *Grid) DistanceBetween(a, b NodeID) Distance {
+	switch {
+	case a == b:
+		return DistanceLocal
+	case a.Segment == b.Segment:
+		return DistanceSegment
+	default:
+		return DistanceRemote
+	}
+}
+
+// Latency returns the one-way wire latency between two nodes, excluding the
+// payload transfer time. Remote latency composes the hops of the route: out
+// of the source segment, across the master, into the destination segment.
+func (g *Grid) Latency(a, b NodeID) time.Duration {
+	switch g.DistanceBetween(a, b) {
+	case DistanceLocal:
+		return g.params.IntraNode
+	case DistanceSegment:
+		return g.params.IntraSegment
+	default:
+		return 2*g.params.IntraSegment + g.params.InterSegment
+	}
+}
+
+// TransferTime returns the bandwidth term for a payload of n bytes.
+func (g *Grid) TransferTime(n int64) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	// ns = bytes * 1e9 / bytesPerSecond, computed to avoid overflow for
+	// realistic sizes.
+	return time.Duration(float64(n) / float64(g.params.BytesPerSecond) * float64(time.Second))
+}
+
+// Cost returns the full simulated time for delivering n bytes from a to b.
+func (g *Grid) Cost(a, b NodeID, n int64) time.Duration {
+	return g.Latency(a, b) + g.TransferTime(n)
+}
+
+// Hop names a point the route passes through.
+type Hop struct {
+	// Kind is "node", "segment-master" or "grid-master".
+	Kind string
+	// Label identifies the hop, e.g. "s1n03", "master-1", "grid-master".
+	Label string
+}
+
+// Route returns the sequence of hops a message takes from a to b, mirroring
+// the paper's architecture: slave → segment master → grid master → segment
+// master → slave. Local messages have a single hop.
+func (g *Grid) Route(a, b NodeID) ([]Hop, error) {
+	if !g.Valid(a) || !g.Valid(b) {
+		return nil, fmt.Errorf("topology: route %v → %v: endpoint outside grid", a, b)
+	}
+	src := Hop{Kind: "node", Label: a.String()}
+	dst := Hop{Kind: "node", Label: b.String()}
+	switch g.DistanceBetween(a, b) {
+	case DistanceLocal:
+		return []Hop{src}, nil
+	case DistanceSegment:
+		return []Hop{src, {Kind: "segment-master", Label: fmt.Sprintf("master-%d", a.Segment)}, dst}, nil
+	default:
+		return []Hop{
+			src,
+			{Kind: "segment-master", Label: fmt.Sprintf("master-%d", a.Segment)},
+			{Kind: "grid-master", Label: "grid-master"},
+			{Kind: "segment-master", Label: fmt.Sprintf("master-%d", b.Segment)},
+			dst,
+		}, nil
+	}
+}

@@ -1,0 +1,219 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testParams() Params {
+	return Params{
+		IntraNode:      200 * time.Nanosecond,
+		IntraSegment:   50 * time.Microsecond,
+		InterSegment:   400 * time.Microsecond,
+		BytesPerSecond: 1 << 30,
+	}
+}
+
+func testGrid(t *testing.T) *Grid {
+	t.Helper()
+	g, err := New(4, 16, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 16, testParams()); err == nil {
+		t.Error("zero segments accepted")
+	}
+	if _, err := New(4, 0, testParams()); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	p := testParams()
+	p.BytesPerSecond = 0
+	if _, err := New(4, 16, p); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	p = testParams()
+	p.InterSegment = -time.Second
+	if _, err := New(4, 16, p); err == nil {
+		t.Error("negative latency accepted")
+	}
+}
+
+func TestShapeAccessors(t *testing.T) {
+	g := testGrid(t)
+	if g.Segments() != 4 || g.NodesPerSegment() != 16 || g.TotalNodes() != 64 {
+		t.Fatalf("shape = %d×%d (%d total)", g.Segments(), g.NodesPerSegment(), g.TotalNodes())
+	}
+}
+
+func TestNodeIDString(t *testing.T) {
+	id := NodeID{Segment: 2, Index: 7}
+	if id.String() != "s2n07" {
+		t.Fatalf("String = %q, want s2n07", id.String())
+	}
+}
+
+func TestFlatRoundTrip(t *testing.T) {
+	g := testGrid(t)
+	for flat := 0; flat < g.TotalNodes(); flat++ {
+		id := g.NodeAt(flat)
+		if !g.Valid(id) {
+			t.Fatalf("NodeAt(%d) = %v invalid", flat, id)
+		}
+		if back := g.Flat(id); back != flat {
+			t.Fatalf("Flat(NodeAt(%d)) = %d", flat, back)
+		}
+	}
+}
+
+func TestNodeAtPanicsOutOfRange(t *testing.T) {
+	g := testGrid(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NodeAt(-1) did not panic")
+		}
+	}()
+	g.NodeAt(-1)
+}
+
+func TestDistanceClasses(t *testing.T) {
+	g := testGrid(t)
+	a := NodeID{0, 0}
+	if d := g.DistanceBetween(a, a); d != DistanceLocal {
+		t.Errorf("same node distance = %v", d)
+	}
+	if d := g.DistanceBetween(a, NodeID{0, 5}); d != DistanceSegment {
+		t.Errorf("same segment distance = %v", d)
+	}
+	if d := g.DistanceBetween(a, NodeID{3, 0}); d != DistanceRemote {
+		t.Errorf("cross segment distance = %v", d)
+	}
+}
+
+func TestDistanceString(t *testing.T) {
+	if DistanceLocal.String() != "local" || DistanceSegment.String() != "segment" || DistanceRemote.String() != "remote" {
+		t.Fatal("distance names wrong")
+	}
+	if Distance(9).String() != "Distance(9)" {
+		t.Fatal("unknown distance formatting wrong")
+	}
+}
+
+func TestLatencyOrderingIsNUMA(t *testing.T) {
+	// The defining NUMA property from Lab 3: local < segment < remote.
+	g := testGrid(t)
+	a := NodeID{0, 0}
+	local := g.Latency(a, a)
+	seg := g.Latency(a, NodeID{0, 1})
+	rem := g.Latency(a, NodeID{1, 0})
+	if !(local < seg && seg < rem) {
+		t.Fatalf("latency ordering violated: local=%v segment=%v remote=%v", local, seg, rem)
+	}
+	// Remote latency includes both segment hops plus the master crossing.
+	want := 2*testParams().IntraSegment + testParams().InterSegment
+	if rem != want {
+		t.Fatalf("remote latency = %v, want %v", rem, want)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	g := testGrid(t)
+	if g.TransferTime(0) != 0 || g.TransferTime(-5) != 0 {
+		t.Fatal("zero/negative payload should cost nothing")
+	}
+	// 1 GiB at 1 GiB/s ≈ 1s.
+	got := g.TransferTime(1 << 30)
+	if got < 990*time.Millisecond || got > 1010*time.Millisecond {
+		t.Fatalf("TransferTime(1GiB) = %v, want ~1s", got)
+	}
+	// Monotone in size.
+	if g.TransferTime(2048) <= g.TransferTime(1024) {
+		t.Fatal("TransferTime not monotone")
+	}
+}
+
+func TestCostCombinesLatencyAndBandwidth(t *testing.T) {
+	g := testGrid(t)
+	a, b := NodeID{0, 0}, NodeID{2, 3}
+	if got, want := g.Cost(a, b, 4096), g.Latency(a, b)+g.TransferTime(4096); got != want {
+		t.Fatalf("Cost = %v, want %v", got, want)
+	}
+}
+
+func TestRouteShapes(t *testing.T) {
+	g := testGrid(t)
+	a := NodeID{1, 2}
+
+	hops, err := g.Route(a, a)
+	if err != nil || len(hops) != 1 || hops[0].Label != "s1n02" {
+		t.Fatalf("local route = %v, %v", hops, err)
+	}
+
+	hops, err = g.Route(a, NodeID{1, 9})
+	if err != nil || len(hops) != 3 {
+		t.Fatalf("segment route = %v, %v", hops, err)
+	}
+	if hops[1].Kind != "segment-master" || hops[1].Label != "master-1" {
+		t.Fatalf("segment route middle hop = %+v", hops[1])
+	}
+
+	hops, err = g.Route(a, NodeID{3, 0})
+	if err != nil || len(hops) != 5 {
+		t.Fatalf("remote route = %v, %v", hops, err)
+	}
+	if hops[2].Kind != "grid-master" {
+		t.Fatalf("remote route center hop = %+v", hops[2])
+	}
+	if hops[1].Label != "master-1" || hops[3].Label != "master-3" {
+		t.Fatalf("remote route segment masters = %+v, %+v", hops[1], hops[3])
+	}
+}
+
+func TestRouteRejectsInvalidEndpoints(t *testing.T) {
+	g := testGrid(t)
+	if _, err := g.Route(NodeID{9, 0}, NodeID{0, 0}); err == nil {
+		t.Fatal("invalid source accepted")
+	}
+	if _, err := g.Route(NodeID{0, 0}, NodeID{0, 99}); err == nil {
+		t.Fatal("invalid destination accepted")
+	}
+}
+
+func TestLatencySymmetryProperty(t *testing.T) {
+	g := testGrid(t)
+	f := func(a1, i1, a2, i2 uint8) bool {
+		x := NodeID{int(a1) % 4, int(i1) % 16}
+		y := NodeID{int(a2) % 4, int(i2) % 16}
+		return g.Latency(x, y) == g.Latency(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteLengthMatchesDistanceProperty(t *testing.T) {
+	g := testGrid(t)
+	f := func(a1, i1, a2, i2 uint8) bool {
+		x := NodeID{int(a1) % 4, int(i1) % 16}
+		y := NodeID{int(a2) % 4, int(i2) % 16}
+		hops, err := g.Route(x, y)
+		if err != nil {
+			return false
+		}
+		switch g.DistanceBetween(x, y) {
+		case DistanceLocal:
+			return len(hops) == 1
+		case DistanceSegment:
+			return len(hops) == 3
+		default:
+			return len(hops) == 5
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

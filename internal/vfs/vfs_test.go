@@ -1,0 +1,497 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/clock"
+)
+
+func newHome(t *testing.T, quota int64) *Home {
+	t.Helper()
+	fs := New(quota, clock.NewSim())
+	return fs.EnsureHome("alice")
+}
+
+func TestEnsureHomeIdempotent(t *testing.T) {
+	fs := New(1<<20, clock.NewSim())
+	a := fs.EnsureHome("alice")
+	b := fs.EnsureHome("alice")
+	if a != b {
+		t.Fatal("EnsureHome created two homes for the same user")
+	}
+	if _, err := fs.Home("bob"); !errors.Is(err, ErrNoHome) {
+		t.Fatalf("Home(bob) err = %v, want ErrNoHome", err)
+	}
+	fs.EnsureHome("bob")
+	users := fs.Users()
+	if len(users) != 2 || users[0] != "alice" || users[1] != "bob" {
+		t.Fatalf("Users() = %v", users)
+	}
+}
+
+func TestCleanRejectsEscapes(t *testing.T) {
+	good := map[string]string{
+		"":             "/",
+		".":            "/",
+		"/":            "/",
+		"foo":          "/foo",
+		"/a/b/../c":    "/a/c",
+		"a//b":         "/a/b",
+		"/a/./b":       "/a/b",
+		"/../etc":      "/etc", // rooted clean cannot escape
+		"/a/b/c/../..": "/a",
+	}
+	for in, want := range good {
+		got, err := Clean(in)
+		if err != nil || got != want {
+			t.Errorf("Clean(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	if _, err := Clean("a\x00b"); !errors.Is(err, ErrInvalidPath) {
+		t.Error("Clean accepted a NUL byte")
+	}
+}
+
+func TestCleanNeverEscapesProperty(t *testing.T) {
+	// Property: for any input string without NUL, Clean yields a rooted path
+	// with no ".." component.
+	f := func(s string) bool {
+		s = strings.ReplaceAll(s, "\x00", "")
+		c, err := Clean(s)
+		if err != nil {
+			return false
+		}
+		return strings.HasPrefix(c, "/") && !strings.Contains(c, "..")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	h := newHome(t, 1<<20)
+	data := []byte("int main() { return 0; }")
+	if err := h.WriteFile("/main.c", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.ReadFile("main.c") // relative form resolves too
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read %q, want %q", got, data)
+	}
+	// Mutating the returned slice must not affect the stored file.
+	got[0] = 'X'
+	again, _ := h.ReadFile("/main.c")
+	if again[0] != 'i' {
+		t.Fatal("ReadFile returned an aliased buffer")
+	}
+}
+
+func TestWriteRequiresParent(t *testing.T) {
+	h := newHome(t, 1<<20)
+	if err := h.WriteFile("/src/main.c", []byte("x")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("write without parent: err = %v, want ErrNotFound", err)
+	}
+	if err := h.MkdirAll("/src/deep/dir"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WriteFile("/src/deep/dir/main.c", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMkdir(t *testing.T) {
+	h := newHome(t, 1<<20)
+	if err := h.Mkdir("/src"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Mkdir("/src"); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate Mkdir err = %v, want ErrExists", err)
+	}
+	if err := h.Mkdir("/no/parent"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Mkdir without parent err = %v, want ErrNotFound", err)
+	}
+	if err := h.Mkdir("/"); !errors.Is(err, ErrExists) {
+		t.Fatalf("Mkdir(/) err = %v, want ErrExists", err)
+	}
+}
+
+func TestMkdirAllThroughFileFails(t *testing.T) {
+	h := newHome(t, 1<<20)
+	if err := h.WriteFile("/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.MkdirAll("/f/sub"); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("MkdirAll through a file err = %v, want ErrNotDir", err)
+	}
+}
+
+func TestListOrdering(t *testing.T) {
+	h := newHome(t, 1<<20)
+	mustWrite(t, h, "/b.txt", "b")
+	mustWrite(t, h, "/a.txt", "a")
+	if err := h.Mkdir("/zdir"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Mkdir("/adir"); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := h.List("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, in := range infos {
+		names = append(names, in.Name)
+	}
+	want := []string{"adir", "zdir", "a.txt", "b.txt"} // dirs first, then files
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Fatalf("List order = %v, want %v", names, want)
+	}
+	if _, err := h.List("/a.txt"); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("List(file) err = %v, want ErrNotDir", err)
+	}
+}
+
+func TestStat(t *testing.T) {
+	h := newHome(t, 1<<20)
+	mustWrite(t, h, "/notes.txt", "hello")
+	inf, err := h.Stat("/notes.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf.Dir || inf.Size != 5 || inf.Name != "notes.txt" || inf.Path != "/notes.txt" {
+		t.Fatalf("Stat = %+v", inf)
+	}
+	root, err := h.Stat("/")
+	if err != nil || !root.Dir || root.Name != "/" {
+		t.Fatalf("Stat(/) = %+v, %v", root, err)
+	}
+	if _, err := h.Stat("/missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Stat(missing) err = %v", err)
+	}
+}
+
+func TestQuotaEnforcement(t *testing.T) {
+	h := newHome(t, 10)
+	if err := h.WriteFile("/a", []byte("12345")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WriteFile("/b", []byte("123456")); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("over-quota write err = %v, want ErrQuotaExceeded", err)
+	}
+	// Overwriting a file releases its old bytes first.
+	if err := h.WriteFile("/a", []byte("1234567890")); err != nil {
+		t.Fatalf("overwrite within quota failed: %v", err)
+	}
+	if h.Used() != 10 {
+		t.Fatalf("Used = %d, want 10", h.Used())
+	}
+	if err := h.Remove("/a", false); err != nil {
+		t.Fatal(err)
+	}
+	if h.Used() != 0 {
+		t.Fatalf("Used after remove = %d, want 0", h.Used())
+	}
+}
+
+func TestUploadLimit(t *testing.T) {
+	h := newHome(t, 1<<20)
+	n, err := h.Upload("/small", strings.NewReader("hello"), 10)
+	if err != nil || n != 5 {
+		t.Fatalf("Upload = %d, %v", n, err)
+	}
+	if _, err := h.Upload("/big", strings.NewReader(strings.Repeat("x", 11)), 10); err == nil {
+		t.Fatal("oversized upload accepted")
+	}
+	// Unlimited when maxBytes <= 0.
+	if _, err := h.Upload("/any", strings.NewReader(strings.Repeat("y", 100)), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	h := newHome(t, 1<<20)
+	if err := h.MkdirAll("/d/sub"); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, h, "/d/sub/f", "data")
+	if err := h.Remove("/d", false); !errors.Is(err, ErrDirNotEmpty) {
+		t.Fatalf("non-recursive remove of non-empty dir err = %v", err)
+	}
+	if err := h.Remove("/d", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Stat("/d"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("directory still present after recursive remove")
+	}
+	if h.Used() != 0 {
+		t.Fatalf("Used = %d after recursive remove, want 0", h.Used())
+	}
+	if err := h.Remove("/", true); !errors.Is(err, ErrInvalidPath) {
+		t.Fatalf("Remove(/) err = %v, want ErrInvalidPath", err)
+	}
+	if err := h.Remove("/ghost", false); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Remove(ghost) err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestRenameFileAndDir(t *testing.T) {
+	h := newHome(t, 1<<20)
+	mustWrite(t, h, "/old.txt", "content")
+	if err := h.Rename("/old.txt", "/new.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Stat("/old.txt"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("source still exists after rename")
+	}
+	got, err := h.ReadFile("/new.txt")
+	if err != nil || string(got) != "content" {
+		t.Fatalf("renamed file read = %q, %v", got, err)
+	}
+
+	if err := h.MkdirAll("/proj/src"); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, h, "/proj/src/m.c", "x")
+	if err := h.Rename("/proj", "/archive"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.ReadFile("/archive/src/m.c"); err != nil {
+		t.Fatalf("moved tree unreadable: %v", err)
+	}
+}
+
+func TestRenameGuards(t *testing.T) {
+	h := newHome(t, 1<<20)
+	if err := h.MkdirAll("/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, h, "/f", "x")
+	if err := h.Rename("/a", "/a/b/c"); !errors.Is(err, ErrInvalidPath) {
+		t.Fatalf("rename into self err = %v", err)
+	}
+	if err := h.Rename("/missing", "/x"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("rename missing err = %v", err)
+	}
+	if err := h.Rename("/f", "/a"); !errors.Is(err, ErrExists) {
+		t.Fatalf("rename onto existing err = %v", err)
+	}
+	if err := h.Rename("/", "/x"); !errors.Is(err, ErrInvalidPath) {
+		t.Fatalf("rename root err = %v", err)
+	}
+}
+
+func TestCopyFileAndTree(t *testing.T) {
+	h := newHome(t, 1<<20)
+	if err := h.MkdirAll("/src"); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, h, "/src/a.c", "aaa")
+	mustWrite(t, h, "/src/b.c", "bbb")
+	if err := h.Copy("/src", "/backup"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.ReadFile("/backup/a.c")
+	if err != nil || string(got) != "aaa" {
+		t.Fatalf("copied file read = %q, %v", got, err)
+	}
+	// Deep copy: mutating the copy leaves the original intact.
+	mustWrite(t, h, "/backup/a.c", "MUTATED")
+	orig, _ := h.ReadFile("/src/a.c")
+	if string(orig) != "aaa" {
+		t.Fatal("copy aliases original data")
+	}
+	if h.Used() != int64(len("aaa")+len("bbb")+len("MUTATED")+len("bbb")) {
+		t.Fatalf("Used = %d after copy+overwrite", h.Used())
+	}
+	if err := h.Copy("/src", "/src/inner"); !errors.Is(err, ErrInvalidPath) {
+		t.Fatalf("copy into self err = %v", err)
+	}
+	if err := h.Copy("/src", "/backup"); !errors.Is(err, ErrExists) {
+		t.Fatalf("copy onto existing err = %v", err)
+	}
+}
+
+func TestCopyRespectsQuota(t *testing.T) {
+	h := newHome(t, 10)
+	mustWrite(t, h, "/six", "123456")
+	if err := h.Copy("/six", "/six2"); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("over-quota copy err = %v, want ErrQuotaExceeded", err)
+	}
+}
+
+func TestWalk(t *testing.T) {
+	h := newHome(t, 1<<20)
+	if err := h.MkdirAll("/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, h, "/a/f1", "1")
+	mustWrite(t, h, "/a/b/f2", "2")
+	var paths []string
+	err := h.Walk("/", func(in Info) error {
+		paths = append(paths, in.Path)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"/", "/a", "/a/b", "/a/b/f2", "/a/f1"}
+	if fmt.Sprint(paths) != fmt.Sprint(want) {
+		t.Fatalf("Walk order = %v, want %v", paths, want)
+	}
+	// Early-exit propagates the error.
+	sentinel := errors.New("stop")
+	err = h.Walk("/", func(Info) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Walk error = %v, want sentinel", err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	h := newHome(t, 1<<24)
+	if err := h.MkdirAll("/work"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				p := fmt.Sprintf("/work/f-%d-%d", i, j)
+				if err := h.WriteFile(p, []byte(strings.Repeat("x", j))); err != nil {
+					t.Errorf("write %s: %v", p, err)
+					return
+				}
+				if _, err := h.ReadFile(p); err != nil {
+					t.Errorf("read %s: %v", p, err)
+					return
+				}
+				if _, err := h.List("/work"); err != nil {
+					t.Errorf("list: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	infos, err := h.List("/work")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 8*50 {
+		t.Fatalf("got %d files, want %d", len(infos), 8*50)
+	}
+}
+
+func TestUsedAccountingProperty(t *testing.T) {
+	// Property: after any sequence of writes and removes, Used equals the
+	// sum of surviving file sizes.
+	h := newHome(t, 1<<20)
+	f := func(sizes []uint8) bool {
+		for i, s := range sizes {
+			p := fmt.Sprintf("/p%d", i)
+			if err := h.WriteFile(p, bytes.Repeat([]byte("z"), int(s))); err != nil {
+				return false
+			}
+			if i%3 == 0 {
+				if err := h.Remove(p, false); err != nil {
+					return false
+				}
+			}
+		}
+		var want int64
+		h.Walk("/", func(in Info) error {
+			if !in.Dir {
+				want += in.Size
+			}
+			return nil
+		})
+		ok := h.Used() == want
+		// Reset for the next property iteration.
+		for _, in := range mustList(h, "/") {
+			h.Remove(in.Path, true)
+		}
+		return ok && h.Used() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustList(h *Home, p string) []Info {
+	infos, err := h.List(p)
+	if err != nil {
+		panic(err)
+	}
+	return infos
+}
+
+func mustWrite(t *testing.T, h *Home, p, data string) {
+	t.Helper()
+	if err := h.WriteFile(p, []byte(data)); err != nil {
+		t.Fatalf("WriteFile(%s): %v", p, err)
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	src := newHome(t, 1<<20)
+	if err := src.MkdirAll("/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, src, "/a/b/deep.txt", "deep contents")
+	mustWrite(t, src, "/top.txt", "top")
+	if err := src.Mkdir("/empty"); err != nil {
+		t.Fatal(err)
+	}
+	dump := src.Export()
+
+	dst := newHome(t, 1<<20)
+	if err := dst.Import(dump); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"/a/b/deep.txt", "/top.txt"} {
+		want, _ := src.ReadFile(p)
+		got, err := dst.ReadFile(p)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("%s after import = %q, %v", p, got, err)
+		}
+	}
+	if inf, err := dst.Stat("/empty"); err != nil || !inf.Dir {
+		t.Fatalf("empty dir lost: %+v, %v", inf, err)
+	}
+	if dst.Used() != src.Used() {
+		t.Fatalf("quota accounting diverged: %d vs %d", dst.Used(), src.Used())
+	}
+}
+
+func TestImportRespectsQuota(t *testing.T) {
+	src := newHome(t, 1<<20)
+	mustWrite(t, src, "/big", strings.Repeat("x", 100))
+	dump := src.Export()
+	tiny := newHome(t, 10)
+	if err := tiny.Import(dump); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("import over quota err = %v", err)
+	}
+}
+
+func TestExportIsSnapshot(t *testing.T) {
+	h := newHome(t, 1<<20)
+	mustWrite(t, h, "/f", "original")
+	dump := h.Export()
+	mustWrite(t, h, "/f", "mutated")
+	for _, d := range dump {
+		if d.Path == "/f" && string(d.Data) != "original" {
+			t.Fatalf("export aliased live data: %q", d.Data)
+		}
+	}
+}
