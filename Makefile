@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all check build vet fmt test race bench
+
+all: check
+
+# check is the CI gate: formatting, vet, the full suite, and the race
+# detector over the concurrency-heavy packages.
+check: fmt vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/scheduler/... ./internal/jobs/... ./internal/mpi/... ./internal/portal/...
+
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkDispatchLatency -benchtime 20x ./internal/scheduler/

@@ -16,6 +16,7 @@ package ccportal
 // protocol).
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"sync"
@@ -402,12 +403,12 @@ func main() {
 func BenchmarkCompileCache(b *testing.B) {
 	tools := toolchain.NewService(clock.NewSim())
 	src := labs.MinicSource(labs.Lab5BankAccount, true)
-	if _, err := tools.Compile("minic", "warm.mc", src); err != nil {
+	if _, err := tools.Compile(context.Background(), "minic", "warm.mc", src); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := tools.Compile("minic", "warm.mc", src)
+		res, err := tools.Compile(context.Background(), "minic", "warm.mc", src)
 		if err != nil || !res.Cached {
 			b.Fatal("cache miss")
 		}

@@ -273,7 +273,8 @@ func (c *Client) SendInput(id, data string) error {
 	return c.doJSON("POST", "/api/jobs/"+id+"/input", map[string]string{"data": data}, nil)
 }
 
-// Cancel cancels a queued job.
+// Cancel cancels a queued or running job. A running job is actually halted:
+// its VM ranks stop mid-program and its nodes are released.
 func (c *Client) Cancel(id string) error {
 	return c.doJSON("POST", "/api/jobs/"+id+"/cancel", nil, nil)
 }

@@ -15,6 +15,7 @@
 //	compile <remote> [lang]       compile only, printing diagnostics
 //	run <remote> [ranks]          submit, wait, stream output
 //	jobs                          list jobs
+//	cancel <job-id>               cancel a queued or running job
 //	stats                         cluster summary
 //	events                        scheduler activity feed
 //	format <remote>               pretty-print a minic source in place
@@ -156,6 +157,15 @@ func run(url, user, pass string, args []string) error {
 		if final.State != "succeeded" {
 			return fmt.Errorf("%s", final.Failure)
 		}
+		return nil
+	case "cancel":
+		if len(rest) != 1 {
+			return fmt.Errorf("cancel needs <job-id>")
+		}
+		if err := c.Cancel(rest[0]); err != nil {
+			return err
+		}
+		fmt.Println("cancelled", rest[0])
 		return nil
 	case "jobs":
 		jobsList, err := c.Jobs()

@@ -80,25 +80,30 @@ func run(configPath, addr, policy, logLevel, admin, statePath string, backfill, 
 			logger.Infof("bootstrapped admin account %q", user)
 		}
 	}
+	// Graceful shutdown: on SIGINT/SIGTERM snapshot state (when configured)
+	// and drain the scheduler — in-flight jobs get the drain timeout to
+	// finish before they are cancelled — then exit.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-stop
+		logger.Infof("shutting down: draining in-flight jobs")
+		if statePath != "" {
+			if err := sys.SaveStateFile(statePath); err != nil {
+				logger.Errorf("final state snapshot: %v", err)
+			}
+		}
+		sys.Stop()
+		os.Exit(0)
+	}()
 	if statePath != "" {
-		// Periodic snapshots plus a final one on SIGINT/SIGTERM.
-		stop := make(chan os.Signal, 1)
-		signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+		// Periodic snapshots.
 		go func() {
 			t := time.NewTicker(30 * time.Second)
 			defer t.Stop()
-			for {
-				select {
-				case <-t.C:
-					if err := sys.SaveStateFile(statePath); err != nil {
-						logger.Errorf("state snapshot: %v", err)
-					}
-				case <-stop:
-					if err := sys.SaveStateFile(statePath); err != nil {
-						logger.Errorf("final state snapshot: %v", err)
-					}
-					sys.Stop()
-					os.Exit(0)
+			for range t.C {
+				if err := sys.SaveStateFile(statePath); err != nil {
+					logger.Errorf("state snapshot: %v", err)
 				}
 			}
 		}()

@@ -76,6 +76,18 @@ type Cluster struct {
 	start       time.Time
 	lastSample  time.Time
 	busyNodes   int
+
+	releaseNotify func()
+}
+
+// SetReleaseNotify installs a hook invoked (outside the cluster lock) after
+// every Release that actually freed nodes — the scheduler registers its wake
+// channel here so freed capacity is re-dispatched without waiting for a poll
+// interval. A nil fn disables notification.
+func (c *Cluster) SetReleaseNotify(fn func()) {
+	c.mu.Lock()
+	c.releaseNotify = fn
+	c.mu.Unlock()
 }
 
 // New builds a Cluster from configuration. Odd-numbered segments get the
@@ -232,7 +244,6 @@ func (c *Cluster) AllocateNodes(jobID string, ids []topology.NodeID) error {
 // Release frees every node held by the job and returns how many were freed.
 func (c *Cluster) Release(jobID string) int {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	ids := c.allocations[jobID]
 	c.sampleLocked()
 	for _, id := range ids {
@@ -242,6 +253,11 @@ func (c *Cluster) Release(jobID string) int {
 	}
 	delete(c.allocations, jobID)
 	c.recountLocked()
+	notify := c.releaseNotify
+	c.mu.Unlock()
+	if notify != nil && len(ids) > 0 {
+		notify()
+	}
 	return len(ids)
 }
 

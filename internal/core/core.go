@@ -37,7 +37,9 @@ type Options struct {
 	TreeCollectives bool
 	// Logger receives system events; nil discards them.
 	Logger *logging.Logger
-	// DispatchInterval is the scheduler poll period; 0 means 5ms.
+	// DispatchInterval is the scheduler's fallback poll period; 0 means
+	// 5ms. Dispatch itself is event-driven (submission and node release
+	// wake the loop), so this only bounds recovery from a lost wake.
 	DispatchInterval time.Duration
 }
 
@@ -55,6 +57,7 @@ type System struct {
 	Portal  *portal.Server
 
 	log     *logging.Logger
+	opts    Options
 	started bool
 }
 
@@ -100,6 +103,7 @@ func NewSystem(cfg config.Config, opts Options) (*System, error) {
 		StepBudget:     cfg.Limits.VMStepBudget,
 		Collective:     collective,
 		Logger:         opts.Logger.Named("sched"),
+		Clock:          clk,
 	})
 	srv := portal.NewServer(authSvc, fs, tools, store, sched, clus,
 		opts.Logger.Named("portal"), cfg.Portal.MaxUploadBytes)
@@ -115,6 +119,7 @@ func NewSystem(cfg config.Config, opts Options) (*System, error) {
 		Sched:   sched,
 		Portal:  srv,
 		log:     opts.Logger,
+		opts:    opts,
 	}, nil
 }
 
@@ -124,7 +129,7 @@ func (s *System) Start() {
 		return
 	}
 	s.started = true
-	s.Sched.Start(5 * time.Millisecond)
+	s.Sched.Start(s.opts.DispatchInterval)
 	s.log.Infof("system started: %d nodes in %d segments",
 		s.Cluster.Size(), s.Config.Cluster.Segments)
 }

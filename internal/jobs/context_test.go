@@ -1,0 +1,73 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestJobContextLivesUntilTerminal(t *testing.T) {
+	s, _ := newStore(t)
+	j, err := s.Submit(spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Context() == nil || j.Context().Err() != nil {
+		t.Fatal("fresh job must carry a live context")
+	}
+	s.Transition(j.ID, StateCompiling, "")
+	s.Transition(j.ID, StateRunning, "")
+	if j.Context().Err() != nil {
+		t.Fatal("context died before a terminal state")
+	}
+	if err := s.Transition(j.ID, StateSucceeded, ""); err != nil {
+		t.Fatal(err)
+	}
+	if j.Context().Err() == nil {
+		t.Fatal("context still alive after terminal transition")
+	}
+	if cause := context.Cause(j.Context()); !errors.Is(cause, context.Canceled) {
+		t.Fatalf("succeeded job cause = %v", cause)
+	}
+}
+
+func TestCancelledJobContextCarriesReason(t *testing.T) {
+	s, _ := newStore(t)
+	j, err := s.Submit(spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Transition(j.ID, StateCancelled, "cancelled by user"); err != nil {
+		t.Fatal(err)
+	}
+	cause := context.Cause(j.Context())
+	if !errors.Is(cause, ErrCancelled) || !strings.Contains(cause.Error(), "cancelled by user") {
+		t.Fatalf("cause = %v", cause)
+	}
+	if snap := j.Snapshot(); snap.Failure != "cancelled by user" {
+		t.Fatalf("failure = %q", snap.Failure)
+	}
+}
+
+func TestSubmitNotifies(t *testing.T) {
+	s, _ := newStore(t)
+	fired := 0
+	s.SetNotify(func() {
+		fired++
+		s.Counts() // must not deadlock: notify runs outside the store lock
+	})
+	if _, err := s.Submit(spec()); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("notify fired %d times", fired)
+	}
+	// A rejected submit must not notify.
+	if _, err := s.Submit(Spec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	if fired != 1 {
+		t.Fatalf("notify fired %d times after rejected submit", fired)
+	}
+}

@@ -2,9 +2,15 @@
 // file, a language, a rank count, optional stdin), the lifecycle it moves
 // through (queued → compiling → running → succeeded/failed/cancelled), its
 // captured standard streams, and the store the portal and scheduler share.
+//
+// Every job owns a context.Context created at submission. The context is
+// cancelled — with a cause naming the terminal state and reason — the moment
+// the job reaches a terminal state, so every layer of the pipeline (compiler,
+// VM interpreter loop, MPI runtime) can observe cancellation and unwind.
 package jobs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -68,6 +74,10 @@ var (
 	ErrQueueFull     = errors.New("jobs: queue is full")
 )
 
+// ErrCancelled is the cancellation cause recorded on a job's context when it
+// is cancelled; context.Cause wraps it with the recorded reason.
+var ErrCancelled = errors.New("jobs: job cancelled")
+
 // Spec is what the user submits.
 type Spec struct {
 	// Owner is the submitting username.
@@ -91,6 +101,9 @@ type Job struct {
 	ID   string
 	Spec Spec
 
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
 	mu         sync.Mutex
 	state      State
 	submitted  time.Time
@@ -104,6 +117,11 @@ type Job struct {
 	Stdout *Stream
 	Stdin  *Input
 }
+
+// Context returns the job's lifecycle context. It is created at submission
+// and cancelled when the job reaches a terminal state; the whole execution
+// pipeline (compile, dispatch, VM, MPI) derives from it.
+func (j *Job) Context() context.Context { return j.ctx }
 
 // Snapshot is an immutable view of a job for display.
 type Snapshot struct {
@@ -165,6 +183,17 @@ type Store struct {
 	clk    clock.Clock
 	maxQ   int
 	queued int
+	notify func()
+}
+
+// SetNotify installs a hook invoked (outside the store lock) after every
+// successful Submit — the scheduler registers its wake channel here so a new
+// job is dispatched without waiting for a poll interval. A nil fn disables
+// notification.
+func (s *Store) SetNotify(fn func()) {
+	s.mu.Lock()
+	s.notify = fn
+	s.mu.Unlock()
 }
 
 // NewStore returns a Store admitting at most maxQueued non-terminal jobs
@@ -196,13 +225,17 @@ func (s *Store) Submit(spec Spec) (*Job, error) {
 		return nil, fmt.Errorf("jobs: ranks must be positive, got %d", spec.Ranks)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.maxQ > 0 && s.queued >= s.maxQ {
-		return nil, fmt.Errorf("%w (%d active)", ErrQueueFull, s.queued)
+		n := s.queued
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w (%d active)", ErrQueueFull, n)
 	}
+	ctx, cancel := context.WithCancelCause(context.Background())
 	j := &Job{
 		ID:        s.gen.Next(),
 		Spec:      spec,
+		ctx:       ctx,
+		cancel:    cancel,
 		state:     StateQueued,
 		submitted: s.clk.Now(),
 		Stdout:    NewStream(0),
@@ -214,6 +247,11 @@ func (s *Store) Submit(spec Spec) (*Job, error) {
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
 	s.queued++
+	notify := s.notify
+	s.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
 	return j, nil
 }
 
@@ -229,7 +267,10 @@ func (s *Store) Get(id string) (*Job, error) {
 }
 
 // Transition moves a job to the next state, stamping times and failure
-// reasons. A failure message is required for StateFailed.
+// reasons. A failure message is required for StateFailed; for StateCancelled
+// it records the cancellation reason. Any terminal transition closes the
+// job's streams and cancels its context, so in-flight compile/execute work
+// observes the cancellation and unwinds.
 func (s *Store) Transition(id string, next State, failure string) error {
 	j, err := s.Get(id)
 	if err != nil {
@@ -255,10 +296,13 @@ func (s *Store) Transition(id string, next State, failure string) error {
 		j.started = now
 	case StateSucceeded, StateFailed, StateCancelled:
 		j.finished = now
-		if next == StateFailed {
+		switch next {
+		case StateFailed:
 			if failure == "" {
 				failure = "unknown failure"
 			}
+			j.failure = failure
+		case StateCancelled:
 			j.failure = failure
 		}
 		j.Stdout.Close()
@@ -269,6 +313,11 @@ func (s *Store) Transition(id string, next State, failure string) error {
 		s.mu.Lock()
 		s.queued--
 		s.mu.Unlock()
+		cause := context.Canceled
+		if next == StateCancelled {
+			cause = fmt.Errorf("%w: %s", ErrCancelled, failure)
+		}
+		j.cancel(cause)
 	}
 	return nil
 }

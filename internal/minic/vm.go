@@ -2,6 +2,7 @@ package minic
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -18,6 +19,10 @@ import (
 // ErrStepBudget is returned when a program exceeds its instruction budget —
 // the portal's defence against runaway student programs wedging a node.
 var ErrStepBudget = errors.New("minic: step budget exceeded")
+
+// ErrCancelled is returned when the machine's context dies mid-execution —
+// how a cancelled (or timed-out) job halts its VM ranks.
+var ErrCancelled = errors.New("minic: execution cancelled")
 
 func floatBitsOf(f float64) uint64     { return math.Float64bits(f) }
 func floatFromBitsOf(b uint64) float64 { return math.Float64frombits(b) }
@@ -96,12 +101,17 @@ type MachineConfig struct {
 	StepBudget int64
 	// Seed seeds the deterministic random() builtin.
 	Seed int64
+	// Ctx halts execution with ErrCancelled when it dies. The interpreter
+	// checks it every cancelCheckInterval instructions, so the per-opcode
+	// fast path stays a single atomic add. nil means never cancelled.
+	Ctx context.Context
 }
 
 // Machine executes one compiled Unit as one process (one MPI rank).
 type Machine struct {
 	unit  *Unit
 	hooks MPIHooks
+	ctx   context.Context
 
 	outMu sync.Mutex
 	out   io.Writer
@@ -136,9 +146,13 @@ func NewMachine(u *Unit, cfg MachineConfig) *Machine {
 	if cfg.StepBudget <= 0 {
 		cfg.StepBudget = 50_000_000
 	}
+	if cfg.Ctx == nil {
+		cfg.Ctx = context.Background()
+	}
 	return &Machine{
 		unit:    u,
 		hooks:   cfg.Hooks,
+		ctx:     cfg.Ctx,
 		out:     cfg.Out,
 		in:      bufio.NewReader(cfg.In),
 		globals: make([]Value, len(u.Globals)),
@@ -159,8 +173,12 @@ func (m *Machine) recordErr(err error) {
 }
 
 // Run executes global initializers then main, waits for all spawned threads,
-// and returns main's result and the first error from any thread.
+// and returns main's result and the first error from any thread. A machine
+// whose context is already dead returns ErrCancelled without executing.
 func (m *Machine) Run() (Value, error) {
+	if m.ctx.Err() != nil {
+		return UnitValue(), ErrCancelled
+	}
 	if err := m.runInit(); err != nil {
 		return UnitValue(), err
 	}
@@ -188,6 +206,11 @@ func (m *Machine) runInit() error {
 // with a diagnostic instead of exhausting the Go stack.
 const maxCallDepth = 10_000
 
+// cancelCheckInterval is how many interpreted instructions (machine-wide) may
+// elapse between context checks. Must be a power of two: the hot loop tests
+// steps&(interval-1) so the common case costs one mask, not a context poll.
+const cancelCheckInterval = 1 << 12
+
 // callFunction runs Funcs[fi] with args in the current goroutine.
 func (m *Machine) callFunction(fi int, args []Value, depth int) (Value, error) {
 	if depth > maxCallDepth {
@@ -210,8 +233,10 @@ func (m *Machine) exec(f *CompiledFunc, locals []Value, depth int) (Value, error
 	}
 	code := f.Code
 	for pc := 0; pc < len(code); pc++ {
-		if m.steps.Add(1) > m.budget {
+		if n := m.steps.Add(1); n > m.budget {
 			return UnitValue(), fmt.Errorf("%w after %d instructions", ErrStepBudget, m.budget)
+		} else if n&(cancelCheckInterval-1) == 0 && m.ctx.Err() != nil {
+			return UnitValue(), ErrCancelled
 		}
 		in := code[pc]
 		switch in.Op {

@@ -1,0 +1,78 @@
+package mpi
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestCancelUnblocksBlockedRecv(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	w := newWorld(t, 2, Options{Ctx: ctx})
+	c1, err := w.Comm(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c1.Recv(0, 0) // no sender: blocks until the world dies
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrCancelled) {
+			t.Fatalf("Recv error = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv did not unblock after cancel")
+	}
+}
+
+func TestCancelUnblocksBlockedSend(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	w := newWorld(t, 2, Options{Ctx: ctx, BufferDepth: 1})
+	c0, err := w.Comm(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c0.Send(1, 0, []byte("fills the buffer")); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- c0.Send(1, 0, []byte("rendezvous: no receiver ever comes"))
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrCancelled) {
+			t.Fatalf("Send error = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Send did not unblock after cancel")
+	}
+}
+
+func TestRecvAfterCancelDrainsDelivered(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	w := newWorld(t, 2, Options{Ctx: ctx})
+	c0, _ := w.Comm(0)
+	c1, _ := w.Comm(1)
+	if err := c0.Send(1, 0, []byte("already delivered")); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	// A message that made it into the buffer before the cancel is still
+	// receivable; only a would-block receive reports cancellation.
+	data, err := c1.Recv(0, 0)
+	if err != nil || string(data) != "already delivered" {
+		t.Fatalf("Recv = %q, %v", data, err)
+	}
+	if _, err := c1.Recv(0, 0); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("empty Recv after cancel = %v", err)
+	}
+}

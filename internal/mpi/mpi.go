@@ -13,6 +13,7 @@
 package mpi
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -27,6 +28,10 @@ var (
 	ErrBadRank     = errors.New("mpi: rank out of range")
 	ErrSelfSend    = errors.New("mpi: send to self without buffering would deadlock")
 	ErrWorldClosed = errors.New("mpi: world is closed")
+	// ErrCancelled is returned by blocked Send/Recv (and the collectives
+	// built on them) when the world's context dies: a cancelled job's ranks
+	// must not stay parked on a channel forever.
+	ErrCancelled = errors.New("mpi: world cancelled")
 )
 
 // Algorithm selects the collective implementation (the ablation axis).
@@ -95,6 +100,7 @@ type World struct {
 	places   []topology.NodeID
 	algo     Algorithm
 	overhead time.Duration
+	done     <-chan struct{} // nil (blocks forever) unless Options.Ctx is set
 
 	// queues[src][dst] carries messages; buffered so sends are async up to
 	// the buffer depth, like a real MPI eager protocol.
@@ -115,6 +121,10 @@ type Options struct {
 	// (LogP's o); it serializes a sender's messages so, e.g., a linear
 	// broadcast's root pays (P-1)·o. Default 5µs; negative disables.
 	SendOverhead time.Duration
+	// Ctx is the world's lifecycle context (typically the owning job's).
+	// When it dies, blocked Send/Recv and the collectives abort with
+	// ErrCancelled. nil means communication never aborts early.
+	Ctx context.Context
 }
 
 // New creates a World with one rank per entry of places. places[i] is the
@@ -140,12 +150,17 @@ func New(grid *topology.Grid, places []topology.NodeID, opts Options) (*World, e
 		overhead = 0
 	}
 	size := len(places)
+	var done <-chan struct{}
+	if opts.Ctx != nil {
+		done = opts.Ctx.Done()
+	}
 	w := &World{
 		size:     size,
 		grid:     grid,
 		places:   append([]topology.NodeID(nil), places...),
 		algo:     opts.Algorithm,
 		overhead: overhead,
+		done:     done,
 		queues:   make([][]chan message, size),
 		comms:    make([]*Comm, size),
 	}
@@ -265,7 +280,8 @@ func (c *Comm) BytesOut() int64 { return c.bytesOut }
 
 // Send delivers data to rank dst with the given tag. It is asynchronous up
 // to the world's buffer depth, then blocks (rendezvous), like MPI's standard
-// mode. Sending to self is allowed thanks to buffering.
+// mode. Sending to self is allowed thanks to buffering. A Send blocked on a
+// full buffer aborts with ErrCancelled when the world's context dies.
 func (c *Comm) Send(dst, tag int, data []byte) error {
 	w := c.world
 	if dst < 0 || dst >= w.size {
@@ -285,9 +301,13 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 	c.vtime += w.overhead
 	st := c.vtime
 	c.vmu.Unlock()
+	select {
+	case w.queues[c.rank][dst] <- message{tag: tag, data: cp, sendTime: st}:
+	case <-w.done:
+		return ErrCancelled
+	}
 	c.sent++
 	c.bytesOut += int64(len(data))
-	w.queues[c.rank][dst] <- message{tag: tag, data: cp, sendTime: st}
 	return nil
 }
 
@@ -296,12 +316,26 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 // with other tags from the same source are delivered in order per tag
 // matching MPI non-overtaking semantics within a (src,dst,tag) triple; a
 // mismatched tag at the queue head is an error (the labs use disjoint tags).
+// A Recv with no matching sender aborts with ErrCancelled when the world's
+// context dies.
 func (c *Comm) Recv(src, tag int) ([]byte, error) {
 	w := c.world
 	if src < 0 || src >= w.size {
 		return nil, fmt.Errorf("%w: src %d", ErrBadRank, src)
 	}
-	m, ok := <-w.queues[src][c.rank]
+	var m message
+	var ok bool
+	select {
+	case m, ok = <-w.queues[src][c.rank]:
+	case <-w.done:
+		// Drain an already-delivered message in preference to aborting, so
+		// cancellation never drops data that had actually arrived.
+		select {
+		case m, ok = <-w.queues[src][c.rank]:
+		default:
+			return nil, ErrCancelled
+		}
+	}
 	if !ok {
 		return nil, ErrWorldClosed
 	}

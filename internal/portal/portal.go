@@ -111,6 +111,12 @@ func (s *Server) installStandardMetrics() {
 		return int64(s.Jobs.Counts()[jobs.StateQueued])
 	})
 	reg.RegisterFunc("scheduler_dispatched_total", func() int64 { return s.Sched.Dispatched() })
+	reg.RegisterFunc("scheduler_queue_depth", func() int64 {
+		return int64(s.Jobs.Counts()[jobs.StateQueued])
+	})
+	reg.RegisterFunc("scheduler_dispatch_latency_us_last", s.Sched.DispatchLatencyLastUS)
+	reg.RegisterFunc("scheduler_dispatch_latency_us_sum", s.Sched.DispatchLatencySumUS)
+	reg.RegisterFunc("scheduler_cancelled_running_total", s.Sched.CancelledWhileRunning)
 	reg.RegisterFunc("auth_active_sessions", func() int64 { return int64(s.Auth.ActiveSessions()) })
 }
 
@@ -429,7 +435,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request, sess *aut
 			return
 		}
 	}
-	res, err := s.Tools.Compile(lang, req.Path, string(src))
+	res, err := s.Tools.Compile(r.Context(), lang, req.Path, string(src))
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return

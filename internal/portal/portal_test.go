@@ -28,6 +28,7 @@ type stack struct {
 	sched *scheduler.Scheduler
 	store *jobs.Store
 	authz *auth.Service
+	clus  *cluster.Cluster
 }
 
 func newStack(t *testing.T) *stack {
@@ -42,13 +43,16 @@ func newStack(t *testing.T) *stack {
 	store := jobs.NewStore(64, sim)
 	fs := vfs.New(1<<24, sim)
 	authz := auth.NewService(time.Hour, clock.Real{}) // real clock: sessions live through the test
-	sched := scheduler.New(clus, tools, store, fs, scheduler.Options{WallTime: 30 * time.Second})
+	sched := scheduler.New(clus, tools, store, fs, scheduler.Options{
+		WallTime:   30 * time.Second,
+		StepBudget: 1 << 40, // cancellation tests spin; the budget must not end them first
+	})
 	sched.Start(time.Millisecond)
 	t.Cleanup(sched.Stop)
 	server := NewServer(authz, fs, tools, store, sched, clus, logging.Discard(), 1<<20)
 	ts := httptest.NewServer(server)
 	t.Cleanup(ts.Close)
-	return &stack{srv: ts, sched: sched, store: store, authz: authz}
+	return &stack{srv: ts, sched: sched, store: store, authz: authz, clus: clus}
 }
 
 // client is a minimal API client holding a bearer token.
@@ -498,6 +502,77 @@ func TestCancelViaAPI(t *testing.T) {
 	}
 	if st, _ := c.do("POST", "/api/jobs/"+job.ID+"/cancel", nil); st != http.StatusConflict {
 		t.Fatalf("double cancel = %d", st)
+	}
+}
+
+// TestCancelRunningJobViaAPI is the end-to-end cancellation path: a spinning
+// rank and a blocked MPI peer are halted by one POST, the nodes come back,
+// and the metrics register the kill.
+func TestCancelRunningJobViaAPI(t *testing.T) {
+	s := newStack(t)
+	c := s.register(t, "alice", "secret1")
+	// Rank 0 prints, then spins forever; rank 1 blocks in recv(0). Only
+	// cancellation can end this program (the step budget is astronomical).
+	c.do("PUT", "/api/files/content?path=/spin.mc", `
+func main() {
+	if (rank() == 0) {
+		println("spinning");
+		while (true) { }
+	}
+	var got = recv(0);
+	println(got);
+}`)
+	status, resp := c.do("POST", "/api/jobs", map[string]interface{}{"source_path": "/spin.mc", "ranks": 2})
+	if status != http.StatusAccepted {
+		t.Fatalf("submit = %d %s", status, resp)
+	}
+	var job struct {
+		ID string `json:"id"`
+	}
+	json.Unmarshal(resp, &job)
+	// Wait until the program is demonstrably executing.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var out struct {
+			Data  string `json:"data"`
+			State string `json:"state"`
+		}
+		c.getJSON("/api/jobs/"+job.ID+"/output?offset=0", &out)
+		if out.State == "running" && strings.Contains(out.Data, "spinning") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started spinning (state %s, output %q)", out.State, out.Data)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st, _ := c.do("POST", "/api/jobs/"+job.ID+"/cancel", nil); st != http.StatusOK {
+		t.Fatalf("cancel = %d", st)
+	}
+	snap, err := s.store.WaitTerminal(job.ID, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != jobs.StateCancelled || !strings.Contains(snap.Failure, "cancelled by user") {
+		t.Fatalf("snap = %+v", snap)
+	}
+	// Both VM ranks must actually halt and release their nodes.
+	deadline = time.Now().Add(10 * time.Second)
+	for s.clus.FreeCount() != s.clus.Size() {
+		if time.Now().After(deadline) {
+			t.Fatalf("nodes not released: %d/%d free", s.clus.FreeCount(), s.clus.Size())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := s.sched.CancelledWhileRunning(); got != 1 {
+		t.Fatalf("CancelledWhileRunning = %d", got)
+	}
+	var metrics map[string]int64
+	if st := c.getJSON("/api/metrics", &metrics); st != http.StatusOK {
+		t.Fatalf("metrics = %d", st)
+	}
+	if metrics["scheduler_cancelled_running_total"] != 1 {
+		t.Fatalf("metrics = %v", metrics)
 	}
 }
 

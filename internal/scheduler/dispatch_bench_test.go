@@ -1,0 +1,64 @@
+package scheduler
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/jobs"
+	"repro/internal/toolchain"
+	"repro/internal/vfs"
+)
+
+// BenchmarkDispatchLatency measures submit→started latency with the
+// event-driven wake path against pure polling at the legacy 5ms interval.
+// Everything runs on the wall clock so Started-Submitted is a real latency.
+func BenchmarkDispatchLatency(b *testing.B) {
+	for _, mode := range []string{"event", "polling"} {
+		b.Run(mode, func(b *testing.B) {
+			clk := clock.Real{}
+			cfg := config.Default()
+			clus, err := cluster.New(cfg, clk)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tools := toolchain.NewService(clk)
+			store := jobs.NewStore(0, clk)
+			fs := vfs.New(1<<24, clk)
+			s := New(clus, tools, store, fs, Options{WallTime: 30 * time.Second, Clock: clk})
+			if mode == "polling" {
+				// Sever the wake hooks so only the ticker dispatches.
+				store.SetNotify(nil)
+				clus.SetReleaseNotify(nil)
+			}
+			s.Start(5 * time.Millisecond)
+			defer s.Stop()
+			h := fs.EnsureHome("bench")
+			if err := h.WriteFile("/h.mc", []byte(helloSrc)); err != nil {
+				b.Fatal(err)
+			}
+			var total time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j, err := store.Submit(jobs.Spec{
+					Owner: "bench", SourcePath: "/h.mc", Language: "minic", Ranks: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				snap, err := store.WaitTerminal(j.ID, 30*time.Second)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if snap.State != jobs.StateSucceeded {
+					b.Fatalf("job %s: %+v", j.ID, snap)
+				}
+				total += snap.Started.Sub(snap.Submitted)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(total.Microseconds())/float64(b.N), "µs/dispatch")
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package scheduler
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -12,6 +13,12 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/topology"
 )
+
+// drainGrace bounds how long a cancelled job's ranks get to observe their
+// dead context before runArtifact abandons them. The context halts the VM
+// loop and unblocks MPI waits, but a program deadlocked on its own
+// semaphores cannot be reaped.
+const drainGrace = 2 * time.Second
 
 // commHooks adapts an mpi.Comm to the minic VM's MPIHooks interface, so a
 // program's rank()/send()/recv()/barrier() builtins talk to the simulated
@@ -91,11 +98,14 @@ func (w *rankWriter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-// runArtifact executes a compiled unit as an MPI job over the given nodes.
-// It blocks until every rank finishes and returns the first rank error.
-func (s *Scheduler) runArtifact(job *jobs.Job, unit *minic.Unit, nodes []topology.NodeID) error {
+// runArtifact executes a compiled unit as an MPI job over the given nodes
+// under ctx: each rank's VM checks the context in its interpreter loop and
+// the MPI world aborts blocked sends/receives when it dies. It blocks until
+// every rank finishes and returns the first rank error, or the context's
+// cause if the run was cancelled or timed out.
+func (s *Scheduler) runArtifact(ctx context.Context, job *jobs.Job, unit *minic.Unit, nodes []topology.NodeID) error {
 	ranks := job.Spec.Ranks
-	world, err := mpi.New(s.cluster.Grid(), nodes, mpi.Options{Algorithm: s.collective})
+	world, err := mpi.New(s.cluster.Grid(), nodes, mpi.Options{Algorithm: s.collective, Ctx: ctx})
 	if err != nil {
 		return err
 	}
@@ -122,6 +132,7 @@ func (s *Scheduler) runArtifact(job *jobs.Job, unit *minic.Unit, nodes []topolog
 			Hooks:      commHooks{c: comm},
 			StepBudget: budget,
 			Seed:       int64(r) + 1,
+			Ctx:        ctx,
 		})
 		wg.Add(1)
 		go func(r int) {
@@ -142,10 +153,18 @@ func (s *Scheduler) runArtifact(job *jobs.Job, unit *minic.Unit, nodes []topolog
 	}()
 	select {
 	case <-done:
-	case <-time.After(s.wallTime):
-		// The ranks cannot be killed, but the step budget bounds them;
-		// report the timeout now and let them drain in the background.
-		return fmt.Errorf("scheduler: job %s exceeded wall time %v", job.ID, s.wallTime)
+	case <-ctx.Done():
+		// The dead context halts each rank's interpreter loop and aborts
+		// blocked MPI calls; closing stdin unblocks a rank parked in
+		// readline(). Give the ranks a short grace to unwind, then abandon
+		// them (a program deadlocked on its own semaphores is unreapable).
+		job.Stdin.Close()
+		select {
+		case <-done:
+		case <-time.After(drainGrace):
+			s.log.Warnf("job %s: ranks still draining after cancellation", job.ID)
+		}
+		return fmt.Errorf("scheduler: job %s: %w", job.ID, context.Cause(ctx))
 	}
 	for _, e := range errs {
 		if e != nil {

@@ -6,15 +6,25 @@
 // fronts: "it then creates a compilation and/or executor object, which in
 // turn upon success contacts a job distributor to allocate resources on the
 // cluster and finally dispatch the job onto those resources."
+//
+// The pipeline is context-propagated end to end: every job carries a
+// context.Context from submission, the wall-time limit is a deadline layered
+// on top of it, and cancellation from any non-terminal state tears down the
+// compile, the VM ranks and their MPI world. Dispatch is event-driven: job
+// submission and node release signal a wake channel, so a startable job is
+// dispatched in microseconds instead of waiting out a poll interval.
 package scheduler
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/cluster"
 	"repro/internal/jobs"
 	"repro/internal/logging"
@@ -32,7 +42,9 @@ type Options struct {
 	Backfill bool
 	// MaxNodesPerJob bounds a single allocation; 0 means 16.
 	MaxNodesPerJob int
-	// WallTime bounds a job's execution; 0 means 5 minutes.
+	// WallTime bounds a job's execution; 0 means 5 minutes. It is enforced
+	// as a context deadline on the job's run, so an over-time job is
+	// actually halted, not merely reported late.
 	WallTime time.Duration
 	// StepBudget is the default per-rank instruction budget; 0 means 50M.
 	StepBudget int64
@@ -40,6 +52,13 @@ type Options struct {
 	Collective mpi.Algorithm
 	// Logger receives scheduling events; nil discards them.
 	Logger *logging.Logger
+	// Clock is the time source for dispatch-latency accounting; nil means
+	// the wall clock. Wire the same clock as the job store so the
+	// submit→allocate latency is measured on one timeline.
+	Clock clock.Clock
+	// DrainTimeout bounds how long Stop waits for in-flight jobs before
+	// cancelling them; 0 means 5 seconds.
+	DrainTimeout time.Duration
 }
 
 // Scheduler owns the dispatch loop.
@@ -55,19 +74,33 @@ type Scheduler struct {
 	stepBudget int64
 	collective mpi.Algorithm
 	log        *logging.Logger
+	clk        clock.Clock
+	drain      time.Duration
 
 	mu       sync.Mutex
 	inFlight map[string]bool
 	events   *eventLog
 
+	// wake is signalled by job submission and node release; the dispatch
+	// loop selects on it so a startable job never waits out a poll tick.
+	wake chan struct{}
+
 	stopCh  chan struct{}
 	stopped sync.WaitGroup
 	once    sync.Once
 
-	dispatched int64
+	dispatched       int64
+	latLastUS        atomic.Int64
+	latSumUS         atomic.Int64
+	cancelledRunning atomic.Int64
 }
 
-// New wires a Scheduler to its collaborators.
+// errWallTime is the cancellation cause attached to a job's run deadline, so
+// a wall-time halt is distinguishable from a user cancel.
+var errWallTime = errors.New("scheduler: wall time exceeded")
+
+// New wires a Scheduler to its collaborators and registers for their wake
+// signals (job submitted, nodes released).
 func New(c *cluster.Cluster, tools *toolchain.Service, store *jobs.Store, fs *vfs.FS, opts Options) *Scheduler {
 	if opts.Policy == nil {
 		opts.Policy = PackPolicy{}
@@ -84,7 +117,13 @@ func New(c *cluster.Cluster, tools *toolchain.Service, store *jobs.Store, fs *vf
 	if opts.Logger == nil {
 		opts.Logger = logging.Discard()
 	}
-	return &Scheduler{
+	if opts.Clock == nil {
+		opts.Clock = clock.Real{}
+	}
+	if opts.DrainTimeout <= 0 {
+		opts.DrainTimeout = 5 * time.Second
+	}
+	s := &Scheduler{
 		cluster:    c,
 		tools:      tools,
 		store:      store,
@@ -96,10 +135,16 @@ func New(c *cluster.Cluster, tools *toolchain.Service, store *jobs.Store, fs *vf
 		stepBudget: opts.StepBudget,
 		collective: opts.Collective,
 		log:        opts.Logger,
+		clk:        opts.Clock,
+		drain:      opts.DrainTimeout,
 		inFlight:   make(map[string]bool),
 		events:     newEventLog(256),
+		wake:       make(chan struct{}, 1),
 		stopCh:     make(chan struct{}),
 	}
+	store.SetNotify(s.Wake)
+	c.SetReleaseNotify(s.Wake)
+	return s
 }
 
 // Policy returns the active placement policy.
@@ -112,6 +157,36 @@ func (s *Scheduler) Dispatched() int64 {
 	return s.dispatched
 }
 
+// DispatchLatencyLastUS reports the most recent submit→allocate latency in
+// microseconds.
+func (s *Scheduler) DispatchLatencyLastUS() int64 { return s.latLastUS.Load() }
+
+// DispatchLatencySumUS reports the cumulative submit→allocate latency in
+// microseconds across all dispatched jobs; divide by Dispatched for a mean.
+func (s *Scheduler) DispatchLatencySumUS() int64 { return s.latSumUS.Load() }
+
+// CancelledWhileRunning reports how many jobs were cancelled after they had
+// started executing on the cluster.
+func (s *Scheduler) CancelledWhileRunning() int64 { return s.cancelledRunning.Load() }
+
+// Wake nudges the dispatch loop to run a pass soon. It never blocks; a
+// pending wake is coalesced with later ones.
+func (s *Scheduler) Wake() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// startOutcome classifies one tryStart attempt for the queue walk.
+type startOutcome int
+
+const (
+	startedJob startOutcome = iota
+	skippedJob              // no longer startable (raced away, failed fast, already claimed)
+	blockedJob              // not enough free nodes right now
+)
+
 // Tick performs one scheduling pass: it walks the queue in submission order
 // and dispatches every job it can start right now. It returns the number of
 // jobs started. Tick is synchronous in its scheduling decisions but job
@@ -122,53 +197,81 @@ func (s *Scheduler) Tick() int {
 		if snap.State != jobs.StateQueued {
 			continue
 		}
-		s.mu.Lock()
-		busy := s.inFlight[snap.ID]
-		s.mu.Unlock()
-		if busy {
-			continue
-		}
-		if s.tryStart(snap.ID) {
+		switch s.tryStart(snap.ID) {
+		case startedJob:
 			started++
-		} else if !s.backfill {
-			break // FIFO: the head blocks the queue
+		case skippedJob:
+			// Try the next job: this one is gone or already claimed.
+		case blockedJob:
+			if !s.backfill {
+				return started // FIFO: the head blocks the queue
+			}
 		}
 	}
 	return started
 }
 
-// tryStart claims the job and launches its pipeline; it reports whether the
-// job could be started (resources available and spec admissible).
-func (s *Scheduler) tryStart(id string) bool {
+// tryStart claims the job and launches its pipeline. The claim is taken
+// before any resource decision and the job's state is re-verified under it:
+// the Active() snapshot the caller walked was taken outside any lock, so a
+// job cancelled since then must not enter the pipeline, and two concurrent
+// Ticks must not both dispatch the same job.
+func (s *Scheduler) tryStart(id string) startOutcome {
 	job, err := s.store.Get(id)
 	if err != nil {
-		return false
+		return skippedJob
+	}
+	s.mu.Lock()
+	if s.inFlight[id] {
+		s.mu.Unlock()
+		return skippedJob
+	}
+	s.inFlight[id] = true
+	s.mu.Unlock()
+	unclaim := func() {
+		s.mu.Lock()
+		delete(s.inFlight, id)
+		s.mu.Unlock()
+	}
+	// Re-verify now that the claim is held; the queued→compiling transition
+	// inside execute remains the authoritative gate for anything that still
+	// slips through.
+	if job.State() != jobs.StateQueued {
+		unclaim()
+		return skippedJob
 	}
 	ranks := job.Spec.Ranks
 	if ranks > s.maxNodes {
 		// Permanently unsatisfiable: fail it rather than clog the queue.
 		s.failJob(job, fmt.Sprintf("requested %d nodes, limit is %d", ranks, s.maxNodes))
-		return false
+		unclaim()
+		return skippedJob
 	}
 	free := s.cluster.FreeNodes()
 	if job.Spec.GPU {
 		free = s.cluster.FreeNodesWhere(func(n cluster.Node) bool { return n.GPU })
 		if total := s.countGPUNodes(); ranks > total {
 			s.failJob(job, fmt.Sprintf("requested %d GPU nodes, cluster has %d", ranks, total))
-			return false
+			unclaim()
+			return skippedJob
 		}
 	}
 	nodes := s.policy.Select(s.cluster.Grid(), free, ranks)
 	if nodes == nil {
-		return false // not enough nodes right now
+		unclaim()
+		return blockedJob // not enough nodes right now
 	}
 	if err := s.cluster.AllocateNodes(job.ID, nodes); err != nil {
-		return false // lost a race with another allocation
+		unclaim()
+		return blockedJob // lost a race with another allocation
 	}
 	job.SetNodes(nodes)
 	s.record(EventAllocated, job.ID, nodes, s.policy.Name())
+	if lat := s.clk.Now().Sub(job.Snapshot().Submitted); lat > 0 {
+		s.latLastUS.Store(lat.Microseconds())
+		s.latSumUS.Add(lat.Microseconds())
+	}
 	s.mu.Lock()
-	s.inFlight[job.ID] = true
 	s.dispatched++
 	s.mu.Unlock()
 	s.stopped.Add(1)
@@ -183,7 +286,7 @@ func (s *Scheduler) tryStart(id string) bool {
 		}()
 		s.execute(job)
 	}()
-	return true
+	return startedJob
 }
 
 // countGPUNodes reports how many nodes in the whole cluster carry a GPU.
@@ -209,8 +312,11 @@ func (s *Scheduler) failJob(job *jobs.Job, reason string) {
 	s.log.Infof("job %s failed: %s", job.ID, reason)
 }
 
-// execute runs the full pipeline for one allocated job.
+// execute runs the full pipeline for one allocated job under the job's own
+// context: cancellation at any point unwinds the stage in progress, and the
+// wall-time limit is a deadline layered on the run.
 func (s *Scheduler) execute(job *jobs.Job) {
+	ctx := job.Context()
 	if err := s.store.Transition(job.ID, jobs.StateCompiling, ""); err != nil {
 		return // cancelled while queued
 	}
@@ -233,8 +339,11 @@ func (s *Scheduler) execute(job *jobs.Job) {
 			return
 		}
 	}
-	res, err := s.tools.Compile(lang, job.Spec.SourcePath, string(src))
+	res, err := s.tools.Compile(ctx, lang, job.Spec.SourcePath, string(src))
 	if err != nil {
+		if ctx.Err() != nil {
+			return // cancelled while compiling; the store already moved it
+		}
 		s.failJob(job, err.Error())
 		return
 	}
@@ -255,36 +364,56 @@ func (s *Scheduler) execute(job *jobs.Job) {
 	s.record(EventRunning, job.ID, nil, "")
 	s.log.Infof("job %s running on %d node(s)", job.ID, job.Spec.Ranks)
 	snap := job.Snapshot()
-	if err := s.runArtifact(job, res.Artifact.Unit, snap.Nodes); err != nil {
+	runCtx, cancelRun := context.WithTimeoutCause(ctx, s.wallTime, errWallTime)
+	defer cancelRun()
+	if err := s.runArtifact(runCtx, job, res.Artifact.Unit, snap.Nodes); err != nil {
+		if ctx.Err() != nil {
+			return // cancelled while running; the store already moved it
+		}
+		if errors.Is(context.Cause(runCtx), errWallTime) {
+			s.failJob(job, fmt.Sprintf("exceeded wall time %v", s.wallTime))
+			return
+		}
 		s.failJob(job, err.Error())
 		return
 	}
 	if err := s.store.Transition(job.ID, jobs.StateSucceeded, ""); err != nil {
 		s.log.Warnf("job %s: %v", job.ID, err)
+		return
 	}
 	s.record(EventSucceeded, job.ID, nil, "")
 	s.log.Infof("job %s succeeded", job.ID)
 }
 
-// Cancel cancels a queued job. Running jobs cannot be cancelled (their
-// goroutines are unkillable); the wall-time and step budgets bound them.
+// Cancel cancels a job in any non-terminal state. A queued job simply leaves
+// the queue; a compiling or running job has its context cancelled, which
+// halts the VM ranks mid-program, unblocks MPI peers with mpi.ErrCancelled,
+// and releases its nodes once the pipeline unwinds. The job lands in
+// StateCancelled with the reason recorded.
 func (s *Scheduler) Cancel(id string) error {
 	job, err := s.store.Get(id)
 	if err != nil {
 		return err
 	}
-	if job.State() != jobs.StateQueued {
-		return fmt.Errorf("scheduler: job %s is %s; only queued jobs can be cancelled", id, job.State())
+	st := job.State()
+	if st.Terminal() {
+		return fmt.Errorf("scheduler: job %s is already %s", id, st)
 	}
-	if err := s.store.Transition(id, jobs.StateCancelled, ""); err != nil {
+	if err := s.store.Transition(id, jobs.StateCancelled, "cancelled by user"); err != nil {
 		return err
 	}
+	if st == jobs.StateRunning {
+		s.cancelledRunning.Add(1)
+	}
 	s.record(EventCancelled, id, nil, "")
+	s.log.Infof("job %s cancelled (was %s)", id, st)
 	return nil
 }
 
-// Start launches the background dispatch loop, polling at the given
-// interval. Stop shuts it down.
+// Start launches the background dispatch loop. The loop is event-driven: it
+// wakes when a job is submitted or nodes are released; the interval is only
+// a liveness fallback (0 means 5ms) for wake signals lost to crashes or
+// exotic interleavings.
 func (s *Scheduler) Start(interval time.Duration) {
 	if interval <= 0 {
 		interval = 5 * time.Millisecond
@@ -298,6 +427,8 @@ func (s *Scheduler) Start(interval time.Duration) {
 			select {
 			case <-s.stopCh:
 				return
+			case <-s.wake:
+				s.Tick()
 			case <-t.C:
 				s.Tick()
 			}
@@ -305,10 +436,42 @@ func (s *Scheduler) Start(interval time.Duration) {
 	}()
 }
 
-// Stop halts the dispatch loop and waits for in-flight jobs to finish.
-func (s *Scheduler) Stop() {
+// Stop halts the dispatch loop and drains in-flight jobs, waiting up to the
+// configured drain timeout (Options.DrainTimeout) before cancelling whatever
+// is still running.
+func (s *Scheduler) Stop() { s.StopWithin(s.drain) }
+
+// StopWithin halts the dispatch loop and waits up to drain for in-flight
+// jobs to finish on their own. Jobs still in flight at the deadline are
+// cancelled — their contexts tear down the VM ranks and MPI worlds — and
+// reaped before StopWithin returns. It reports whether the drain was clean
+// (no job had to be cancelled).
+func (s *Scheduler) StopWithin(drain time.Duration) bool {
 	s.once.Do(func() { close(s.stopCh) })
-	s.stopped.Wait()
+	done := make(chan struct{})
+	go func() {
+		s.stopped.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(drain):
+	}
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.inFlight))
+	for id := range s.inFlight {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	for _, id := range ids {
+		if err := s.store.Transition(id, jobs.StateCancelled, "scheduler shutting down"); err == nil {
+			s.record(EventCancelled, id, nil, "scheduler shutting down")
+			s.log.Infof("job %s cancelled: scheduler shutting down", id)
+		}
+	}
+	<-done
+	return false
 }
 
 // ErrNoCapacity is returned by helpers when a request can never fit.

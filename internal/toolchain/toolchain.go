@@ -14,6 +14,7 @@
 package toolchain
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -163,8 +164,13 @@ func digest(language, src string) string {
 
 // Compile runs the named profile over the source. Compile never returns an
 // error for source problems — those are reported as Diagnostics; errors are
-// reserved for misuse (unknown language).
-func (s *Service) Compile(language, sourceName, src string) (Result, error) {
+// reserved for misuse (unknown language) and for a dead ctx: a cancelled job
+// or aborted HTTP request skips the compile instead of burning cycles on a
+// result nobody will run.
+func (s *Service) Compile(ctx context.Context, language, sourceName, src string) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("toolchain: compile aborted: %w", context.Cause(ctx))
+	}
 	s.mu.RLock()
 	p, ok := s.profiles[language]
 	s.mu.RUnlock()
@@ -184,6 +190,9 @@ func (s *Service) Compile(language, sourceName, src string) (Result, error) {
 	effective := src
 	if p.Preprocess != nil {
 		effective = p.Preprocess(src)
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("toolchain: compile aborted: %w", context.Cause(ctx))
 	}
 	unit, err := minic.CompileSource(effective)
 	if err != nil {

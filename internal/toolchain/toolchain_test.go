@@ -1,6 +1,7 @@
 package toolchain
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -43,7 +44,7 @@ func TestDetectLanguage(t *testing.T) {
 
 func TestCompileMinicSuccess(t *testing.T) {
 	s := newService(t)
-	res, err := s.Compile("minic", "hello.mc", `func main() { println("hi"); }`)
+	res, err := s.Compile(context.Background(), "minic", "hello.mc", `func main() { println("hi"); }`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestCompileMinicSuccess(t *testing.T) {
 
 func TestCompileDiagnostics(t *testing.T) {
 	s := newService(t)
-	res, err := s.Compile("minic", "bad.mc", "func main() {\n  var x = ;\n}")
+	res, err := s.Compile(context.Background(), "minic", "bad.mc", "func main() {\n  var x = ;\n}")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestCompileDiagnostics(t *testing.T) {
 
 func TestCompileUnknownLanguage(t *testing.T) {
 	s := newService(t)
-	if _, err := s.Compile("fortran", "x.f", ""); !errors.Is(err, ErrUnknownLanguage) {
+	if _, err := s.Compile(context.Background(), "fortran", "x.f", ""); !errors.Is(err, ErrUnknownLanguage) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -93,8 +94,8 @@ func TestCompileUnknownLanguage(t *testing.T) {
 func TestArtifactCache(t *testing.T) {
 	s := newService(t)
 	src := `func main() { println(1); }`
-	r1, _ := s.Compile("minic", "a.mc", src)
-	r2, _ := s.Compile("minic", "b.mc", src) // same language+source → cached
+	r1, _ := s.Compile(context.Background(), "minic", "a.mc", src)
+	r2, _ := s.Compile(context.Background(), "minic", "b.mc", src) // same language+source → cached
 	if r2.Artifact.ID != r1.Artifact.ID || !r2.Cached || r1.Cached {
 		t.Fatalf("cache behaviour: r1=%+v r2=%+v", r1.Cached, r2.Cached)
 	}
@@ -103,7 +104,7 @@ func TestArtifactCache(t *testing.T) {
 		t.Fatalf("stats = %d compiles, %d hits", compiles, hits)
 	}
 	// Different language → different artifact even for identical text.
-	r3, _ := s.Compile("c", "a.c", src)
+	r3, _ := s.Compile(context.Background(), "c", "a.c", src)
 	if r3.Artifact.ID == r1.Artifact.ID {
 		t.Fatal("language not part of the artifact key")
 	}
@@ -115,7 +116,7 @@ func TestCProfileStripsPreprocessor(t *testing.T) {
 #define UNUSED 1
 #pragma once
 func main() { println("c-ish"); }`
-	res, err := s.Compile("c", "prog.c", src)
+	res, err := s.Compile(context.Background(), "c", "prog.c", src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestCDiagnosticLinesPreserved(t *testing.T) {
 	// is reported on line 3.
 	s := newService(t)
 	src := "#include <stdio.h>\nfunc main() {\n  var x = ;\n}"
-	res, _ := s.Compile("c", "prog.c", src)
+	res, _ := s.Compile(context.Background(), "c", "prog.c", src)
 	if res.OK || res.Diagnostics[0].Line != 3 {
 		t.Fatalf("diagnostic = %+v", res.Diagnostics)
 	}
@@ -140,7 +141,7 @@ func TestJavaProfileStripsImports(t *testing.T) {
 	src := `package edu.uhd.cs4315;
 import java.util.concurrent;
 func main() { println("java-ish"); }`
-	res, err := s.Compile("java", "Main.java", src)
+	res, err := s.Compile(context.Background(), "java", "Main.java", src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestRegisterCustomProfile(t *testing.T) {
 		Extensions: []string{".sh0ut"},
 		Preprocess: strings.ToLower, // a language that is minic in caps
 	})
-	res, err := s.Compile("shout", "x.sh0ut", `FUNC MAIN() { }`)
+	res, err := s.Compile(context.Background(), "shout", "x.sh0ut", `FUNC MAIN() { }`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestUnknownArtifact(t *testing.T) {
 func TestCompiledArtifactRuns(t *testing.T) {
 	// End-to-end: compile through the service and execute the unit.
 	s := newService(t)
-	res, err := s.Compile("c", "sum.c", `
+	res, err := s.Compile(context.Background(), "c", "sum.c", `
 #include <stdio.h>
 func main() {
 	var total = 0;
