@@ -1,12 +1,17 @@
 GO ?= go
 
-.PHONY: all check build vet fmt test race bench
+.PHONY: all check build vet fmt test race bench apilint
 
 all: check
 
-# check is the CI gate: formatting, vet, the full suite, and the race
-# detector over the concurrency-heavy packages.
-check: fmt vet test race
+# check is the CI gate: formatting, vet, the API-surface lint, the full
+# suite, and the race detector over the concurrency-heavy packages.
+check: fmt vet apilint test race
+
+# apilint fails on responses that bypass the error envelope (raw http.Error
+# or hand-rolled {"error": ...} literals) in the portal package.
+apilint:
+	$(GO) run ./cmd/apilint internal/portal
 
 build:
 	$(GO) build ./...

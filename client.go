@@ -3,10 +3,12 @@ package ccportal
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -34,9 +36,24 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// apiError is the portal's error envelope.
-type apiError struct {
-	Error string `json:"error"`
+// APIError is a failed portal call, decoded from the error envelope. Callers
+// branch on Code — the stable machine-readable identifier — never on the
+// message text. RequestID matches the portal's access log and the job trace,
+// so it is the handle to quote when reporting a problem.
+type APIError struct {
+	Status    int    // HTTP status code
+	Code      string // stable code, e.g. "not_found", "queue_full"
+	Message   string
+	RequestID string
+	Details   json.RawMessage // optional structured payload (compile diagnostics)
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("ccportal: %s: %s (HTTP %d, request %s)", e.Code, e.Message, e.Status, e.RequestID)
+	}
+	return fmt.Sprintf("ccportal: %s: %s (HTTP %d)", e.Code, e.Message, e.Status)
 }
 
 func (c *Client) do(method, path string, body io.Reader, out interface{}) error {
@@ -60,11 +77,27 @@ func (c *Client) do(method, path string, body io.Reader, out interface{}) error 
 		return err
 	}
 	if res.StatusCode >= 400 {
-		var ae apiError
-		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
-			return fmt.Errorf("ccportal: %s %s: %s (HTTP %d)", method, path, ae.Error, res.StatusCode)
+		ae := &APIError{Status: res.StatusCode, RequestID: res.Header.Get("X-Request-ID")}
+		var env struct {
+			Error struct {
+				Code      string          `json:"code"`
+				Message   string          `json:"message"`
+				RequestID string          `json:"request_id"`
+				Details   json.RawMessage `json:"details"`
+			} `json:"error"`
 		}
-		return fmt.Errorf("ccportal: %s %s: HTTP %d", method, path, res.StatusCode)
+		if json.Unmarshal(data, &env) == nil && env.Error.Code != "" {
+			ae.Code = env.Error.Code
+			ae.Message = env.Error.Message
+			ae.Details = env.Error.Details
+			if env.Error.RequestID != "" {
+				ae.RequestID = env.Error.RequestID
+			}
+		} else {
+			ae.Code = "internal"
+			ae.Message = fmt.Sprintf("%s %s returned no error envelope", method, path)
+		}
+		return ae
 	}
 	if out != nil {
 		if err := json.Unmarshal(data, out); err != nil {
@@ -185,13 +218,22 @@ type CompileResult struct {
 	Diagnostics []string `json:"diagnostics"`
 }
 
-// Compile builds a source file without running it.
+// Compile builds a source file without running it. A program that fails to
+// compile is not an error from the caller's point of view: the result carries
+// the diagnostics and OK=false.
 func (c *Client) Compile(path, language string) (CompileResult, error) {
 	var out CompileResult
 	err := c.doJSON("POST", "/api/compile", map[string]string{"path": path, "language": language}, &out)
-	// 422 carries diagnostics in the body; surface them instead of the error.
-	if err != nil && strings.Contains(err.Error(), "HTTP 422") {
-		return CompileResult{OK: false, Diagnostics: []string{err.Error()}}, nil
+	var ae *APIError
+	if errors.As(err, &ae) && ae.Code == "compile_failed" {
+		var det struct {
+			Diagnostics []string `json:"diagnostics"`
+		}
+		json.Unmarshal(ae.Details, &det)
+		if len(det.Diagnostics) == 0 {
+			det.Diagnostics = []string{ae.Message}
+		}
+		return CompileResult{OK: false, Diagnostics: det.Diagnostics}, nil
 	}
 	return out, err
 }
@@ -246,10 +288,78 @@ func (c *Client) JobStatus(id string) (Job, error) {
 	return out, err
 }
 
-// Jobs lists the caller's jobs, newest first.
+// JobPage is one page of the job listing.
+type JobPage struct {
+	Jobs []Job `json:"jobs"`
+	// NextCursor is "" on the last page; otherwise pass it to the next
+	// JobsPage call to continue.
+	NextCursor string `json:"next_cursor"`
+}
+
+// JobsPage fetches one page of the caller's jobs, newest first. state filters
+// by job state name and may be ""; limit <= 0 uses the server default;
+// cursor is "" for the first page.
+func (c *Client) JobsPage(state string, limit int, cursor string) (JobPage, error) {
+	q := url.Values{}
+	if state != "" {
+		q.Set("state", state)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if cursor != "" {
+		q.Set("cursor", cursor)
+	}
+	path := "/api/jobs"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var out JobPage
+	err := c.do("GET", path, nil, &out)
+	return out, err
+}
+
+// Jobs lists all of the caller's jobs, newest first, following pagination
+// until the history is exhausted.
 func (c *Client) Jobs() ([]Job, error) {
-	var out []Job
-	err := c.do("GET", "/api/jobs", nil, &out)
+	var all []Job
+	cursor := ""
+	for {
+		page, err := c.JobsPage("", 0, cursor)
+		if err != nil {
+			return all, err
+		}
+		all = append(all, page.Jobs...)
+		if page.NextCursor == "" {
+			return all, nil
+		}
+		cursor = page.NextCursor
+	}
+}
+
+// TraceSpan is one node of a job's span tree. DurationUS is -1 while the
+// span is still open.
+type TraceSpan struct {
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	End        time.Time         `json:"end"`
+	DurationUS int64             `json:"duration_us"`
+	Attrs      map[string]string `json:"attrs"`
+	Children   []TraceSpan       `json:"children"`
+}
+
+// JobTrace is the lifecycle trace of one job.
+type JobTrace struct {
+	ID    string    `json:"id"`
+	State string    `json:"state"`
+	Trace TraceSpan `json:"trace"`
+}
+
+// Trace fetches the span tree recorded across a job's lifecycle: queueing,
+// dispatch, node allocation, compilation, and execution.
+func (c *Client) Trace(id string) (JobTrace, error) {
+	var out JobTrace
+	err := c.do("GET", "/api/jobs/"+id+"/trace", nil, &out)
 	return out, err
 }
 

@@ -1,0 +1,100 @@
+// Command apilint enforces the portal's error-envelope discipline: every
+// non-2xx response must go through writeError so it carries the
+// {"error":{code,message,request_id}} envelope. It fails the build when a
+// handler reaches for http.Error or hand-rolls an {"error": ...} map
+// literal, the two ways envelope drift has actually happened.
+//
+// Usage:
+//
+//	apilint [dir ...]
+//
+// With no arguments it lints internal/portal. Test files are exempt: tests
+// may construct arbitrary payloads to probe the server.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"internal/portal"}
+	}
+	bad := 0
+	for _, dir := range dirs {
+		n, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apilint:", err)
+			os.Exit(2)
+		}
+		bad += n
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "apilint: %d violation(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+func lintDir(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	bad := 0
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		n, err := lintFile(filepath.Join(dir, name))
+		if err != nil {
+			return bad, err
+		}
+		bad += n
+	}
+	return bad, nil
+}
+
+func lintFile(path string) (int, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return 0, err
+	}
+	bad := 0
+	report := func(pos token.Pos, msg string) {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(pos), msg)
+		bad++
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := node.Fun.(*ast.SelectorExpr); ok {
+				if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "http" && sel.Sel.Name == "Error" {
+					report(node.Pos(), "raw http.Error bypasses the error envelope; use writeError")
+				}
+			}
+		case *ast.CompositeLit:
+			// A map or struct literal with an "error" key smells like a
+			// hand-rolled envelope; the real one lives in errors.go.
+			for _, elt := range node.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if lit, ok := kv.Key.(*ast.BasicLit); ok && lit.Kind == token.STRING && lit.Value == `"error"` {
+					report(kv.Pos(), `inline {"error": ...} literal; use writeError so the envelope stays uniform`)
+				}
+			}
+		}
+		return true
+	})
+	return bad, nil
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLintFlagsHTTPError(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "bad.go", `package p
+
+import "net/http"
+
+func h(w http.ResponseWriter) {
+	http.Error(w, "boom", 500)
+}
+`)
+	n, err := lintDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("violations = %d, want 1", n)
+	}
+}
+
+func TestLintFlagsInlineErrorLiteral(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "bad.go", `package p
+
+var resp = map[string]string{"error": "boom"}
+`)
+	n, err := lintDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("violations = %d, want 1", n)
+	}
+}
+
+func TestLintAcceptsCleanAndSkipsTests(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "ok.go", `package p
+
+// http.Error in a comment is fine, as is the envelope struct.
+type envelope struct {
+	Error string `+"`"+`json:"error"`+"`"+`
+}
+`)
+	// Violations in _test.go files are exempt.
+	write(t, dir, "probe_test.go", `package p
+
+var resp = map[string]string{"error": "boom"}
+`)
+	n, err := lintDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("violations = %d, want 0", n)
+	}
+}
+
+func TestLintPortalPackageIsClean(t *testing.T) {
+	// Walk up to the repo root so the test works under any package dir.
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := filepath.Join(root, "internal", "portal")
+	if _, err := os.Stat(target); err != nil {
+		t.Skipf("portal package not found: %v", err)
+	}
+	n, err := lintDir(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("internal/portal has %d envelope violations", n)
+	}
+}

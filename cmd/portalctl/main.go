@@ -14,7 +14,8 @@
 //	rm <remote>                   delete a file or tree
 //	compile <remote> [lang]       compile only, printing diagnostics
 //	run <remote> [ranks]          submit, wait, stream output
-//	jobs                          list jobs
+//	jobs [state] [limit]          list jobs, optionally filtered and capped
+//	trace <job-id>                print the job's lifecycle span tree
 //	cancel <job-id>               cancel a queued or running job
 //	stats                         cluster summary
 //	events                        scheduler activity feed
@@ -25,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"time"
 
@@ -168,13 +170,49 @@ func run(url, user, pass string, args []string) error {
 		fmt.Println("cancelled", rest[0])
 		return nil
 	case "jobs":
-		jobsList, err := c.Jobs()
+		state := ""
+		if len(rest) > 0 {
+			state = rest[0]
+		}
+		limit := 0
+		if len(rest) > 1 {
+			n, err := strconv.Atoi(rest[1])
+			if err != nil || n <= 0 {
+				return fmt.Errorf("bad limit %q", rest[1])
+			}
+			limit = n
+		}
+		// Page through the listing so the output is complete even when the
+		// history is longer than one server page.
+		printed := 0
+		cursor := ""
+		for {
+			page, err := c.JobsPage(state, limit, cursor)
+			if err != nil {
+				return err
+			}
+			for _, j := range page.Jobs {
+				fmt.Printf("%s  %-10s %-6d %s\n", j.ID, j.State, j.Ranks, j.SourcePath)
+				printed++
+				if limit > 0 && printed >= limit {
+					return nil
+				}
+			}
+			if page.NextCursor == "" {
+				return nil
+			}
+			cursor = page.NextCursor
+		}
+	case "trace":
+		if len(rest) != 1 {
+			return fmt.Errorf("trace needs <job-id>")
+		}
+		tr, err := c.Trace(rest[0])
 		if err != nil {
 			return err
 		}
-		for _, j := range jobsList {
-			fmt.Printf("%s  %-10s %-6d %s\n", j.ID, j.State, j.Ranks, j.SourcePath)
-		}
+		fmt.Printf("%s [%s]\n", tr.ID, tr.State)
+		printSpan(tr.Trace, 0)
 		return nil
 	case "events":
 		events, err := c.Events(0)
@@ -214,5 +252,26 @@ func run(url, user, pass string, args []string) error {
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// printSpan renders one span and its children as an indented tree.
+func printSpan(sp ccportal.TraceSpan, depth int) {
+	dur := "open"
+	if sp.DurationUS >= 0 {
+		dur = (time.Duration(sp.DurationUS) * time.Microsecond).String()
+	}
+	line := fmt.Sprintf("%*s%-12s %s", depth*2, "", sp.Name, dur)
+	keys := make([]string, 0, len(sp.Attrs))
+	for k := range sp.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		line += fmt.Sprintf(" %s=%s", k, sp.Attrs[k])
+	}
+	fmt.Println(line)
+	for _, child := range sp.Children {
+		printSpan(child, depth+1)
 	}
 }

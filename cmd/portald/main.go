@@ -4,12 +4,14 @@
 // Usage:
 //
 //	portald [-config portal.json] [-addr :8080] [-policy pack|spread]
-//	        [-backfill] [-log info] [-admin user:password]
+//	        [-backfill] [-log info] [-admin user:password] [-pprof :6060]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -28,16 +30,17 @@ func main() {
 		logLevel   = flag.String("log", "info", "log level: debug, info, warn, error, off")
 		admin      = flag.String("admin", "", "bootstrap an admin account, as user:password")
 		statePath  = flag.String("state", "", "persist accounts and home directories to this file")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060); empty disables")
 	)
 	flag.Parse()
 
-	if err := run(*configPath, *addr, *policy, *logLevel, *admin, *statePath, *backfill, *tree); err != nil {
+	if err := run(*configPath, *addr, *policy, *logLevel, *admin, *statePath, *pprofAddr, *backfill, *tree); err != nil {
 		fmt.Fprintln(os.Stderr, "portald:", err)
 		os.Exit(1)
 	}
 }
 
-func run(configPath, addr, policy, logLevel, admin, statePath string, backfill, tree bool) error {
+func run(configPath, addr, policy, logLevel, admin, statePath, pprofAddr string, backfill, tree bool) error {
 	cfg := ccportal.DefaultConfig()
 	if configPath != "" {
 		loaded, err := ccportal.LoadConfig(configPath)
@@ -105,6 +108,18 @@ func run(configPath, addr, policy, logLevel, admin, statePath string, backfill, 
 				if err := sys.SaveStateFile(statePath); err != nil {
 					logger.Errorf("state snapshot: %v", err)
 				}
+			}
+		}()
+	}
+	if pprofAddr != "" {
+		// The profiler rides its own listener so it is never exposed on the
+		// portal's public address. http.DefaultServeMux carries the pprof
+		// routes registered by the blank import; the portal handler does not
+		// use it.
+		go func() {
+			logger.Infof("pprof listening on %s", pprofAddr)
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				logger.Errorf("pprof server: %v", err)
 			}
 		}()
 	}

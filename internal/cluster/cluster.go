@@ -11,15 +11,18 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/clock"
 	"repro/internal/config"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // Errors returned by allocation.
@@ -239,6 +242,42 @@ func (c *Cluster) AllocateNodes(jobID string, ids []topology.NodeID) error {
 	c.allocations[jobID] = append(c.allocations[jobID], ids...)
 	c.recountLocked()
 	return nil
+}
+
+// AllocateNodesCtx is AllocateNodes recording the allocation as a span on
+// the job trace carried by ctx (if any): node count, and the node list when
+// it is small enough to be readable.
+func (c *Cluster) AllocateNodesCtx(ctx context.Context, jobID string, ids []topology.NodeID) error {
+	err := c.AllocateNodes(jobID, ids)
+	if err != nil {
+		return err
+	}
+	if tr := trace.FromContext(ctx); tr != nil {
+		sp := tr.StartSpan("allocate", trace.Attr{Key: "nodes", Value: strconv.Itoa(len(ids))})
+		if len(ids) <= 8 {
+			list := ""
+			for i, id := range ids {
+				if i > 0 {
+					list += ","
+				}
+				list += id.String()
+			}
+			sp.Annotate("node_ids", list)
+		}
+		sp.End()
+	}
+	return nil
+}
+
+// ReleaseCtx is Release recording the teardown as a span on the job trace
+// carried by ctx (if any).
+func (c *Cluster) ReleaseCtx(ctx context.Context, jobID string) int {
+	n := c.Release(jobID)
+	if tr := trace.FromContext(ctx); tr != nil {
+		sp := tr.StartSpan("release", trace.Attr{Key: "nodes", Value: strconv.Itoa(n)})
+		sp.End()
+	}
+	return n
 }
 
 // Release frees every node held by the job and returns how many were freed.

@@ -17,6 +17,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/jobs"
 	"repro/internal/logging"
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/portal"
 	"repro/internal/scheduler"
@@ -95,6 +96,9 @@ func NewSystem(cfg config.Config, opts Options) (*System, error) {
 	if opts.TreeCollectives {
 		collective = mpi.Tree
 	}
+	// One registry spans the scheduler and the portal so the scheduler's
+	// latency histograms surface on /metrics next to the HTTP ones.
+	reg := metrics.NewRegistry()
 	sched := scheduler.New(clus, tools, store, fs, scheduler.Options{
 		Policy:         policy,
 		Backfill:       opts.Backfill,
@@ -104,9 +108,11 @@ func NewSystem(cfg config.Config, opts Options) (*System, error) {
 		Collective:     collective,
 		Logger:         opts.Logger.Named("sched"),
 		Clock:          clk,
+		Metrics:        reg,
 	})
 	srv := portal.NewServer(authSvc, fs, tools, store, sched, clus,
 		opts.Logger.Named("portal"), cfg.Portal.MaxUploadBytes)
+	srv.SetMetrics(reg)
 	return &System{
 		Config:  cfg,
 		Clock:   clk,

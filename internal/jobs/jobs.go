@@ -20,6 +20,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/ids"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // State is a job lifecycle state.
@@ -34,6 +35,16 @@ const (
 	StateFailed
 	StateCancelled
 )
+
+// ParseState is the inverse of String; it rejects unknown names.
+func ParseState(name string) (State, error) {
+	for s := StateQueued; s <= StateCancelled; s++ {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("jobs: unknown state %q", name)
+}
 
 // String names the state as the portal displays it.
 func (s State) String() string {
@@ -72,6 +83,7 @@ var (
 	ErrNotFound      = errors.New("jobs: job not found")
 	ErrBadTransition = errors.New("jobs: invalid state transition")
 	ErrQueueFull     = errors.New("jobs: queue is full")
+	ErrBadCursor     = errors.New("jobs: unknown list cursor")
 )
 
 // ErrCancelled is the cancellation cause recorded on a job's context when it
@@ -103,6 +115,7 @@ type Job struct {
 
 	ctx    context.Context
 	cancel context.CancelCauseFunc
+	tr     *trace.Trace
 
 	mu         sync.Mutex
 	state      State
@@ -122,6 +135,11 @@ type Job struct {
 // and cancelled when the job reaches a terminal state; the whole execution
 // pipeline (compile, dispatch, VM, MPI) derives from it.
 func (j *Job) Context() context.Context { return j.ctx }
+
+// Trace returns the job's span tree, created at submission and finished at
+// the terminal transition. The same trace rides the job's context, so every
+// pipeline layer can record spans without knowing about the store.
+func (j *Job) Trace() *trace.Trace { return j.tr }
 
 // Snapshot is an immutable view of a job for display.
 type Snapshot struct {
@@ -178,7 +196,8 @@ func (j *Job) SetNodes(nodes []topology.NodeID) {
 type Store struct {
 	mu     sync.RWMutex
 	jobs   map[string]*Job
-	order  []string // submission order
+	order  []string       // submission order
+	pos    map[string]int // job id → index in order, for O(page) listing
 	gen    *ids.Sequential
 	clk    clock.Clock
 	maxQ   int
@@ -204,6 +223,7 @@ func NewStore(maxQueued int, clk clock.Clock) *Store {
 	}
 	return &Store{
 		jobs: make(map[string]*Job),
+		pos:  make(map[string]int),
 		gen:  ids.NewSequential("job"),
 		clk:  clk,
 		maxQ: maxQueued,
@@ -230,12 +250,20 @@ func (s *Store) Submit(spec Spec) (*Job, error) {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("%w (%d active)", ErrQueueFull, n)
 	}
-	ctx, cancel := context.WithCancelCause(context.Background())
+	id := s.gen.Next()
+	tr := trace.New("job", s.clk)
+	tr.Root().Annotate("job_id", id)
+	tr.Root().Annotate("owner", spec.Owner)
+	tr.Root().Annotate("source", spec.SourcePath)
+	tr.Root().Annotate("ranks", fmt.Sprintf("%d", spec.Ranks))
+	tr.StartSpan("queued")
+	ctx, cancel := context.WithCancelCause(trace.NewContext(context.Background(), tr))
 	j := &Job{
-		ID:        s.gen.Next(),
+		ID:        id,
 		Spec:      spec,
 		ctx:       ctx,
 		cancel:    cancel,
+		tr:        tr,
 		state:     StateQueued,
 		submitted: s.clk.Now(),
 		Stdout:    NewStream(0),
@@ -245,6 +273,7 @@ func (s *Store) Submit(spec Spec) (*Job, error) {
 		j.Stdin.Feed([]byte(spec.Stdin))
 	}
 	s.jobs[j.ID] = j
+	s.pos[j.ID] = len(s.order)
 	s.order = append(s.order, j.ID)
 	s.queued++
 	notify := s.notify
@@ -294,6 +323,7 @@ func (s *Store) Transition(id string, next State, failure string) error {
 	switch next {
 	case StateRunning:
 		j.started = now
+		j.tr.StartSpan("running")
 	case StateSucceeded, StateFailed, StateCancelled:
 		j.finished = now
 		switch next {
@@ -317,6 +347,14 @@ func (s *Store) Transition(id string, next State, failure string) error {
 		if next == StateCancelled {
 			cause = fmt.Errorf("%w: %s", ErrCancelled, failure)
 		}
+		attrs := []trace.Attr{{Key: "state", Value: next.String()}}
+		if failure != "" {
+			attrs = append(attrs, trace.Attr{Key: "failure", Value: failure})
+		}
+		if next == StateCancelled {
+			attrs = append(attrs, trace.Attr{Key: "cause", Value: cause.Error()})
+		}
+		j.tr.Finish(attrs...)
 		j.cancel(cause)
 	}
 	return nil
@@ -335,6 +373,48 @@ func (s *Store) List(owner string) []Snapshot {
 		out = append(out, j.Snapshot())
 	}
 	return out
+}
+
+// ListPage returns one page of snapshots, newest first. owner filters when
+// non-empty; state filters when non-nil. cursor is the ID of the last job of
+// the previous page ("" starts at the newest); the scan resumes strictly
+// after it, so pages are stable under concurrent submissions. It returns the
+// page and the cursor for the next one ("" when the history is exhausted).
+// An unfiltered page costs O(page) rather than O(history); a filtered scan
+// additionally walks the non-matching jobs between the matches.
+func (s *Store) ListPage(owner string, state *State, limit int, cursor string) ([]Snapshot, string, error) {
+	if limit <= 0 {
+		limit = 50
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	start := len(s.order) - 1
+	if cursor != "" {
+		idx, ok := s.pos[cursor]
+		if !ok {
+			return nil, "", fmt.Errorf("%w: %q", ErrBadCursor, cursor)
+		}
+		start = idx - 1
+	}
+	out := make([]Snapshot, 0, limit)
+	for i := start; i >= 0; i-- {
+		j := s.jobs[s.order[i]]
+		if owner != "" && j.Spec.Owner != owner {
+			continue
+		}
+		snap := j.Snapshot()
+		if state != nil && snap.State != *state {
+			continue
+		}
+		out = append(out, snap)
+		if len(out) == limit {
+			if i > 0 {
+				return out, snap.ID, nil
+			}
+			break
+		}
+	}
+	return out, "", nil
 }
 
 // Active returns snapshots of non-terminal jobs in submission order — the

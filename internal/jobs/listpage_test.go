@@ -1,0 +1,177 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// submitN creates n jobs alternating between two owners, returning all IDs in
+// submission order.
+func submitN(t *testing.T, s *Store, n int) []string {
+	t.Helper()
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		owner := "alice"
+		if i%2 == 1 {
+			owner = "bobby"
+		}
+		j, err := s.Submit(Spec{Owner: owner, SourcePath: fmt.Sprintf("/p%d.mc", i), Language: "minic", Ranks: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = j.ID
+	}
+	return ids
+}
+
+func TestListPageWalksNewestFirst(t *testing.T) {
+	s, _ := newStore(t)
+	ids := submitN(t, s, 5)
+
+	page, next, err := s.ListPage("", nil, 2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page) != 2 || page[0].ID != ids[4] || page[1].ID != ids[3] {
+		t.Fatalf("page 1 = %+v", page)
+	}
+	if next != ids[3] {
+		t.Fatalf("next = %q, want %q", next, ids[3])
+	}
+
+	page, next, err = s.ListPage("", nil, 2, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page) != 2 || page[0].ID != ids[2] || page[1].ID != ids[1] {
+		t.Fatalf("page 2 = %+v", page)
+	}
+
+	// Final page: one job left, next cursor drained to "".
+	page, next, err = s.ListPage("", nil, 2, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page) != 1 || page[0].ID != ids[0] || next != "" {
+		t.Fatalf("page 3 = %+v, next = %q", page, next)
+	}
+}
+
+func TestListPageExactFitEndsPagination(t *testing.T) {
+	s, _ := newStore(t)
+	ids := submitN(t, s, 2)
+	// The page exactly covers the history: no next cursor.
+	page, next, err := s.ListPage("", nil, 2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page) != 2 || next != "" {
+		t.Fatalf("page = %d jobs, next = %q", len(page), next)
+	}
+	// Cursor at the oldest job yields an empty final page.
+	page, next, err = s.ListPage("", nil, 2, ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page) != 0 || next != "" {
+		t.Fatalf("past-end page = %+v, next = %q", page, next)
+	}
+}
+
+func TestListPageEmptyStore(t *testing.T) {
+	s, _ := newStore(t)
+	page, next, err := s.ListPage("", nil, 10, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page) != 0 || next != "" {
+		t.Fatalf("empty store page = %+v, next = %q", page, next)
+	}
+}
+
+func TestListPageBadCursor(t *testing.T) {
+	s, _ := newStore(t)
+	submitN(t, s, 2)
+	_, _, err := s.ListPage("", nil, 10, "job-999999")
+	if !errors.Is(err, ErrBadCursor) {
+		t.Fatalf("err = %v, want ErrBadCursor", err)
+	}
+}
+
+func TestListPageOwnerAndStateFilters(t *testing.T) {
+	s, _ := newStore(t)
+	ids := submitN(t, s, 6) // alice: 0,2,4; bobby: 1,3,5
+	// Move alice's oldest job to terminal.
+	if err := s.Transition(ids[0], StateCompiling, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Transition(ids[0], StateFailed, "boom"); err != nil {
+		t.Fatal(err)
+	}
+
+	page, next, err := s.ListPage("alice", nil, 10, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page) != 3 || next != "" {
+		t.Fatalf("alice page = %+v", page)
+	}
+	for _, snap := range page {
+		if snap.Spec.Owner != "alice" {
+			t.Fatalf("foreign job in alice's page: %+v", snap)
+		}
+	}
+
+	st := StateQueued
+	page, _, err = s.ListPage("alice", &st, 10, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page) != 2 {
+		t.Fatalf("queued alice jobs = %d, want 2", len(page))
+	}
+
+	st = StateFailed
+	page, _, err = s.ListPage("", &st, 10, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page) != 1 || page[0].ID != ids[0] {
+		t.Fatalf("failed jobs = %+v", page)
+	}
+}
+
+func TestListPageCursorStableUnderNewSubmissions(t *testing.T) {
+	s, _ := newStore(t)
+	ids := submitN(t, s, 4)
+	page, next, err := s.ListPage("", nil, 2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page[0].ID != ids[3] || next != ids[2] {
+		t.Fatalf("page = %+v, next = %q", page, next)
+	}
+	// Jobs submitted after the first page do not disturb the continuation:
+	// the cursor resumes strictly below where the last page stopped.
+	submitN(t, s, 2)
+	page, _, err = s.ListPage("", nil, 2, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page) != 2 || page[0].ID != ids[1] || page[1].ID != ids[0] {
+		t.Fatalf("continued page = %+v", page)
+	}
+}
+
+func TestParseState(t *testing.T) {
+	for st := StateQueued; st <= StateCancelled; st++ {
+		got, err := ParseState(st.String())
+		if err != nil || got != st {
+			t.Fatalf("ParseState(%q) = %v, %v", st.String(), got, err)
+		}
+	}
+	if _, err := ParseState("bogus"); err == nil {
+		t.Fatal("bogus state accepted")
+	}
+}

@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"sync/atomic"
+)
+
+// DefBuckets are the default latency buckets, in seconds. The low end is
+// fine enough to resolve the microsecond-scale dispatch path; the high end
+// covers multi-minute job runs. Everything above the last bound lands in the
+// implicit +Inf bucket.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Histogram is a fixed-bucket histogram with lock-free observation: each
+// Observe is one atomic add on a bucket counter plus atomic updates of the
+// running count and sum. Bucket bounds are upper bounds (inclusive), with an
+// implicit +Inf bucket after the last bound — the Prometheus convention.
+type Histogram struct {
+	name    string
+	label   string // rendered `key="value"` pair, or ""
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1; cumulative only at render time
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// newHistogram builds a histogram with the given ascending bounds; nil or
+// empty bounds mean DefBuckets.
+func newHistogram(name, label string, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{
+		name:   name,
+		label:  label,
+		bounds: b,
+		counts: make([]atomic.Uint64, len(b)+1),
+	}
+}
+
+// Name returns the metric name (without labels).
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count reports how many values have been observed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum reports the total of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// snapshot returns per-bucket counts (not cumulative), total count and sum.
+// Concurrent Observes may land between reads; the result is a consistent
+// lower bound, which is all a scrape needs.
+func (h *Histogram) snapshot() (counts []uint64, count uint64, sum float64) {
+	counts = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts, h.count.Load(), h.Sum()
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the bucket holding the target rank — the same estimate a
+// Prometheus histogram_quantile gives. It returns 0 when nothing has been
+// observed; ranks landing in the +Inf bucket clamp to the highest finite
+// bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts, total, _ := h.snapshot()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if float64(cum) >= rank && c > 0 {
+			if i == len(h.bounds) {
+				return h.bounds[len(h.bounds)-1] // +Inf bucket: clamp
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			upper := h.bounds[i]
+			// Position of the target rank within this bucket.
+			within := rank - float64(cum-c)
+			return lower + (upper-lower)*(within/float64(c))
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// formatFloat renders a float the way Prometheus expects.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,189 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketAssignment(t *testing.T) {
+	h := newHistogram("lat", "", []float64{1, 2, 4})
+	// Bounds are inclusive upper bounds; above the last bound is +Inf.
+	for _, v := range []float64{0.5, 1.0} {
+		h.Observe(v) // bucket 0 (le=1)
+	}
+	h.Observe(1.5) // bucket 1 (le=2)
+	h.Observe(3)   // bucket 2 (le=4)
+	h.Observe(100) // +Inf bucket
+	counts, count, sum := h.snapshot()
+	want := []uint64{2, 1, 1, 1}
+	for i, c := range counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all %v)", i, c, want[i], counts)
+		}
+	}
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if math.Abs(sum-106) > 1e-9 {
+		t.Fatalf("sum = %v, want 106", sum)
+	}
+}
+
+func TestHistogramDefaultBucketsAndSortedBounds(t *testing.T) {
+	h := newHistogram("lat", "", nil)
+	if len(h.bounds) != len(DefBuckets) {
+		t.Fatalf("default bounds = %d, want %d", len(h.bounds), len(DefBuckets))
+	}
+	// Unsorted bounds are sorted at construction.
+	h2 := newHistogram("lat", "", []float64{4, 1, 2})
+	if h2.bounds[0] != 1 || h2.bounds[2] != 4 {
+		t.Fatalf("bounds not sorted: %v", h2.bounds)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram("lat", "", []float64{1, 2, 4})
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	// 100 observations spread evenly in (0,1]: every rank interpolates
+	// inside the first bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	if p50 := h.Quantile(0.5); math.Abs(p50-0.5) > 0.01 {
+		t.Fatalf("p50 = %v, want ~0.5", p50)
+	}
+	if p100 := h.Quantile(1); math.Abs(p100-1) > 1e-9 {
+		t.Fatalf("p100 = %v, want 1", p100)
+	}
+	// Ranks landing in +Inf clamp to the last finite bound.
+	h2 := newHistogram("lat", "", []float64{1})
+	h2.Observe(50)
+	if q := h2.Quantile(0.99); q != 1 {
+		t.Fatalf("+Inf quantile = %v, want clamp to 1", q)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := newHistogram("lat", "", []float64{1})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+	if math.Abs(h.Sum()-4000) > 1e-6 {
+		t.Fatalf("sum = %v, want 4000", h.Sum())
+	}
+}
+
+func TestHistogramRegistryInterning(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("x_seconds", []float64{1, 2})
+	if r.Histogram("x_seconds", nil) != a {
+		t.Fatal("histogram not interned by name")
+	}
+	routeA := r.HistogramLabeled("http_request_seconds", "route", "GET /a", nil)
+	routeB := r.HistogramLabeled("http_request_seconds", "route", "GET /b", nil)
+	if routeA == routeB {
+		t.Fatal("distinct label values must be distinct series")
+	}
+	if r.HistogramLabeled("http_request_seconds", "route", "GET /a", nil) != routeA {
+		t.Fatal("labeled histogram not interned")
+	}
+	if got := len(r.Histograms()); got != 3 {
+		t.Fatalf("registered histograms = %d, want 3", got)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_total").Add(3)
+	r.Gauge("nodes_free").Set(7)
+	h := r.Histogram("job_run_seconds", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(9) // +Inf
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wants := []string{
+		"# TYPE jobs_total counter\njobs_total 3\n",
+		"# TYPE nodes_free gauge\nnodes_free 7\n",
+		"# TYPE job_run_seconds histogram\n",
+		`job_run_seconds_bucket{le="1"} 1`,
+		`job_run_seconds_bucket{le="2"} 2`,
+		`job_run_seconds_bucket{le="+Inf"} 3`,
+		"job_run_seconds_sum 11\n",
+		"job_run_seconds_count 3\n",
+	}
+	for _, want := range wants {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusLabeledSeries(t *testing.T) {
+	r := NewRegistry()
+	r.HistogramLabeled("http_request_seconds", "route", "GET /api/jobs", []float64{1}).Observe(0.5)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wants := []string{
+		"# TYPE http_request_seconds histogram\n",
+		`http_request_seconds_bucket{route="GET /api/jobs",le="1"} 1`,
+		`http_request_seconds_count{route="GET /api/jobs"} 1`,
+	}
+	for _, want := range wants {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE line per metric name even with several series.
+	r.HistogramLabeled("http_request_seconds", "route", "GET /api/files", []float64{1}).Observe(0.5)
+	buf.Reset()
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "# TYPE http_request_seconds histogram"); n != 1 {
+		t.Fatalf("TYPE lines = %d, want 1", n)
+	}
+}
+
+func TestWriteJSONIncludesHistogramSummaries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Inc()
+	h := r.Histogram("lat_seconds", []float64{1, 2})
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"lat_seconds"`) || !strings.Contains(out, `"p50"`) {
+		t.Fatalf("JSON missing histogram summary:\n%s", out)
+	}
+	if !strings.Contains(out, `"a": 1`) {
+		t.Fatalf("JSON missing scalar:\n%s", out)
+	}
+}

@@ -15,6 +15,7 @@ import (
 // and admin), and the metrics exposition.
 func (s *Server) installAdmin(mux *http.ServeMux) {
 	mux.HandleFunc("GET /api/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics", s.handlePrometheus)
 	mux.HandleFunc("POST /api/cluster/nodes/{id}/down", s.withRole(auth.RoleAdmin, s.handleNodeDown))
 	mux.HandleFunc("POST /api/cluster/nodes/{id}/up", s.withRole(auth.RoleAdmin, s.handleNodeUp))
 	mux.HandleFunc("POST /api/cluster/nodes/{id}/heartbeat", s.withAuth(s.handleNodeHeartbeat))
@@ -29,7 +30,7 @@ func (s *Server) handleSchedulerEvents(w http.ResponseWriter, r *http.Request, _
 	if raw := r.URL.Query().Get("since"); raw != "" {
 		n, err := strconv.ParseInt(raw, 10, 64)
 		if err != nil || n < 0 {
-			writeErr(w, http.StatusBadRequest, "bad since sequence number")
+			writeError(w, r, errf(http.StatusBadRequest, CodeInvalidArgument, "bad since sequence number"))
 			return
 		}
 		since = n
@@ -62,7 +63,7 @@ func (s *Server) handleSchedulerEvents(w http.ResponseWriter, r *http.Request, _
 func (s *Server) withRole(min auth.Role, next func(http.ResponseWriter, *http.Request, *auth.Session)) http.HandlerFunc {
 	return s.withAuth(func(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
 		if sess.Role < min {
-			writeErr(w, http.StatusForbidden, "requires "+min.String()+" role")
+			writeError(w, r, errf(http.StatusForbidden, CodeForbidden, "requires "+min.String()+" role"))
 			return
 		}
 		next(w, r, sess)
@@ -81,6 +82,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	reg.WriteJSON(w)
+}
+
+// handlePrometheus serves the Prometheus text exposition format, so a stock
+// scrape config can collect the portal without any adapter.
+func (s *Server) handlePrometheus(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metricsRegistry().WritePrometheus(w)
 }
 
 func (s *Server) metricsRegistry() *metrics.Registry {
@@ -117,11 +125,11 @@ func parseNodeID(raw string) (topology.NodeID, bool) {
 func (s *Server) handleNodeDown(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
 	id, ok := parseNodeID(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusBadRequest, "bad node id; want sXnYY")
+		writeError(w, r, errf(http.StatusBadRequest, CodeInvalidArgument, "bad node id; want sXnYY"))
 		return
 	}
 	if err := s.Cluster.MarkDown(id); err != nil {
-		writeErr(w, http.StatusNotFound, err.Error())
+		writeError(w, r, errf(http.StatusNotFound, CodeNotFound, err.Error()))
 		return
 	}
 	s.Log.Warnf("node %v marked down by %s", id, sess.User)
@@ -131,11 +139,11 @@ func (s *Server) handleNodeDown(w http.ResponseWriter, r *http.Request, sess *au
 func (s *Server) handleNodeUp(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
 	id, ok := parseNodeID(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusBadRequest, "bad node id; want sXnYY")
+		writeError(w, r, errf(http.StatusBadRequest, CodeInvalidArgument, "bad node id; want sXnYY"))
 		return
 	}
 	if err := s.Cluster.MarkUp(id); err != nil {
-		writeErr(w, http.StatusNotFound, err.Error())
+		writeError(w, r, errf(http.StatusNotFound, CodeNotFound, err.Error()))
 		return
 	}
 	s.Log.Infof("node %v returned to service by %s", id, sess.User)
@@ -145,11 +153,11 @@ func (s *Server) handleNodeUp(w http.ResponseWriter, r *http.Request, sess *auth
 func (s *Server) handleNodeHeartbeat(w http.ResponseWriter, r *http.Request, _ *auth.Session) {
 	id, ok := parseNodeID(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusBadRequest, "bad node id; want sXnYY")
+		writeError(w, r, errf(http.StatusBadRequest, CodeInvalidArgument, "bad node id; want sXnYY"))
 		return
 	}
 	if err := s.Cluster.Heartbeat(id); err != nil {
-		writeErr(w, http.StatusNotFound, err.Error())
+		writeError(w, r, errf(http.StatusNotFound, CodeNotFound, err.Error()))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"node": id.String()})
@@ -160,7 +168,7 @@ func (s *Server) handleStaleNodes(w http.ResponseWriter, r *http.Request, _ *aut
 	if raw := r.URL.Query().Get("max_age"); raw != "" {
 		d, err := time.ParseDuration(raw)
 		if err != nil || d <= 0 {
-			writeErr(w, http.StatusBadRequest, "bad max_age duration")
+			writeError(w, r, errf(http.StatusBadRequest, CodeInvalidArgument, "bad max_age duration"))
 			return
 		}
 		maxAge = d

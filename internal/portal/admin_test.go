@@ -130,18 +130,32 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer res.Body.Close()
-	var snap map[string]int64
-	if err := json.NewDecoder(res.Body).Decode(&snap); err != nil {
+	// Histograms render as objects, so scalars decode via json.Number.
+	var snap map[string]interface{}
+	dec := json.NewDecoder(res.Body)
+	dec.UseNumber()
+	if err := dec.Decode(&snap); err != nil {
 		t.Fatal(err)
 	}
-	if snap["cluster_nodes_total"] != 64 {
-		t.Fatalf("cluster_nodes_total = %d", snap["cluster_nodes_total"])
+	scalar := func(name string) int64 {
+		n, ok := snap[name].(json.Number)
+		if !ok {
+			t.Fatalf("metric %s = %#v, want number", name, snap[name])
+		}
+		v, err := n.Int64()
+		if err != nil {
+			t.Fatalf("metric %s: %v", name, err)
+		}
+		return v
 	}
-	if snap["jobs_submitted_total"] < 1 || snap["auth_logins_total"] < 1 || snap["files_uploaded_total"] < 1 {
+	if scalar("cluster_nodes_total") != 64 {
+		t.Fatalf("cluster_nodes_total = %v", snap["cluster_nodes_total"])
+	}
+	if scalar("jobs_submitted_total") < 1 || scalar("auth_logins_total") < 1 || scalar("files_uploaded_total") < 1 {
 		t.Fatalf("counters not incremented: %v", snap)
 	}
-	if snap["scheduler_dispatched_total"] < 1 {
-		t.Fatalf("dispatched = %d", snap["scheduler_dispatched_total"])
+	if scalar("scheduler_dispatched_total") < 1 {
+		t.Fatalf("dispatched = %v", snap["scheduler_dispatched_total"])
 	}
 
 	// Text form.

@@ -1,0 +1,104 @@
+package portal
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// RequestIDHeader is the header a client may set to correlate its own logs
+// with the portal's; the portal echoes it on every response and generates
+// one when absent.
+const RequestIDHeader = "X-Request-ID"
+
+// ridKey keys the request ID in a request context.
+type ridKey struct{}
+
+// RequestIDFromContext returns the request ID the middleware assigned, or
+// "" outside a request.
+func RequestIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(ridKey{}).(string)
+	return id
+}
+
+// sanitizeRequestID accepts a client-supplied ID only if it is short and
+// printable ASCII without spaces — anything else would corrupt access logs.
+func sanitizeRequestID(id string) string {
+	if len(id) == 0 || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' || c == '"' {
+			return ""
+		}
+	}
+	return id
+}
+
+// statusWriter captures the status code and body size for metrics and the
+// access log. Flush is forwarded so long-polling handlers keep working.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// ServeHTTP implements http.Handler. Every request passes through here: a
+// request ID is assigned (or accepted from the client) and echoed, the
+// request latency is observed into the per-route http_request_seconds
+// histogram, and a structured access line is logged.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rid := sanitizeRequestID(r.Header.Get(RequestIDHeader))
+	if rid == "" {
+		rid = s.reqIDs.Next()
+	}
+	w.Header().Set(RequestIDHeader, rid)
+	r = r.WithContext(context.WithValue(r.Context(), ridKey{}, rid))
+
+	_, route := s.mux.Handler(r)
+	if route == "" {
+		route = "unmatched"
+	}
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	elapsed := time.Since(start)
+
+	s.metricsRegistry().
+		HistogramLabeled("http_request_seconds", "route", route, metrics.DefBuckets).
+		Observe(elapsed.Seconds())
+	s.Log.Infow("http",
+		"rid", rid,
+		"method", r.Method,
+		"path", r.URL.Path,
+		"route", route,
+		"status", sw.status,
+		"bytes", sw.bytes,
+		"dur_us", elapsed.Microseconds(),
+	)
+}

@@ -10,7 +10,6 @@ package portal
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -20,6 +19,7 @@ import (
 
 	"repro/internal/auth"
 	"repro/internal/cluster"
+	"repro/internal/ids"
 	"repro/internal/jobs"
 	"repro/internal/logging"
 	"repro/internal/metrics"
@@ -44,12 +44,13 @@ type Server struct {
 
 	// MaxUploadBytes bounds a single upload.
 	MaxUploadBytes int64
-	// Metrics is the registry served at /api/metrics. NewServer gives
-	// every server its own registry; replace it before first use to share
-	// one across servers.
+	// Metrics is the registry served at /api/metrics and /metrics.
+	// NewServer gives every server its own registry; use SetMetrics to
+	// share one across subsystems.
 	Metrics *metrics.Registry
 
-	mux *http.ServeMux
+	mux    *http.ServeMux
+	reqIDs *ids.Random
 }
 
 // NewServer wires the handler tree.
@@ -64,6 +65,7 @@ func NewServer(a *auth.Service, fs *vfs.FS, tools *toolchain.Service, store *job
 	s := &Server{
 		Auth: a, FS: fs, Tools: tools, Jobs: store, Sched: sched, Cluster: clus,
 		Log: log, MaxUploadBytes: maxUpload, Metrics: metrics.NewRegistry(),
+		reqIDs: ids.NewRandom("req", 8),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /", s.handleIndex)
@@ -88,6 +90,7 @@ func NewServer(a *auth.Service, fs *vfs.FS, tools *toolchain.Service, store *job
 	mux.HandleFunc("GET /api/jobs", s.withAuth(s.handleJobList))
 	mux.HandleFunc("GET /api/jobs/{id}", s.withAuth(s.handleJobGet))
 	mux.HandleFunc("GET /api/jobs/{id}/output", s.withAuth(s.handleJobOutput))
+	mux.HandleFunc("GET /api/jobs/{id}/trace", s.withAuth(s.handleJobTrace))
 	mux.HandleFunc("POST /api/jobs/{id}/input", s.withAuth(s.handleJobInput))
 	mux.HandleFunc("POST /api/jobs/{id}/cancel", s.withAuth(s.handleJobCancel))
 
@@ -120,9 +123,12 @@ func (s *Server) installStandardMetrics() {
 	reg.RegisterFunc("auth_active_sessions", func() int64 { return int64(s.Auth.ActiveSessions()) })
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+// SetMetrics replaces the server's registry — sharing one registry between
+// the portal and the scheduler puts the scheduler's histograms on /metrics —
+// and re-installs the standard gauges on it. Call before serving traffic.
+func (s *Server) SetMetrics(reg *metrics.Registry) {
+	s.Metrics = reg
+	s.installStandardMetrics()
 }
 
 // --- plumbing -----------------------------------------------------------------
@@ -139,12 +145,12 @@ func (s *Server) withAuth(next func(http.ResponseWriter, *http.Request, *auth.Se
 			token = strings.TrimPrefix(h, "Bearer ")
 		}
 		if token == "" {
-			writeErr(w, http.StatusUnauthorized, "not logged in")
+			writeError(w, r, errf(http.StatusUnauthorized, CodeUnauthorized, "not logged in"))
 			return
 		}
 		sess, err := s.Auth.Lookup(token)
 		if err != nil {
-			writeErr(w, http.StatusUnauthorized, err.Error())
+			writeError(w, r, fromDomain(err))
 			return
 		}
 		next(w, r, sess)
@@ -157,32 +163,11 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
-}
-
 // decode reads a JSON body into v with a size cap.
 func decode(r *http.Request, v interface{}) error {
 	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	return dec.Decode(v)
-}
-
-// fsStatus maps vfs errors to HTTP status codes.
-func fsStatus(err error) int {
-	switch {
-	case errors.Is(err, vfs.ErrNotFound), errors.Is(err, vfs.ErrNoHome):
-		return http.StatusNotFound
-	case errors.Is(err, vfs.ErrExists):
-		return http.StatusConflict
-	case errors.Is(err, vfs.ErrQuotaExceeded):
-		return http.StatusInsufficientStorage
-	case errors.Is(err, vfs.ErrInvalidPath), errors.Is(err, vfs.ErrNotDir),
-		errors.Is(err, vfs.ErrIsDir), errors.Is(err, vfs.ErrDirNotEmpty):
-		return http.StatusBadRequest
-	default:
-		return http.StatusInternalServerError
-	}
 }
 
 // --- auth handlers --------------------------------------------------------------
@@ -193,12 +178,12 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		Password string `json:"password"`
 	}
 	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, errf(http.StatusBadRequest, CodeInvalidArgument, err.Error()))
 		return
 	}
 	u, err := s.Auth.Register(req.User, req.Password, auth.RoleStudent)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, fromDomain(err))
 		return
 	}
 	s.FS.EnsureHome(u.Name)
@@ -212,12 +197,12 @@ func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
 		Password string `json:"password"`
 	}
 	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, errf(http.StatusBadRequest, CodeInvalidArgument, err.Error()))
 		return
 	}
 	sess, err := s.Auth.Login(req.User, req.Password)
 	if err != nil {
-		writeErr(w, http.StatusUnauthorized, err.Error())
+		writeError(w, r, fromDomain(err))
 		return
 	}
 	s.FS.EnsureHome(sess.User)
@@ -268,7 +253,7 @@ func (s *Server) handleFileList(w http.ResponseWriter, r *http.Request, sess *au
 	path := r.URL.Query().Get("path")
 	infos, err := s.home(sess).List(path)
 	if err != nil {
-		writeErr(w, fsStatus(err), err.Error())
+		writeError(w, r, fromDomain(err))
 		return
 	}
 	out := make([]fileInfoJSON, len(infos))
@@ -282,7 +267,7 @@ func (s *Server) handleFileDownload(w http.ResponseWriter, r *http.Request, sess
 	path := r.URL.Query().Get("path")
 	data, err := s.home(sess).ReadFile(path)
 	if err != nil {
-		writeErr(w, fsStatus(err), err.Error())
+		writeError(w, r, fromDomain(err))
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -293,7 +278,7 @@ func (s *Server) handleFileDownload(w http.ResponseWriter, r *http.Request, sess
 func (s *Server) handleFileUpload(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
 	path := r.URL.Query().Get("path")
 	if path == "" {
-		writeErr(w, http.StatusBadRequest, "missing path")
+		writeError(w, r, errf(http.StatusBadRequest, CodeInvalidArgument, "missing path"))
 		return
 	}
 	home := s.home(sess)
@@ -301,14 +286,14 @@ func (s *Server) handleFileUpload(w http.ResponseWriter, r *http.Request, sess *
 	if cp, err := vfs.Clean(path); err == nil {
 		if idx := strings.LastIndex(cp, "/"); idx > 0 {
 			if err := home.MkdirAll(cp[:idx]); err != nil {
-				writeErr(w, fsStatus(err), err.Error())
+				writeError(w, r, fromDomain(err))
 				return
 			}
 		}
 	}
 	n, err := home.Upload(path, r.Body, s.MaxUploadBytes)
 	if err != nil {
-		writeErr(w, fsStatus(err), err.Error())
+		writeError(w, r, fromDomain(err))
 		return
 	}
 	s.metricsRegistry().Counter("files_uploaded_total").Inc()
@@ -321,11 +306,11 @@ func (s *Server) handleMkdir(w http.ResponseWriter, r *http.Request, sess *auth.
 		Path string `json:"path"`
 	}
 	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, errf(http.StatusBadRequest, CodeInvalidArgument, err.Error()))
 		return
 	}
 	if err := s.home(sess).MkdirAll(req.Path); err != nil {
-		writeErr(w, fsStatus(err), err.Error())
+		writeError(w, r, fromDomain(err))
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]string{"path": req.Path})
@@ -337,11 +322,11 @@ func (s *Server) handleRename(w http.ResponseWriter, r *http.Request, sess *auth
 		Dst string `json:"dst"`
 	}
 	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, errf(http.StatusBadRequest, CodeInvalidArgument, err.Error()))
 		return
 	}
 	if err := s.home(sess).Rename(req.Src, req.Dst); err != nil {
-		writeErr(w, fsStatus(err), err.Error())
+		writeError(w, r, fromDomain(err))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"src": req.Src, "dst": req.Dst})
@@ -353,11 +338,11 @@ func (s *Server) handleCopy(w http.ResponseWriter, r *http.Request, sess *auth.S
 		Dst string `json:"dst"`
 	}
 	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, errf(http.StatusBadRequest, CodeInvalidArgument, err.Error()))
 		return
 	}
 	if err := s.home(sess).Copy(req.Src, req.Dst); err != nil {
-		writeErr(w, fsStatus(err), err.Error())
+		writeError(w, r, fromDomain(err))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"src": req.Src, "dst": req.Dst})
@@ -369,11 +354,11 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request, sess *auth
 		Recursive bool   `json:"recursive"`
 	}
 	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, errf(http.StatusBadRequest, CodeInvalidArgument, err.Error()))
 		return
 	}
 	if err := s.home(sess).Remove(req.Path, req.Recursive); err != nil {
-		writeErr(w, fsStatus(err), err.Error())
+		writeError(w, r, fromDomain(err))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"path": req.Path})
@@ -386,22 +371,22 @@ func (s *Server) handleFormat(w http.ResponseWriter, r *http.Request, sess *auth
 		Path string `json:"path"`
 	}
 	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, errf(http.StatusBadRequest, CodeInvalidArgument, err.Error()))
 		return
 	}
 	home := s.home(sess)
 	src, err := home.ReadFile(req.Path)
 	if err != nil {
-		writeErr(w, fsStatus(err), err.Error())
+		writeError(w, r, fromDomain(err))
 		return
 	}
 	formatted, err := minic.Format(string(src))
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err.Error())
+		writeError(w, r, errf(http.StatusUnprocessableEntity, CodeCompileFailed, err.Error()))
 		return
 	}
 	if err := home.WriteFile(req.Path, []byte(formatted)); err != nil {
-		writeErr(w, fsStatus(err), err.Error())
+		writeError(w, r, fromDomain(err))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{"path": req.Path, "bytes": len(formatted)})
@@ -419,25 +404,25 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request, sess *aut
 		Language string `json:"language"`
 	}
 	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, errf(http.StatusBadRequest, CodeInvalidArgument, err.Error()))
 		return
 	}
 	src, err := s.home(sess).ReadFile(req.Path)
 	if err != nil {
-		writeErr(w, fsStatus(err), err.Error())
+		writeError(w, r, fromDomain(err))
 		return
 	}
 	lang := req.Language
 	if lang == "" || lang == "auto" {
 		lang = s.Tools.DetectLanguage(req.Path)
 		if lang == "" {
-			writeErr(w, http.StatusBadRequest, "cannot detect language; pass one explicitly")
+			writeError(w, r, errf(http.StatusBadRequest, CodeInvalidArgument, "cannot detect language; pass one explicitly"))
 			return
 		}
 	}
 	res, err := s.Tools.Compile(r.Context(), lang, req.Path, string(src))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, errf(http.StatusBadRequest, CodeInvalidArgument, err.Error()))
 		return
 	}
 	if !res.OK {
@@ -445,9 +430,9 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request, sess *aut
 		for i, d := range res.Diagnostics {
 			diags[i] = d.String()
 		}
-		writeJSON(w, http.StatusUnprocessableEntity, map[string]interface{}{
-			"ok": false, "diagnostics": diags,
-		})
+		e := errf(http.StatusUnprocessableEntity, CodeCompileFailed, "compilation failed")
+		e.details = map[string]interface{}{"diagnostics": diags}
+		writeError(w, r, e)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
@@ -498,7 +483,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, sess *auth
 		Stdin      string `json:"stdin"`
 	}
 	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, errf(http.StatusBadRequest, CodeInvalidArgument, err.Error()))
 		return
 	}
 	if req.Language == "" {
@@ -516,8 +501,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, sess *auth
 		Stdin:      req.Stdin,
 	})
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, fromDomain(err))
 		return
+	}
+	if rid := RequestIDFromContext(r.Context()); rid != "" {
+		job.Trace().Root().Annotate("request_id", rid)
 	}
 	s.metricsRegistry().Counter("jobs_submitted_total").Inc()
 	s.Log.Infof("user %s submitted %s as %s (%d ranks)", sess.User, req.SourcePath, job.ID, req.Ranks)
@@ -526,44 +514,95 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, sess *auth
 
 // jobForRequest fetches the job and enforces ownership (faculty and admin
 // may view any job).
-func (s *Server) jobForRequest(r *http.Request, sess *auth.Session) (*jobs.Job, int, error) {
+func (s *Server) jobForRequest(r *http.Request, sess *auth.Session) (*jobs.Job, *apiErr) {
 	id := r.PathValue("id")
 	job, err := s.Jobs.Get(id)
 	if err != nil {
-		return nil, http.StatusNotFound, err
+		return nil, fromDomain(err)
 	}
 	if job.Spec.Owner != sess.User && sess.Role == auth.RoleStudent {
-		return nil, http.StatusForbidden, fmt.Errorf("job %s belongs to %s", id, job.Spec.Owner)
+		return nil, errf(http.StatusForbidden, CodeForbidden,
+			fmt.Sprintf("job %s belongs to %s", id, job.Spec.Owner))
 	}
-	return job, 0, nil
+	return job, nil
+}
+
+// jobPageJSON is the paginated /api/jobs response. NextCursor is "" on the
+// last page; otherwise pass it back as ?cursor= to fetch the next page.
+type jobPageJSON struct {
+	Jobs       []jobJSON `json:"jobs"`
+	NextCursor string    `json:"next_cursor"`
 }
 
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
+	q := r.URL.Query()
 	owner := sess.User
-	if r.URL.Query().Get("all") == "1" && sess.Role != auth.RoleStudent {
+	if q.Get("all") == "1" && sess.Role != auth.RoleStudent {
 		owner = ""
 	}
-	snaps := s.Jobs.List(owner)
+	var state *jobs.State
+	if name := q.Get("state"); name != "" {
+		st, err := jobs.ParseState(name)
+		if err != nil {
+			writeError(w, r, errf(http.StatusBadRequest, CodeInvalidArgument, err.Error()))
+			return
+		}
+		state = &st
+	}
+	limit := 0
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 || n > 500 {
+			writeError(w, r, errf(http.StatusBadRequest, CodeInvalidArgument, "limit must be 1..500"))
+			return
+		}
+		limit = n
+	}
+	snaps, next, err := s.Jobs.ListPage(owner, state, limit, q.Get("cursor"))
+	if err != nil {
+		writeError(w, r, fromDomain(err))
+		return
+	}
 	out := make([]jobJSON, len(snaps))
 	for i, snap := range snaps {
 		out[i] = toJobJSON(snap)
 	}
-	writeJSON(w, http.StatusOK, out)
+	writeJSON(w, http.StatusOK, jobPageJSON{Jobs: out, NextCursor: next})
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
-	job, status, err := s.jobForRequest(r, sess)
-	if err != nil {
-		writeErr(w, status, err.Error())
+	job, e := s.jobForRequest(r, sess)
+	if e != nil {
+		writeError(w, r, e)
 		return
 	}
 	writeJSON(w, http.StatusOK, toJobJSON(job.Snapshot()))
 }
 
+// handleJobTrace serves the span tree recorded across the job's lifecycle —
+// the primary debugging artifact for "why was my run slow".
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
+	job, e := s.jobForRequest(r, sess)
+	if e != nil {
+		writeError(w, r, e)
+		return
+	}
+	tr := job.Trace()
+	if tr == nil {
+		writeError(w, r, errf(http.StatusNotFound, CodeNotFound, "no trace recorded for job "+job.ID))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"id":    job.ID,
+		"state": job.State().String(),
+		"trace": tr.Snapshot(),
+	})
+}
+
 func (s *Server) handleJobOutput(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
-	job, status, err := s.jobForRequest(r, sess)
-	if err != nil {
-		writeErr(w, status, err.Error())
+	job, e := s.jobForRequest(r, sess)
+	if e != nil {
+		writeError(w, r, e)
 		return
 	}
 	offset, _ := strconv.ParseInt(r.URL.Query().Get("offset"), 10, 64)
@@ -577,20 +616,20 @@ func (s *Server) handleJobOutput(w http.ResponseWriter, r *http.Request, sess *a
 }
 
 func (s *Server) handleJobInput(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
-	job, status, err := s.jobForRequest(r, sess)
-	if err != nil {
-		writeErr(w, status, err.Error())
+	job, e := s.jobForRequest(r, sess)
+	if e != nil {
+		writeError(w, r, e)
 		return
 	}
 	var req struct {
 		Data string `json:"data"`
 	}
 	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, errf(http.StatusBadRequest, CodeInvalidArgument, err.Error()))
 		return
 	}
 	if job.State().Terminal() {
-		writeErr(w, http.StatusConflict, "job already finished")
+		writeError(w, r, errf(http.StatusConflict, CodeJobTerminal, "job already finished"))
 		return
 	}
 	job.Stdin.Feed([]byte(req.Data))
@@ -598,13 +637,13 @@ func (s *Server) handleJobInput(w http.ResponseWriter, r *http.Request, sess *au
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
-	job, status, err := s.jobForRequest(r, sess)
-	if err != nil {
-		writeErr(w, status, err.Error())
+	job, e := s.jobForRequest(r, sess)
+	if e != nil {
+		writeError(w, r, e)
 		return
 	}
 	if err := s.Sched.Cancel(job.ID); err != nil {
-		writeErr(w, http.StatusConflict, err.Error())
+		writeError(w, r, errf(http.StatusConflict, CodeJobTerminal, err.Error()))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"id": job.ID, "state": "cancelled"})

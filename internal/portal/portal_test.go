@@ -17,6 +17,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/jobs"
 	"repro/internal/logging"
+	"repro/internal/metrics"
 	"repro/internal/scheduler"
 	"repro/internal/toolchain"
 	"repro/internal/vfs"
@@ -43,13 +44,18 @@ func newStack(t *testing.T) *stack {
 	store := jobs.NewStore(64, sim)
 	fs := vfs.New(1<<24, sim)
 	authz := auth.NewService(time.Hour, clock.Real{}) // real clock: sessions live through the test
+	// Share one registry between scheduler and portal, as core.NewSystem does,
+	// so /metrics carries the job histograms next to the HTTP ones.
+	reg := metrics.NewRegistry()
 	sched := scheduler.New(clus, tools, store, fs, scheduler.Options{
 		WallTime:   30 * time.Second,
 		StepBudget: 1 << 40, // cancellation tests spin; the budget must not end them first
+		Metrics:    reg,
 	})
 	sched.Start(time.Millisecond)
 	t.Cleanup(sched.Stop)
 	server := NewServer(authz, fs, tools, store, sched, clus, logging.Discard(), 1<<20)
+	server.SetMetrics(reg)
 	ts := httptest.NewServer(server)
 	t.Cleanup(ts.Close)
 	return &stack{srv: ts, sched: sched, store: store, authz: authz, clus: clus}
@@ -288,12 +294,16 @@ func TestCompileEndpoint(t *testing.T) {
 		t.Fatalf("bad compile = %d %s", status, body)
 	}
 	var bad struct {
-		OK          bool     `json:"ok"`
-		Diagnostics []string `json:"diagnostics"`
+		Error struct {
+			Code    string `json:"code"`
+			Details struct {
+				Diagnostics []string `json:"diagnostics"`
+			} `json:"details"`
+		} `json:"error"`
 	}
 	json.Unmarshal(body, &bad)
-	if bad.OK || len(bad.Diagnostics) == 0 {
-		t.Fatalf("diagnostics = %+v", bad)
+	if bad.Error.Code != "compile_failed" || len(bad.Error.Details.Diagnostics) == 0 {
+		t.Fatalf("compile error envelope = %+v (%s)", bad, body)
 	}
 
 	// Unknown extension without explicit language.
@@ -455,15 +465,19 @@ func TestJobListFiltering(t *testing.T) {
 	submitAndWait(t, alice, map[string]interface{}{"source_path": "/h.mc"})
 	submitAndWait(t, bob, map[string]interface{}{"source_path": "/h.mc"})
 
-	var mine []struct{ Owner string }
+	var mine struct {
+		Jobs []struct{ Owner string } `json:"jobs"`
+	}
 	alice.getJSON("/api/jobs", &mine)
-	if len(mine) != 1 || mine[0].Owner != "alice" {
+	if len(mine.Jobs) != 1 || mine.Jobs[0].Owner != "alice" {
 		t.Fatalf("alice's list = %+v", mine)
 	}
 	// A student asking for all still sees only their own.
-	var all []struct{ Owner string }
+	var all struct {
+		Jobs []struct{ Owner string } `json:"jobs"`
+	}
 	alice.getJSON("/api/jobs?all=1", &all)
-	if len(all) != 1 {
+	if len(all.Jobs) != 1 {
 		t.Fatalf("student all=1 list = %+v", all)
 	}
 	// Faculty see everything with all=1.
@@ -474,7 +488,7 @@ func TestJobListFiltering(t *testing.T) {
 	json.Unmarshal(body, &lr)
 	prof.token = lr.Token
 	prof.getJSON("/api/jobs?all=1", &all)
-	if len(all) != 2 {
+	if len(all.Jobs) != 2 {
 		t.Fatalf("faculty all=1 list = %+v", all)
 	}
 }
@@ -567,11 +581,11 @@ func main() {
 	if got := s.sched.CancelledWhileRunning(); got != 1 {
 		t.Fatalf("CancelledWhileRunning = %d", got)
 	}
-	var metrics map[string]int64
+	var metrics map[string]interface{}
 	if st := c.getJSON("/api/metrics", &metrics); st != http.StatusOK {
 		t.Fatalf("metrics = %d", st)
 	}
-	if metrics["scheduler_cancelled_running_total"] != 1 {
+	if n, _ := metrics["scheduler_cancelled_running_total"].(float64); n != 1 {
 		t.Fatalf("metrics = %v", metrics)
 	}
 }

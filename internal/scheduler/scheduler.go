@@ -28,8 +28,10 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/jobs"
 	"repro/internal/logging"
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/toolchain"
+	"repro/internal/trace"
 	"repro/internal/vfs"
 )
 
@@ -59,6 +61,10 @@ type Options struct {
 	// DrainTimeout bounds how long Stop waits for in-flight jobs before
 	// cancelling them; 0 means 5 seconds.
 	DrainTimeout time.Duration
+	// Metrics receives the scheduler's histograms (queue wait, compile and
+	// run time); nil means metrics.Default. Wire the portal's registry here
+	// so the histograms show up on /metrics.
+	Metrics *metrics.Registry
 }
 
 // Scheduler owns the dispatch loop.
@@ -93,6 +99,10 @@ type Scheduler struct {
 	latLastUS        atomic.Int64
 	latSumUS         atomic.Int64
 	cancelledRunning atomic.Int64
+
+	queueWait   *metrics.Histogram
+	compileTime *metrics.Histogram
+	runTime     *metrics.Histogram
 }
 
 // errWallTime is the cancellation cause attached to a job's run deadline, so
@@ -123,6 +133,9 @@ func New(c *cluster.Cluster, tools *toolchain.Service, store *jobs.Store, fs *vf
 	if opts.DrainTimeout <= 0 {
 		opts.DrainTimeout = 5 * time.Second
 	}
+	if opts.Metrics == nil {
+		opts.Metrics = metrics.Default
+	}
 	s := &Scheduler{
 		cluster:    c,
 		tools:      tools,
@@ -142,6 +155,11 @@ func New(c *cluster.Cluster, tools *toolchain.Service, store *jobs.Store, fs *vf
 		wake:       make(chan struct{}, 1),
 		stopCh:     make(chan struct{}),
 	}
+	// Registered eagerly so the series exist on /metrics before the first
+	// job flows through.
+	s.queueWait = opts.Metrics.Histogram("job_queue_wait_seconds", nil)
+	s.compileTime = opts.Metrics.Histogram("job_compile_seconds", nil)
+	s.runTime = opts.Metrics.Histogram("job_run_seconds", nil)
 	store.SetNotify(s.Wake)
 	c.SetReleaseNotify(s.Wake)
 	return s
@@ -261,15 +279,19 @@ func (s *Scheduler) tryStart(id string) startOutcome {
 		unclaim()
 		return blockedJob // not enough nodes right now
 	}
-	if err := s.cluster.AllocateNodes(job.ID, nodes); err != nil {
+	if err := s.cluster.AllocateNodesCtx(job.Context(), job.ID, nodes); err != nil {
 		unclaim()
 		return blockedJob // lost a race with another allocation
 	}
 	job.SetNodes(nodes)
 	s.record(EventAllocated, job.ID, nodes, s.policy.Name())
+	tr := job.Trace()
+	tr.EndSpan("queued")
+	tr.StartSpan("dispatch", trace.Attr{Key: "policy", Value: s.policy.Name()}).End()
 	if lat := s.clk.Now().Sub(job.Snapshot().Submitted); lat > 0 {
 		s.latLastUS.Store(lat.Microseconds())
 		s.latSumUS.Add(lat.Microseconds())
+		s.queueWait.Observe(lat.Seconds())
 	}
 	s.mu.Lock()
 	s.dispatched++
@@ -278,7 +300,7 @@ func (s *Scheduler) tryStart(id string) startOutcome {
 	go func() {
 		defer s.stopped.Done()
 		defer func() {
-			s.cluster.Release(job.ID)
+			s.cluster.ReleaseCtx(job.Context(), job.ID)
 			s.record(EventReleased, job.ID, nil, "")
 			s.mu.Lock()
 			delete(s.inFlight, job.ID)
@@ -339,7 +361,9 @@ func (s *Scheduler) execute(job *jobs.Job) {
 			return
 		}
 	}
+	compileStart := s.clk.Now()
 	res, err := s.tools.Compile(ctx, lang, job.Spec.SourcePath, string(src))
+	s.compileTime.Observe(s.clk.Now().Sub(compileStart).Seconds())
 	if err != nil {
 		if ctx.Err() != nil {
 			return // cancelled while compiling; the store already moved it
@@ -366,7 +390,10 @@ func (s *Scheduler) execute(job *jobs.Job) {
 	snap := job.Snapshot()
 	runCtx, cancelRun := context.WithTimeoutCause(ctx, s.wallTime, errWallTime)
 	defer cancelRun()
-	if err := s.runArtifact(runCtx, job, res.Artifact.Unit, snap.Nodes); err != nil {
+	runStart := s.clk.Now()
+	err = s.runArtifact(runCtx, job, res.Artifact.Unit, snap.Nodes)
+	s.runTime.Observe(s.clk.Now().Sub(runStart).Seconds())
+	if err != nil {
 		if ctx.Err() != nil {
 			return // cancelled while running; the store already moved it
 		}

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/minic"
+	"repro/internal/trace"
 )
 
 // Errors returned by the service.
@@ -171,6 +172,8 @@ func (s *Service) Compile(ctx context.Context, language, sourceName, src string)
 	if err := ctx.Err(); err != nil {
 		return Result{}, fmt.Errorf("toolchain: compile aborted: %w", context.Cause(ctx))
 	}
+	sp := trace.FromContext(ctx).StartSpan("compile", trace.Attr{Key: "language", Value: language})
+	defer sp.End()
 	s.mu.RLock()
 	p, ok := s.profiles[language]
 	s.mu.RUnlock()
@@ -182,6 +185,8 @@ func (s *Service) Compile(ctx context.Context, language, sourceName, src string)
 	if art, hit := s.artifacts[id]; hit {
 		s.cacheHits++
 		s.mu.Unlock()
+		sp.Annotate("cached", "true")
+		sp.Annotate("artifact", art.ID)
 		return Result{OK: true, Artifact: art, Cached: true}, nil
 	}
 	s.compiles++
@@ -203,6 +208,7 @@ func (s *Service) Compile(ctx context.Context, language, sourceName, src string)
 		} else {
 			diags = append(diags, Diagnostic{Line: 1, Col: 1, Msg: err.Error()})
 		}
+		sp.Annotate("ok", "false")
 		return Result{OK: false, Diagnostics: diags}, nil
 	}
 	art := &Artifact{
@@ -215,6 +221,7 @@ func (s *Service) Compile(ctx context.Context, language, sourceName, src string)
 	s.mu.Lock()
 	s.artifacts[id] = art
 	s.mu.Unlock()
+	sp.Annotate("artifact", art.ID)
 	return Result{OK: true, Artifact: art}, nil
 }
 

@@ -1,0 +1,213 @@
+// Package trace records per-job span trees: the lifecycle of one job —
+// submit → queued → dispatch → compile → running → terminal — as timed spans
+// with attributes (node assignments, cache hits, cancellation causes). A
+// Trace is created at submission, rides the job's context through every
+// layer (jobs, scheduler, toolchain, cluster), and is served by the portal
+// at GET /api/jobs/{id}/trace so a student or instructor can see exactly
+// where a job spent its time.
+//
+// The package is deliberately tiny: spans are appended to a flat slice under
+// one mutex (tens of nanoseconds per operation, cheap enough for the ~35µs
+// dispatch path), and the tree is only materialised when a snapshot is
+// requested. Every method is safe on a nil receiver, so instrumentation
+// sites never need to guard against an absent trace.
+package trace
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// span is the internal record; parent indexes into the trace's span slice
+// (-1 for the root).
+type span struct {
+	name   string
+	parent int
+	start  time.Time
+	end    time.Time // zero while open
+	attrs  []Attr
+}
+
+// Trace is the span tree of one job. Create with New; the root span opens
+// immediately and closes at Finish.
+type Trace struct {
+	mu    sync.Mutex
+	clk   clock.Clock
+	spans []span // spans[0] is the root
+}
+
+// Span is a handle to one recorded span.
+type Span struct {
+	tr  *Trace
+	idx int
+}
+
+// New returns a Trace whose root span has the given name and starts now.
+func New(name string, clk clock.Clock) *Trace {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	t := &Trace{clk: clk}
+	t.spans = append(t.spans, span{name: name, parent: -1, start: clk.Now()})
+	return t
+}
+
+// Root returns the root span.
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{tr: t, idx: 0}
+}
+
+// StartSpan opens a child of the root span.
+func (t *Trace) StartSpan(name string, attrs ...Attr) *Span {
+	return t.Root().StartSpan(name, attrs...)
+}
+
+// StartSpan opens a child span under s.
+func (s *Span) StartSpan(name string, attrs ...Attr) *Span {
+	if s == nil || s.tr == nil {
+		return nil
+	}
+	t := s.tr
+	t.mu.Lock()
+	t.spans = append(t.spans, span{name: name, parent: s.idx, start: t.clk.Now(), attrs: attrs})
+	idx := len(t.spans) - 1
+	t.mu.Unlock()
+	return &Span{tr: t, idx: idx}
+}
+
+// Annotate adds a key/value attribute to the span.
+func (s *Span) Annotate(key, value string) {
+	if s == nil || s.tr == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.tr.spans[s.idx].attrs = append(s.tr.spans[s.idx].attrs, Attr{Key: key, Value: value})
+	s.tr.mu.Unlock()
+}
+
+// End closes the span. Ending an already-closed span is a no-op.
+func (s *Span) End() {
+	if s == nil || s.tr == nil {
+		return
+	}
+	t := s.tr
+	t.mu.Lock()
+	if t.spans[s.idx].end.IsZero() {
+		t.spans[s.idx].end = t.clk.Now()
+	}
+	t.mu.Unlock()
+}
+
+// EndSpan closes the most recently opened still-open span with the given
+// name and reports whether one was found.
+func (t *Trace) EndSpan(name string) bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := len(t.spans) - 1; i >= 0; i-- {
+		if t.spans[i].name == name && t.spans[i].end.IsZero() {
+			t.spans[i].end = t.clk.Now()
+			return true
+		}
+	}
+	return false
+}
+
+// Finish annotates the root span with the given attributes, then closes
+// every still-open span (the root included). It is the terminal-state hook:
+// the jobs store calls it exactly once when a job leaves the pipeline.
+func (t *Trace) Finish(attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spans[0].attrs = append(t.spans[0].attrs, attrs...)
+	now := t.clk.Now()
+	for i := range t.spans {
+		if t.spans[i].end.IsZero() {
+			t.spans[i].end = now
+		}
+	}
+}
+
+// SpanJSON is the wire form of one span; children nest.
+type SpanJSON struct {
+	Name string `json:"name"`
+	// Start and End are absolute timestamps; End is zero while the span is
+	// open.
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end,omitempty"`
+	// DurationUS is End-Start in microseconds, -1 while the span is open.
+	DurationUS int64             `json:"duration_us"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Children   []SpanJSON        `json:"children,omitempty"`
+}
+
+// Snapshot materialises the span tree. Children appear in start order.
+func (t *Trace) Snapshot() SpanJSON {
+	if t == nil {
+		return SpanJSON{}
+	}
+	t.mu.Lock()
+	spans := make([]span, len(t.spans))
+	copy(spans, t.spans)
+	for i := range spans {
+		spans[i].attrs = append([]Attr(nil), t.spans[i].attrs...)
+	}
+	t.mu.Unlock()
+
+	nodes := make([]SpanJSON, len(spans))
+	for i, sp := range spans {
+		n := SpanJSON{Name: sp.name, Start: sp.start, End: sp.end, DurationUS: -1}
+		if !sp.end.IsZero() {
+			n.DurationUS = sp.end.Sub(sp.start).Microseconds()
+		}
+		if len(sp.attrs) > 0 {
+			n.Attrs = make(map[string]string, len(sp.attrs))
+			for _, a := range sp.attrs {
+				n.Attrs[a.Key] = a.Value
+			}
+		}
+		nodes[i] = n
+	}
+	// Attach children bottom-up: later spans can only parent earlier ones,
+	// so walking in reverse completes every subtree before it is attached.
+	for i := len(spans) - 1; i >= 1; i-- {
+		p := spans[i].parent
+		nodes[p].Children = append([]SpanJSON{nodes[i]}, nodes[p].Children...)
+	}
+	return nodes[0]
+}
+
+// ctxKey keys the trace in a context.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying the trace.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil. All Trace and Span
+// methods tolerate nil, so callers can instrument unconditionally.
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}

@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func TestSpanTreeShapeAndDurations(t *testing.T) {
+	clk := clock.NewSim()
+	tr := New("job", clk)
+	tr.Root().Annotate("job_id", "job-000001")
+
+	q := tr.StartSpan("queued")
+	clk.Advance(5 * time.Millisecond)
+	q.End()
+
+	d := tr.StartSpan("dispatch", Attr{Key: "policy", Value: "pack"})
+	c := d.StartSpan("compile")
+	clk.Advance(2 * time.Millisecond)
+	c.End()
+	d.End()
+
+	tr.Finish(Attr{Key: "state", Value: "succeeded"})
+
+	root := tr.Snapshot()
+	if root.Name != "job" || root.Attrs["job_id"] != "job-000001" || root.Attrs["state"] != "succeeded" {
+		t.Fatalf("root = %+v", root)
+	}
+	if len(root.Children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(root.Children))
+	}
+	// Children appear in start order.
+	if root.Children[0].Name != "queued" || root.Children[1].Name != "dispatch" {
+		t.Fatalf("children = %s, %s", root.Children[0].Name, root.Children[1].Name)
+	}
+	if got := root.Children[0].DurationUS; got != 5000 {
+		t.Fatalf("queued duration = %dus, want 5000", got)
+	}
+	disp := root.Children[1]
+	if disp.Attrs["policy"] != "pack" {
+		t.Fatalf("dispatch attrs = %v", disp.Attrs)
+	}
+	if len(disp.Children) != 1 || disp.Children[0].Name != "compile" {
+		t.Fatalf("dispatch children = %+v", disp.Children)
+	}
+	if disp.Children[0].DurationUS != 2000 {
+		t.Fatalf("compile duration = %dus, want 2000", disp.Children[0].DurationUS)
+	}
+	if root.DurationUS != 7000 {
+		t.Fatalf("root duration = %dus, want 7000", root.DurationUS)
+	}
+}
+
+func TestOpenSpanHasNegativeDuration(t *testing.T) {
+	tr := New("job", clock.NewSim())
+	tr.StartSpan("queued")
+	snap := tr.Snapshot()
+	if snap.DurationUS != -1 || snap.Children[0].DurationUS != -1 {
+		t.Fatalf("open spans should report -1, got %d and %d",
+			snap.DurationUS, snap.Children[0].DurationUS)
+	}
+}
+
+func TestEndIsIdempotent(t *testing.T) {
+	clk := clock.NewSim()
+	tr := New("job", clk)
+	sp := tr.StartSpan("queued")
+	clk.Advance(time.Millisecond)
+	sp.End()
+	clk.Advance(time.Hour) // must not move the recorded end
+	sp.End()
+	if got := tr.Snapshot().Children[0].DurationUS; got != 1000 {
+		t.Fatalf("duration = %dus, want 1000", got)
+	}
+}
+
+func TestEndSpanByName(t *testing.T) {
+	clk := clock.NewSim()
+	tr := New("job", clk)
+	tr.StartSpan("queued")
+	tr.StartSpan("queued") // a second open span with the same name
+	if !tr.EndSpan("queued") {
+		t.Fatal("EndSpan should find the open span")
+	}
+	// The most recent one closed; the first is still open.
+	snap := tr.Snapshot()
+	if snap.Children[0].DurationUS != -1 {
+		t.Fatal("first queued span should still be open")
+	}
+	if snap.Children[1].DurationUS == -1 {
+		t.Fatal("second queued span should be closed")
+	}
+	if tr.EndSpan("nonexistent") {
+		t.Fatal("EndSpan on an unknown name should report false")
+	}
+}
+
+func TestFinishClosesEverything(t *testing.T) {
+	clk := clock.NewSim()
+	tr := New("job", clk)
+	tr.StartSpan("queued")
+	tr.StartSpan("running")
+	clk.Advance(time.Second)
+	tr.Finish(Attr{Key: "state", Value: "cancelled"}, Attr{Key: "cause", Value: "user"})
+	snap := tr.Snapshot()
+	if snap.DurationUS == -1 {
+		t.Fatal("root should be closed")
+	}
+	for _, child := range snap.Children {
+		if child.DurationUS == -1 {
+			t.Fatalf("span %s left open after Finish", child.Name)
+		}
+	}
+	if snap.Attrs["state"] != "cancelled" || snap.Attrs["cause"] != "user" {
+		t.Fatalf("root attrs = %v", snap.Attrs)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Trace
+	if tr.Root() != nil {
+		t.Fatal("nil trace root should be nil")
+	}
+	// None of these may panic.
+	sp := tr.StartSpan("x")
+	sp.Annotate("k", "v")
+	sp.End()
+	sp.StartSpan("y").End()
+	tr.EndSpan("x")
+	tr.Finish()
+	if got := tr.Snapshot(); got.Name != "" {
+		t.Fatalf("nil snapshot = %+v", got)
+	}
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context should carry no trace")
+	}
+	if FromContext(nil) != nil { //nolint:staticcheck // nil ctx is the point
+		t.Fatal("nil context should carry no trace")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tr := New("job", clock.NewSim())
+	ctx := NewContext(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("trace lost in context")
+	}
+	// The trace survives a derived cancellable context — how it actually
+	// rides through the scheduler.
+	ctx2, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if FromContext(ctx2) != tr {
+		t.Fatal("trace lost in derived context")
+	}
+}
