@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build vet fmt test race bench apilint
+.PHONY: all check build vet fmt test race bench bench-vm apilint
 
 all: check
 
@@ -29,7 +29,18 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/scheduler/... ./internal/jobs/... ./internal/mpi/... ./internal/portal/...
+	$(GO) test -race ./internal/scheduler/... ./internal/jobs/... ./internal/mpi/... ./internal/portal/... ./internal/minic/... ./internal/toolchain/...
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkDispatchLatency -benchtime 20x ./internal/scheduler/
+
+# bench-vm measures the minic interpreter (microbenchmarks in
+# internal/minic/bench_test.go plus the end-to-end BenchmarkMinicExecute and
+# BenchmarkPortalPipeline) and records ns/op + allocs/op in BENCH_vm.json so
+# later changes have a trajectory to regress against. Not part of check:
+# benchmark walltime is too noisy for a CI gate.
+bench-vm:
+	{ $(GO) test -run '^$$' -bench BenchmarkVM -benchmem -benchtime 1s ./internal/minic/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkMinicExecute|BenchmarkMinicCompile|BenchmarkPortalPipeline' -benchmem -benchtime 1s . ; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_vm.json
+	@cat BENCH_vm.json

@@ -219,7 +219,14 @@ func BenchmarkPortalPipeline(b *testing.B) {
 	if err := c.Login("bench", "bench-pass"); err != nil {
 		b.Fatal(err)
 	}
-	if err := c.Upload("/b.mc", []byte(`func main() { println(rank()); }`)); err != nil {
+	// A compute-bound program, so the benchmark covers the interpreter as
+	// well as the HTTP/scheduler path rather than measuring pure overhead.
+	prog := `func main() {
+	var total = 0;
+	for (var i = 0; i < 10000; i = i + 1) { total = total + i; }
+	println(rank(), total);
+}`
+	if err := c.Upload("/b.mc", []byte(prog)); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()

@@ -1,0 +1,88 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// object on stdout (or -o file), keyed by benchmark name:
+//
+//	{"BenchmarkVMTightLoop": {"ns_per_op": 434311, "allocs_per_op": 6, "bytes_per_op": 9840, "iterations": 2961}}
+//
+// The -P suffix goroutine count (BenchmarkX-8) is stripped so keys are stable
+// across machines. `make bench-vm` uses it to write BENCH_vm.json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's measurements.
+type Entry struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+func parse(lines *bufio.Scanner) (map[string]Entry, error) {
+	out := make(map[string]Entry)
+	for lines.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(lines.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad iteration count in %q: %v", lines.Text(), err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad ns/op in %q: %v", lines.Text(), err)
+		}
+		e := Entry{Iterations: iters, NsPerOp: ns}
+		for _, f := range strings.Split(m[4], "\t") {
+			f = strings.TrimSpace(f)
+			switch {
+			case strings.HasSuffix(f, " B/op"):
+				e.BytesPerOp, _ = strconv.ParseInt(strings.TrimSuffix(f, " B/op"), 10, 64)
+			case strings.HasSuffix(f, " allocs/op"):
+				e.AllocsPerOp, _ = strconv.ParseInt(strings.TrimSuffix(f, " allocs/op"), 10, 64)
+			}
+		}
+		out[m[1]] = e
+	}
+	return out, lines.Err()
+}
+
+func main() {
+	outPath := flag.String("o", "", "write JSON to this file instead of stdout")
+	flag.Parse()
+	entries, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	// encoding/json emits map keys sorted, so the file is diffable run to run.
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *outPath == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -101,6 +101,9 @@ type Limits struct {
 	// VMStepBudget bounds interpreted instructions per rank, so a runaway
 	// student program cannot wedge a node.
 	VMStepBudget int64 `json:"vm_step_budget"`
+	// ArtifactCacheSize bounds the toolchain's compiled-artifact store;
+	// least-recently-used artifacts are evicted beyond it.
+	ArtifactCacheSize int `json:"artifact_cache_size"`
 }
 
 // Config is the root configuration object.
@@ -135,10 +138,11 @@ func Default() Config {
 			QuotaBytes:     64 << 20,
 		},
 		Limits: Limits{
-			MaxQueuedJobs:  256,
-			MaxNodesPerJob: 16,
-			JobWallTime:    Duration(5 * time.Minute),
-			VMStepBudget:   50_000_000,
+			MaxQueuedJobs:     256,
+			MaxNodesPerJob:    16,
+			JobWallTime:       Duration(5 * time.Minute),
+			VMStepBudget:      50_000_000,
+			ArtifactCacheSize: 4096,
 		},
 	}
 }
@@ -178,6 +182,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: limits.job_wall_time must be positive")
 	case c.Limits.VMStepBudget <= 0:
 		return fmt.Errorf("config: limits.vm_step_budget must be positive")
+	case c.Limits.ArtifactCacheSize <= 0:
+		return fmt.Errorf("config: limits.artifact_cache_size must be positive")
 	}
 	return nil
 }

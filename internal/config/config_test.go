@@ -47,6 +47,7 @@ func TestValidateCatchesEveryField(t *testing.T) {
 		{"nodes_per_job", func(c *Config) { c.Limits.MaxNodesPerJob = 0 }},
 		{"wall_time", func(c *Config) { c.Limits.JobWallTime = 0 }},
 		{"step_budget", func(c *Config) { c.Limits.VMStepBudget = 0 }},
+		{"artifact_cache", func(c *Config) { c.Limits.ArtifactCacheSize = 0 }},
 	}
 	for _, m := range mutations {
 		c := Default()

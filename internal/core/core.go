@@ -87,6 +87,7 @@ func NewSystem(cfg config.Config, opts Options) (*System, error) {
 		return nil, err
 	}
 	tools := toolchain.NewService(clk)
+	tools.SetArtifactCacheCap(cfg.Limits.ArtifactCacheSize)
 	store := jobs.NewStore(cfg.Limits.MaxQueuedJobs, clk)
 	fs := vfs.New(cfg.Portal.QuotaBytes, clk)
 	// Sessions always live on the wall clock: browsers are real even when
@@ -99,6 +100,7 @@ func NewSystem(cfg config.Config, opts Options) (*System, error) {
 	// One registry spans the scheduler and the portal so the scheduler's
 	// latency histograms surface on /metrics next to the HTTP ones.
 	reg := metrics.NewRegistry()
+	tools.SetMetrics(reg)
 	sched := scheduler.New(clus, tools, store, fs, scheduler.Options{
 		Policy:         policy,
 		Backfill:       opts.Backfill,

@@ -1,0 +1,128 @@
+package minic
+
+import (
+	"testing"
+)
+
+// The VM microbenchmarks behind `make bench-vm`. Each compiles once and
+// measures execution only; BenchmarkVMSteadyState reuses one Machine across
+// iterations to show the pooled-frame steady state allocates nothing.
+
+func compileBench(b *testing.B, src string) *Unit {
+	b.Helper()
+	u, err := CompileSource(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return u
+}
+
+const tightLoopSrc = `
+func main() {
+	var total = 0;
+	for (var i = 0; i < 10000; i = i + 1) {
+		total = total + i;
+	}
+	return total;
+}`
+
+func BenchmarkVMTightLoop(b *testing.B) {
+	u := compileBench(b, tightLoopSrc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewMachine(u, MachineConfig{StepBudget: 1 << 40})
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVMSteadyState(b *testing.B) {
+	// One Machine, many runs: after the first iteration warms the frame
+	// pool, the interpreter itself allocates nothing (0 allocs/op).
+	u := compileBench(b, tightLoopSrc)
+	m := NewMachine(u, MachineConfig{StepBudget: 1 << 60})
+	if _, err := m.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVMRecursiveCall(b *testing.B) {
+	u := compileBench(b, `
+func fib(n) {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+func main() { return fib(20); }`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewMachine(u, MachineConfig{StepBudget: 1 << 40})
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVMThreadFanOut(b *testing.B) {
+	u := compileBench(b, `
+var counter = 0;
+var m = mutex();
+func worker(n) {
+	var local = 0;
+	for (var i = 0; i < n; i = i + 1) { local = local + i; }
+	lock(m);
+	counter = counter + local;
+	unlock(m);
+}
+func main() {
+	var t0 = spawn(worker, 1000);
+	var t1 = spawn(worker, 1000);
+	var t2 = spawn(worker, 1000);
+	var t3 = spawn(worker, 1000);
+	var t4 = spawn(worker, 1000);
+	var t5 = spawn(worker, 1000);
+	var t6 = spawn(worker, 1000);
+	var t7 = spawn(worker, 1000);
+	join(t0); join(t1); join(t2); join(t3);
+	join(t4); join(t5); join(t6); join(t7);
+	return counter;
+}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewMachine(u, MachineConfig{StepBudget: 1 << 40})
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVMArraySweep(b *testing.B) {
+	u := compileBench(b, `
+func main() {
+	var a = array(1000);
+	for (var i = 0; i < len(a); i = i + 1) { a[i] = i * 2; }
+	var sum = 0;
+	for (var pass = 0; pass < 10; pass = pass + 1) {
+		for (var i = 0; i < len(a); i = i + 1) { sum = sum + a[i]; }
+	}
+	return sum;
+}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewMachine(u, MachineConfig{StepBudget: 1 << 40})
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

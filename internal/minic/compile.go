@@ -26,7 +26,33 @@ const (
 	OpUnary                     // unary operator A
 	OpIndex                     // i = pop, a = pop, push a[i]
 	OpSetIndex                  // v = pop, i = pop, a = pop, a[i] = v
+
+	// Fused superinstructions, emitted only by the optimizer (optimize.go)
+	// for the pairs/triples that dominate the lab programs' hot loops. They
+	// are exact semantic contractions of their expansions.
+	OpLoadLocalConstBin // push binary C over (locals[A], Consts[B])
+	OpLoadLocal2Bin     // push binary C over (locals[A], locals[B])
+	OpConstStoreLocal   // locals[B] = Consts[A]
 )
+
+// opNames maps opcodes to mnemonic names for disassembly.
+var opNames = [...]string{
+	OpConst: "const", OpLoadLocal: "loadl", OpStoreLocal: "storel",
+	OpLoadGlobal: "loadg", OpStoreGlobal: "storeg", OpJump: "jump",
+	OpJumpIfFalse: "jfalse", OpCall: "call", OpCallBuiltin: "callb",
+	OpSpawn: "spawn", OpReturn: "ret", OpReturnNil: "retnil", OpPop: "pop",
+	OpBinary: "bin", OpUnary: "un", OpIndex: "index", OpSetIndex: "setindex",
+	OpLoadLocalConstBin: "loadl+const+bin", OpLoadLocal2Bin: "loadl+loadl+bin",
+	OpConstStoreLocal: "const+storel",
+}
+
+// String names the opcode.
+func (op OpCode) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("OpCode(%d)", int(op))
+}
 
 // Binary operator codes for OpBinary.A.
 const (
@@ -58,35 +84,58 @@ var binOpCode = map[string]int{
 }
 
 // Instr is one VM instruction. Line carries the source line for runtime
-// diagnostics.
+// diagnostics. C is used only by the fused superinstructions (the binary
+// operator code).
 type Instr struct {
-	Op   OpCode
-	A, B int
-	Line int
+	Op      OpCode
+	A, B, C int
+	Line    int
 }
 
-// CompiledFunc is a compiled function body.
+// CompiledFunc is a compiled function body. MaxStack is the operand-stack
+// high-water mark computed at compile time, so the VM can carve the whole
+// activation (locals + operand stack) out of a reusable arena without ever
+// growing it mid-function.
 type CompiledFunc struct {
 	Name      string
 	NumParams int
 	NumLocals int // including params
+	MaxStack  int // operand stack slots the body can ever occupy
 	Code      []Instr
 }
 
 // Unit is the executable output of the compiler — what the portal's
-// toolchain stores as a build artifact and ships to cluster nodes.
+// toolchain stores as a build artifact and ships to cluster nodes. A Unit is
+// shared by every job (and every rank) that runs the same artifact, so it
+// must be treated as immutable after Compile returns: the VM reads Consts,
+// Funcs and GlobalInit but never writes them.
 type Unit struct {
-	Consts     []Value
-	Globals    []string // global names, in slot order
-	GlobalInit []Instr  // initializer code run once, at rank start
-	Funcs      []*CompiledFunc
-	FuncIndex  map[string]int
-	EntryPoint int // index of main
+	Consts       []Value
+	Globals      []string // global names, in slot order
+	GlobalInit   []Instr  // initializer code run once, at rank start
+	InitMaxStack int      // operand-stack bound for GlobalInit
+	Funcs        []*CompiledFunc
+	FuncIndex    map[string]int
+	EntryPoint   int // index of main
 }
 
-// Compile type-checks and compiles a parsed program. The entry point must be
-// a zero-argument function called main.
+// CompileOptions tune compilation.
+type CompileOptions struct {
+	// DisableOptimize skips the bytecode optimization pass (constant
+	// folding, jump threading, dead-pop elimination, superinstruction
+	// fusion). The pass is semantics-preserving, so this exists for
+	// debugging and for the optimizer-equivalence tests.
+	DisableOptimize bool
+}
+
+// Compile type-checks and compiles a parsed program with the optimizer
+// enabled. The entry point must be a zero-argument function called main.
 func Compile(prog *Program) (*Unit, error) {
+	return CompileWithOptions(prog, CompileOptions{})
+}
+
+// CompileWithOptions is Compile with explicit options.
+func CompileWithOptions(prog *Program, opts CompileOptions) (*Unit, error) {
 	u := &Unit{FuncIndex: make(map[string]int)}
 	// Pass 1: assign global slots and function indices.
 	globalSlot := make(map[string]int)
@@ -150,6 +199,20 @@ func Compile(prog *Program) (*Unit, error) {
 		u.Funcs[i].Code = fc.code
 		u.Funcs[i].NumLocals = fc.maxSlots
 	}
+
+	// Pass 4: optimize, then fix the operand-stack bound of every body.
+	// MaxStack is computed after optimization because fusion changes the
+	// stack profile (a fused triple touches the stack once, not thrice).
+	if !opts.DisableOptimize {
+		u.GlobalInit = optimizeCode(u, u.GlobalInit)
+		for _, f := range u.Funcs {
+			f.Code = optimizeCode(u, f.Code)
+		}
+	}
+	u.InitMaxStack = computeMaxStack(u.GlobalInit)
+	for _, f := range u.Funcs {
+		f.MaxStack = computeMaxStack(f.Code)
+	}
 	return u, nil
 }
 
@@ -168,6 +231,16 @@ func CompileSource(src string) (*Unit, error) {
 		return nil, err
 	}
 	return Compile(prog)
+}
+
+// CompileSourceWithOptions parses and compiles in one step with explicit
+// options.
+func CompileSourceWithOptions(src string, opts CompileOptions) (*Unit, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileWithOptions(prog, opts)
 }
 
 type loopContext struct {
@@ -230,13 +303,7 @@ func (c *funcCompiler) resolve(name string) (slot int, local, ok bool) {
 
 func (c *funcCompiler) addConst(v Value) int {
 	// Interning keeps units small for loops full of literals.
-	for i, existing := range c.unit.Consts {
-		if sameConst(existing, v) {
-			return i
-		}
-	}
-	c.unit.Consts = append(c.unit.Consts, v)
-	return len(c.unit.Consts) - 1
+	return c.unit.internConst(v)
 }
 
 func sameConst(a, b Value) bool {
@@ -568,9 +635,10 @@ func (c *funcCompiler) compileCall(ex *CallExpr) error {
 func (u *Unit) Disassemble() string {
 	out := ""
 	for _, f := range u.Funcs {
-		out += fmt.Sprintf("func %s (params=%d locals=%d)\n", f.Name, f.NumParams, f.NumLocals)
+		out += fmt.Sprintf("func %s (params=%d locals=%d maxstack=%d)\n",
+			f.Name, f.NumParams, f.NumLocals, f.MaxStack)
 		for i, in := range f.Code {
-			out += fmt.Sprintf("  %3d: op=%d a=%d b=%d\n", i, in.Op, in.A, in.B)
+			out += fmt.Sprintf("  %3d: %-16s a=%d b=%d c=%d\n", i, in.Op, in.A, in.B, in.C)
 		}
 	}
 	return out

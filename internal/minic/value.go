@@ -1,7 +1,9 @@
 package minic
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"strconv"
 	"sync"
 
@@ -141,6 +143,53 @@ func (v Value) numeric() (float64, bool) {
 	default:
 		return 0, false
 	}
+}
+
+// intBinary is the interpreter's int⊕int fast path: it writes the result of
+// a op b into dst and reports whether it handled the operator. Division and
+// modulo by zero, and the bool-only logical operators, are left to
+// applyBinary so error reporting stays in one place.
+func intBinary(op int, a, b int64, dst *Value) bool {
+	switch op {
+	case BinAdd:
+		*dst = Value{Kind: KindInt, I: a + b}
+	case BinSub:
+		*dst = Value{Kind: KindInt, I: a - b}
+	case BinMul:
+		*dst = Value{Kind: KindInt, I: a * b}
+	case BinDiv:
+		if b == 0 {
+			return false
+		}
+		*dst = Value{Kind: KindInt, I: a / b}
+	case BinMod:
+		if b == 0 {
+			return false
+		}
+		*dst = Value{Kind: KindInt, I: a % b}
+	case BinEq:
+		*dst = Value{Kind: KindBool, I: boolInt(a == b)}
+	case BinNe:
+		*dst = Value{Kind: KindBool, I: boolInt(a != b)}
+	case BinLt:
+		*dst = Value{Kind: KindBool, I: boolInt(a < b)}
+	case BinLe:
+		*dst = Value{Kind: KindBool, I: boolInt(a <= b)}
+	case BinGt:
+		*dst = Value{Kind: KindBool, I: boolInt(a > b)}
+	case BinGe:
+		*dst = Value{Kind: KindBool, I: boolInt(a >= b)}
+	default:
+		return false
+	}
+	return true
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // applyBinary evaluates a binary operator over two values with the
@@ -288,23 +337,19 @@ func applyUnary(op int, a Value, line int) (Value, error) {
 }
 
 // encodeValue serializes a sendable value (int, float, bool, string) for the
-// message-passing builtins.
+// message-passing builtins. Numbers travel little-endian, like the mpi
+// package's float payloads.
 func encodeValue(v Value) ([]byte, error) {
 	switch v.Kind {
 	case KindInt, KindBool:
 		b := make([]byte, 9)
 		b[0] = byte(v.Kind)
-		for k := 0; k < 8; k++ {
-			b[1+k] = byte(uint64(v.I) >> (8 * k))
-		}
+		binary.LittleEndian.PutUint64(b[1:], uint64(v.I))
 		return b, nil
 	case KindFloat:
 		b := make([]byte, 9)
 		b[0] = byte(v.Kind)
-		bits := floatBitsOf(v.F)
-		for k := 0; k < 8; k++ {
-			b[1+k] = byte(bits >> (8 * k))
-		}
+		binary.LittleEndian.PutUint64(b[1:], math.Float64bits(v.F))
 		return b, nil
 	case KindString:
 		return append([]byte{byte(KindString)}, v.S...), nil
@@ -323,20 +368,12 @@ func decodeValue(b []byte) (Value, error) {
 		if len(b) != 9 {
 			return Value{}, fmt.Errorf("minic: bad int message length %d", len(b))
 		}
-		var u uint64
-		for k := 0; k < 8; k++ {
-			u |= uint64(b[1+k]) << (8 * k)
-		}
-		return Value{Kind: kind, I: int64(u)}, nil
+		return Value{Kind: kind, I: int64(binary.LittleEndian.Uint64(b[1:]))}, nil
 	case KindFloat:
 		if len(b) != 9 {
 			return Value{}, fmt.Errorf("minic: bad float message length %d", len(b))
 		}
-		var u uint64
-		for k := 0; k < 8; k++ {
-			u |= uint64(b[1+k]) << (8 * k)
-		}
-		return FloatValue(floatFromBitsOf(u)), nil
+		return FloatValue(math.Float64frombits(binary.LittleEndian.Uint64(b[1:]))), nil
 	case KindString:
 		return StringValue(string(b[1:])), nil
 	default:

@@ -24,9 +24,6 @@ var ErrStepBudget = errors.New("minic: step budget exceeded")
 // how a cancelled (or timed-out) job halts its VM ranks.
 var ErrCancelled = errors.New("minic: execution cancelled")
 
-func floatBitsOf(f float64) uint64     { return math.Float64bits(f) }
-func floatFromBitsOf(b uint64) float64 { return math.Float64frombits(b) }
-
 // MPIHooks connects a running program to its communication world. Sequential
 // executions use NoMPI; cluster jobs get an adapter over an mpi.Comm.
 type MPIHooks interface {
@@ -197,8 +194,13 @@ func (m *Machine) runInit() error {
 	if len(m.unit.GlobalInit) == 0 {
 		return nil
 	}
-	f := &CompiledFunc{Name: "<init>", Code: m.unit.GlobalInit}
-	_, err := m.exec(f, nil, 0)
+	f := &CompiledFunc{Name: "<init>", Code: m.unit.GlobalInit, MaxStack: m.unit.InitMaxStack}
+	st := getFrameArena()
+	_, err := m.exec(st, f, 0, 0)
+	if ferr := m.flushSteps(st); err == nil {
+		err = ferr
+	}
+	putFrameArena(st)
 	return err
 }
 
@@ -206,60 +208,168 @@ func (m *Machine) runInit() error {
 // with a diagnostic instead of exhausting the Go stack.
 const maxCallDepth = 10_000
 
-// cancelCheckInterval is how many interpreted instructions (machine-wide) may
-// elapse between context checks. Must be a power of two: the hot loop tests
-// steps&(interval-1) so the common case costs one mask, not a context poll.
+// cancelCheckInterval is how many interpreted instructions a goroutine may
+// execute between flushes of its local step counter into the machine-wide
+// atomic — which is also where the context and budget are checked. The
+// per-opcode fast path is therefore a register increment and compare; the
+// budget bound and cancellation latency hold to within one interval per
+// running thread.
 const cancelCheckInterval = 1 << 12
 
-// callFunction runs Funcs[fi] with args in the current goroutine.
+// frameArena is one goroutine's reusable execution state: a slab of Value
+// slots that activation frames (locals + operand stack) are carved out of,
+// and the local step counter batched into Machine.steps. Arenas are pooled
+// across Run and spawn, so the steady-state interpreter path allocates
+// nothing.
+type frameArena struct {
+	arena   []Value
+	pending int64 // interpreted instructions not yet flushed to Machine.steps
+}
+
+const initialArenaSize = 256
+
+var frameArenaPool = sync.Pool{
+	New: func() interface{} { return &frameArena{arena: make([]Value, initialArenaSize)} },
+}
+
+func getFrameArena() *frameArena { return frameArenaPool.Get().(*frameArena) }
+
+func putFrameArena(st *frameArena) {
+	// Zero the slab so pooled arenas don't pin arrays, threads or
+	// semaphores from a finished program until their next reuse.
+	clear(st.arena)
+	st.pending = 0
+	frameArenaPool.Put(st)
+}
+
+// grow resizes the arena to at least need slots, geometrically. Frames
+// reference the arena through indices, so relocation is safe as long as
+// callers re-slice after any nested call that might have grown it.
+func (st *frameArena) grow(need int) {
+	size := len(st.arena) * 2
+	for size < need {
+		size *= 2
+	}
+	next := make([]Value, size)
+	copy(next, st.arena)
+	st.arena = next
+}
+
+// flushSteps publishes the goroutine's batched step count and performs the
+// budget and cancellation checks. It is called when a batch fills, around
+// potentially blocking builtins, at spawn handoff, and at top-level return —
+// so Steps() lags true progress by at most one batch per running thread.
+func (m *Machine) flushSteps(st *frameArena) error {
+	if st.pending == 0 {
+		return nil
+	}
+	n := m.steps.Add(st.pending)
+	st.pending = 0
+	if n > m.budget {
+		return fmt.Errorf("%w after %d instructions", ErrStepBudget, m.budget)
+	}
+	if m.ctx.Err() != nil {
+		return ErrCancelled
+	}
+	return nil
+}
+
+// stackAudit, when enabled (tests only), makes exec verify at every
+// instruction that the live operand-stack depth never exceeds the compiler's
+// MaxStack bound. The audited path allocates headroom beyond MaxStack so a
+// violation is reported as a diagnostic instead of a slice bounds panic.
+var stackAudit atomic.Bool
+
+// SetStackAudit toggles the stack-depth audit mode and reports the previous
+// setting. It exists for the MaxStack correctness tests.
+func SetStackAudit(on bool) bool { return stackAudit.Swap(on) }
+
+// stackAuditHeadroom is the extra slack an audited frame gets so an
+// underestimated MaxStack is caught by the audit, not by a bounds panic.
+const stackAuditHeadroom = 64
+
+// callFunction runs Funcs[fi] with args on a pooled frame arena in the
+// current goroutine. It is the entry point for Run and for spawned threads;
+// calls between minic functions stay inside exec and share the caller's
+// arena.
 func (m *Machine) callFunction(fi int, args []Value, depth int) (Value, error) {
+	f := m.unit.Funcs[fi]
+	st := getFrameArena()
+	if len(args) > len(st.arena) {
+		st.grow(len(args))
+	}
+	copy(st.arena, args)
+	v, err := m.exec(st, f, 0, depth)
+	if ferr := m.flushSteps(st); err == nil {
+		err = ferr
+	}
+	putFrameArena(st)
+	return v, err
+}
+
+// exec interprets one activation of f whose frame starts at arena index
+// base; arena[base:base+NumParams] already hold the arguments. The frame
+// layout is [locals | operand stack], and a callee's frame overlaps the
+// caller's stack top so arguments become parameter slots without copying.
+func (m *Machine) exec(st *frameArena, f *CompiledFunc, base, depth int) (Value, error) {
 	if depth > maxCallDepth {
 		return UnitValue(), fmt.Errorf("minic: call depth exceeds %d (runaway recursion?)", maxCallDepth)
 	}
-	f := m.unit.Funcs[fi]
-	locals := make([]Value, f.NumLocals)
-	copy(locals, args)
-	return m.exec(f, locals, depth)
-}
-
-// exec is the interpreter loop for one function activation.
-func (m *Machine) exec(f *CompiledFunc, locals []Value, depth int) (Value, error) {
-	var stack []Value
-	push := func(v Value) { stack = append(stack, v) }
-	pop := func() Value {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		return v
+	audit := stackAudit.Load()
+	frameTop := base + f.NumLocals + f.MaxStack
+	if audit {
+		frameTop += stackAuditHeadroom
 	}
+	if frameTop > len(st.arena) {
+		st.grow(frameTop)
+	}
+	locals := st.arena[base : base+f.NumLocals : base+f.NumLocals]
+	stack := st.arena[base+f.NumLocals : frameTop : frameTop]
+	// Arguments arrive in the parameter slots; the remaining locals must be
+	// cleared because the arena is reused across activations.
+	for i := f.NumParams; i < f.NumLocals; i++ {
+		locals[i] = Value{}
+	}
+	sp := 0
 	code := f.Code
+	consts := m.unit.Consts
 	for pc := 0; pc < len(code); pc++ {
-		if n := m.steps.Add(1); n > m.budget {
-			return UnitValue(), fmt.Errorf("%w after %d instructions", ErrStepBudget, m.budget)
-		} else if n&(cancelCheckInterval-1) == 0 && m.ctx.Err() != nil {
-			return UnitValue(), ErrCancelled
+		st.pending++
+		if st.pending >= cancelCheckInterval {
+			if err := m.flushSteps(st); err != nil {
+				return UnitValue(), err
+			}
 		}
-		in := code[pc]
+		in := &code[pc]
+		if audit && sp > f.MaxStack {
+			return UnitValue(), fmt.Errorf("minic: internal: %s pc=%d operand stack depth %d exceeds MaxStack %d",
+				f.Name, pc, sp, f.MaxStack)
+		}
 		switch in.Op {
 		case OpConst:
-			push(m.unit.Consts[in.A])
+			stack[sp] = consts[in.A]
+			sp++
 		case OpLoadLocal:
-			push(locals[in.A])
+			stack[sp] = locals[in.A]
+			sp++
 		case OpStoreLocal:
-			locals[in.A] = pop()
+			sp--
+			locals[in.A] = stack[sp]
 		case OpLoadGlobal:
 			m.memMu.Lock()
-			v := m.globals[in.A]
+			stack[sp] = m.globals[in.A]
 			m.memMu.Unlock()
-			push(v)
+			sp++
 		case OpStoreGlobal:
-			v := pop()
+			sp--
 			m.memMu.Lock()
-			m.globals[in.A] = v
+			m.globals[in.A] = stack[sp]
 			m.memMu.Unlock()
 		case OpJump:
 			pc = in.A - 1
 		case OpJumpIfFalse:
-			c := pop()
+			sp--
+			c := stack[sp]
 			if c.Kind != KindBool {
 				return UnitValue(), errAt(in.Line, 0, "condition is %s, not bool", c.Kind)
 			}
@@ -267,67 +377,105 @@ func (m *Machine) exec(f *CompiledFunc, locals []Value, depth int) (Value, error
 				pc = in.A - 1
 			}
 		case OpCall:
-			args := make([]Value, in.B)
-			for i := in.B - 1; i >= 0; i-- {
-				args[i] = pop()
-			}
-			v, err := m.callFunction(in.A, args, depth+1)
+			// The callee's frame starts where its arguments already sit on
+			// our operand stack, so no argument copying happens; only the
+			// arena pointer can move (growth), hence the re-slice below.
+			calleeBase := base + f.NumLocals + sp - in.B
+			v, err := m.exec(st, m.unit.Funcs[in.A], calleeBase, depth+1)
 			if err != nil {
 				return UnitValue(), err
 			}
-			push(v)
+			locals = st.arena[base : base+f.NumLocals : base+f.NumLocals]
+			stack = st.arena[base+f.NumLocals : frameTop : frameTop]
+			sp -= in.B
+			stack[sp] = v
+			sp++
 		case OpCallBuiltin:
-			args := make([]Value, in.B)
-			for i := in.B - 1; i >= 0; i-- {
-				args[i] = pop()
+			// Builtins may block (join, sem_wait, recv); flush so a stalled
+			// thread's steps are visible and cancellation is observed.
+			if err := m.flushSteps(st); err != nil {
+				return UnitValue(), err
 			}
-			v, err := builtins[in.A].fn(m, args, in.Line)
+			v, err := builtins[in.A].fn(m, stack[sp-in.B:sp], in.Line)
 			if err != nil {
 				return UnitValue(), err
 			}
-			push(v)
+			sp -= in.B
+			stack[sp] = v
+			sp++
 		case OpSpawn:
-			args := make([]Value, in.B)
-			for i := in.B - 1; i >= 0; i-- {
-				args[i] = pop()
+			if err := m.flushSteps(st); err != nil {
+				return UnitValue(), err
 			}
-			push(m.spawn(in.A, args))
+			// The spawned thread outlives this frame: copy the arguments out
+			// of the shared arena. This is the one argument copy left.
+			args := make([]Value, in.B)
+			copy(args, stack[sp-in.B:sp])
+			sp -= in.B
+			stack[sp] = m.spawn(in.A, args)
+			sp++
 		case OpReturn:
-			return pop(), nil
+			return stack[sp-1], nil
 		case OpReturnNil:
 			return UnitValue(), nil
 		case OpPop:
-			pop()
+			sp--
 		case OpBinary:
-			b := pop()
-			a := pop()
-			v, err := applyBinary(in.A, a, b, in.Line)
+			if stack[sp-2].Kind == KindInt && stack[sp-1].Kind == KindInt &&
+				intBinary(in.A, stack[sp-2].I, stack[sp-1].I, &stack[sp-2]) {
+				sp--
+				break
+			}
+			v, err := applyBinary(in.A, stack[sp-2], stack[sp-1], in.Line)
 			if err != nil {
 				return UnitValue(), err
 			}
-			push(v)
+			sp--
+			stack[sp-1] = v
 		case OpUnary:
-			a := pop()
-			v, err := applyUnary(in.A, a, in.Line)
+			v, err := applyUnary(in.A, stack[sp-1], in.Line)
 			if err != nil {
 				return UnitValue(), err
 			}
-			push(v)
+			stack[sp-1] = v
 		case OpIndex:
-			idx := pop()
-			arr := pop()
-			v, err := m.indexGet(arr, idx, in.Line)
+			v, err := m.indexGet(stack[sp-2], stack[sp-1], in.Line)
 			if err != nil {
 				return UnitValue(), err
 			}
-			push(v)
+			sp--
+			stack[sp-1] = v
 		case OpSetIndex:
-			val := pop()
-			idx := pop()
-			arr := pop()
-			if err := m.indexSet(arr, idx, val, in.Line); err != nil {
+			if err := m.indexSet(stack[sp-3], stack[sp-2], stack[sp-1], in.Line); err != nil {
 				return UnitValue(), err
 			}
+			sp -= 3
+		case OpLoadLocalConstBin:
+			if locals[in.A].Kind == KindInt && consts[in.B].Kind == KindInt &&
+				intBinary(in.C, locals[in.A].I, consts[in.B].I, &stack[sp]) {
+				sp++
+				break
+			}
+			v, err := applyBinary(in.C, locals[in.A], consts[in.B], in.Line)
+			if err != nil {
+				return UnitValue(), err
+			}
+			stack[sp] = v
+			sp++
+		case OpLoadLocal2Bin:
+			if locals[in.A].Kind == KindInt && locals[in.B].Kind == KindInt &&
+				intBinary(in.C, locals[in.A].I, locals[in.B].I, &stack[sp]) {
+				sp++
+				break
+			}
+			v, err := applyBinary(in.C, locals[in.A], locals[in.B], in.Line)
+			if err != nil {
+				return UnitValue(), err
+			}
+			stack[sp] = v
+			sp++
+		case OpConstStoreLocal:
+			locals[in.B] = consts[in.A]
 		default:
 			return UnitValue(), errAt(in.Line, 0, "internal: bad opcode %d", in.Op)
 		}

@@ -14,6 +14,7 @@ package mpi
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
@@ -588,16 +589,13 @@ func (c *Comm) Scatter(root int, values []float64) (float64, error) {
 
 // --- encoding ---------------------------------------------------------------
 
-func floatBits(f float64) uint64     { return math.Float64bits(f) }
-func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+// Float payloads travel little-endian, the same layout package minic uses for
+// sendable values.
 
 func encodeFloats(v []float64) []byte {
 	b := make([]byte, 8*len(v))
 	for i, f := range v {
-		bits := floatBits(f)
-		for k := 0; k < 8; k++ {
-			b[i*8+k] = byte(bits >> (8 * k))
-		}
+		binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(f))
 	}
 	return b
 }
@@ -608,11 +606,7 @@ func decodeFloats(b []byte) ([]float64, error) {
 	}
 	v := make([]float64, len(b)/8)
 	for i := range v {
-		var bits uint64
-		for k := 0; k < 8; k++ {
-			bits |= uint64(b[i*8+k]) << (8 * k)
-		}
-		v[i] = floatFromBits(bits)
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
 	}
 	return v, nil
 }

@@ -1,0 +1,148 @@
+package toolchain
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// srcN builds a distinct valid program per index so each compile yields its
+// own artifact.
+func srcN(n int) string {
+	return fmt.Sprintf("func main() { println(%d); }", n)
+}
+
+func TestCompileDedupsConcurrentCalls(t *testing.T) {
+	s := newService(t)
+	src := `func main() { println("same"); }`
+	const callers = 16
+	var wg sync.WaitGroup
+	results := make([]Result, callers)
+	errs := make([]error, callers)
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.Compile(context.Background(), "minic", "a.mc", src)
+		}(i)
+	}
+	wg.Wait()
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if !results[i].OK || results[i].Artifact == nil {
+			t.Fatalf("caller %d: result %+v", i, results[i])
+		}
+		if results[i].Artifact != results[0].Artifact {
+			t.Fatalf("caller %d got a different artifact object", i)
+		}
+	}
+	st := s.Stats()
+	if st.Compiles != 1 {
+		t.Fatalf("compiles = %d, want 1 (stampede not deduplicated)", st.Compiles)
+	}
+	if st.Compiles+st.CacheHits+st.Dedups != callers {
+		t.Fatalf("stats don't account for all callers: %+v", st)
+	}
+}
+
+func TestCompileDedupWaiterRespectsOwnCtx(t *testing.T) {
+	s := newService(t)
+	src := `func main() { println("x"); }`
+	// A waiter whose own ctx is already dead must abort rather than block,
+	// even if it loses the in-flight race.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Compile(ctx, "minic", "a.mc", src); err == nil {
+		t.Fatal("dead-ctx Compile returned nil error")
+	}
+	// A live caller after the aborted one still compiles fine.
+	res, err := s.Compile(context.Background(), "minic", "a.mc", src)
+	if err != nil || !res.OK {
+		t.Fatalf("follow-up compile: res=%+v err=%v", res, err)
+	}
+}
+
+func TestArtifactCacheLRUEviction(t *testing.T) {
+	s := newService(t)
+	reg := metrics.NewRegistry()
+	s.SetMetrics(reg)
+	s.SetArtifactCacheCap(2)
+	ctx := context.Background()
+
+	r0, _ := s.Compile(ctx, "minic", "p0.mc", srcN(0))
+	r1, _ := s.Compile(ctx, "minic", "p1.mc", srcN(1))
+	// Touch artifact 0 so 1 becomes least recently used.
+	if _, err := s.Artifact(r0.Artifact.ID); err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := s.Compile(ctx, "minic", "p2.mc", srcN(2))
+
+	if _, err := s.Artifact(r1.Artifact.ID); !errors.Is(err, ErrUnknownArtifact) {
+		t.Fatalf("LRU artifact 1 should be evicted, got err=%v", err)
+	}
+	if _, err := s.Artifact(r0.Artifact.ID); err != nil {
+		t.Fatalf("recently used artifact 0 evicted: %v", err)
+	}
+	if _, err := s.Artifact(r2.Artifact.ID); err != nil {
+		t.Fatalf("newest artifact 2 evicted: %v", err)
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.Cached != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction and 2 cached", st)
+	}
+	if got := reg.Snapshot()["toolchain_artifact_evictions"]; got != 1 {
+		t.Fatalf("metrics eviction counter = %d, want 1", got)
+	}
+	// Evicted source recompiles rather than hitting the cache.
+	r1b, err := s.Compile(ctx, "minic", "p1.mc", srcN(1))
+	if err != nil || r1b.Cached {
+		t.Fatalf("evicted source served from cache: %+v err=%v", r1b, err)
+	}
+}
+
+func TestSetArtifactCacheCapShrinksStore(t *testing.T) {
+	s := newService(t)
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		if _, err := s.Compile(ctx, "minic", "p.mc", srcN(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.SetArtifactCacheCap(3)
+	st := s.Stats()
+	if st.Cached != 3 || st.Evictions != 5 {
+		t.Fatalf("stats after shrink = %+v, want 3 cached / 5 evicted", st)
+	}
+	s.SetArtifactCacheCap(0) // ignored
+	if s.Stats().Cached != 3 {
+		t.Fatal("cap 0 should be ignored")
+	}
+}
+
+func TestDetectLanguageTable(t *testing.T) {
+	s := newService(t)
+	cases := map[string]string{
+		"a.mc": "minic", "b.c": "c", "c.CPP": "cpp", "d.cc": "cpp",
+		"e.java": "java", "f.txt": "", "g": "",
+	}
+	for name, want := range cases {
+		if got := s.DetectLanguage(name); got != want {
+			t.Errorf("DetectLanguage(%q) = %q, want %q", name, got, want)
+		}
+	}
+	// Registering a new profile extends the table; re-registering keeps
+	// deterministic first-claim-wins resolution.
+	s.Register(&Profile{Language: "zig", Extensions: []string{".zig", ".c"}})
+	if got := s.DetectLanguage("x.zig"); got != "zig" {
+		t.Fatalf("DetectLanguage(.zig) = %q after Register", got)
+	}
+	if got := s.DetectLanguage("x.c"); got != "c" {
+		t.Fatalf("DetectLanguage(.c) = %q, want earlier language to keep its claim", got)
+	}
+}

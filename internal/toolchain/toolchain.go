@@ -14,6 +14,7 @@
 package toolchain
 
 import (
+	"container/list"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/metrics"
 	"repro/internal/minic"
 	"repro/internal/trace"
 )
@@ -87,14 +89,40 @@ type Result struct {
 	Cached bool
 }
 
+// DefaultArtifactCacheCap bounds the artifact store when no explicit cap is
+// configured. Artifacts are a few KB of bytecode each, so the default is
+// generous; it exists to keep a long-lived portal from growing without bound
+// under student churn, not to force evictions in normal use.
+const DefaultArtifactCacheCap = 4096
+
+// inflightCompile is a pending compilation another caller can wait on.
+type inflightCompile struct {
+	done chan struct{}
+	res  Result
+	err  error
+}
+
 // Service compiles sources and stores artifacts.
 type Service struct {
-	mu        sync.RWMutex
-	profiles  map[string]*Profile
-	artifacts map[string]*Artifact
+	mu       sync.RWMutex
+	profiles map[string]*Profile
+	// extIndex maps a lowercase file extension to its language, rebuilt on
+	// Register so DetectLanguage is one map lookup.
+	extIndex map[string]string
+	// artifacts is an LRU: the map points into lru, whose front is the most
+	// recently used *Artifact.
+	artifacts map[string]*list.Element
+	lru       *list.List
+	capacity  int
+	inflight  map[string]*inflightCompile
 	clk       clock.Clock
 	compiles  int64
 	cacheHits int64
+	dedups    int64
+	evictions int64
+	// evictCtr mirrors evictions into the portal's metrics registry when
+	// SetMetrics has wired one up.
+	evictCtr *metrics.Counter
 }
 
 // NewService returns a Service with the standard profiles (minic, c, cpp,
@@ -105,7 +133,11 @@ func NewService(clk clock.Clock) *Service {
 	}
 	s := &Service{
 		profiles:  make(map[string]*Profile),
-		artifacts: make(map[string]*Artifact),
+		extIndex:  make(map[string]string),
+		artifacts: make(map[string]*list.Element),
+		lru:       list.New(),
+		capacity:  DefaultArtifactCacheCap,
+		inflight:  make(map[string]*inflightCompile),
 		clk:       clk,
 	}
 	for _, p := range StandardProfiles() {
@@ -114,11 +146,74 @@ func NewService(clk clock.Clock) *Service {
 	return s
 }
 
+// SetMetrics exposes the service's eviction count as a counter in reg.
+func (s *Service) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mu.Lock()
+	s.evictCtr = reg.Counter("toolchain_artifact_evictions")
+	s.mu.Unlock()
+}
+
+// SetArtifactCacheCap bounds the artifact store to n entries, evicting the
+// least recently used immediately if the store is over the new cap. n <= 0 is
+// ignored.
+func (s *Service) SetArtifactCacheCap(n int) {
+	if n <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.capacity = n
+	s.evictOverCapLocked()
+	s.mu.Unlock()
+}
+
+// evictOverCapLocked drops least-recently-used artifacts until the store fits
+// the cap. Callers hold s.mu.
+func (s *Service) evictOverCapLocked() {
+	for s.lru.Len() > s.capacity {
+		el := s.lru.Back()
+		if el == nil {
+			return
+		}
+		art := el.Value.(*Artifact)
+		s.lru.Remove(el)
+		delete(s.artifacts, art.ID)
+		s.evictions++
+		if s.evictCtr != nil {
+			s.evictCtr.Inc()
+		}
+	}
+}
+
 // Register adds (or replaces) a language profile.
 func (s *Service) Register(p *Profile) {
 	s.mu.Lock()
 	s.profiles[p.Language] = p
+	s.rebuildExtIndexLocked()
 	s.mu.Unlock()
+}
+
+// rebuildExtIndexLocked recomputes the extension table. Languages are walked
+// in sorted order and the first claim on an extension wins, matching the old
+// per-call scan. Callers hold s.mu.
+func (s *Service) rebuildExtIndexLocked() {
+	idx := make(map[string]string)
+	langs := make([]string, 0, len(s.profiles))
+	for l := range s.profiles {
+		langs = append(langs, l)
+	}
+	sort.Strings(langs)
+	for _, l := range langs {
+		for _, e := range s.profiles[l].Extensions {
+			e = strings.ToLower(e)
+			if _, taken := idx[e]; !taken {
+				idx[e] = l
+			}
+		}
+	}
+	s.extIndex = idx
 }
 
 // Languages lists registered language ids, sorted.
@@ -134,24 +229,13 @@ func (s *Service) Languages() []string {
 }
 
 // DetectLanguage guesses the language from a file name, or "" if unknown.
+// The extension table is precomputed at Register time, so this is a single
+// map lookup.
 func (s *Service) DetectLanguage(name string) string {
 	ext := strings.ToLower(path.Ext(name))
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	// Deterministic: check profiles in sorted order.
-	langs := make([]string, 0, len(s.profiles))
-	for l := range s.profiles {
-		langs = append(langs, l)
-	}
-	sort.Strings(langs)
-	for _, l := range langs {
-		for _, e := range s.profiles[l].Extensions {
-			if e == ext {
-				return l
-			}
-		}
-	}
-	return ""
+	return s.extIndex[ext]
 }
 
 // digest keys an artifact by language and source content.
@@ -168,6 +252,11 @@ func digest(language, src string) string {
 // reserved for misuse (unknown language) and for a dead ctx: a cancelled job
 // or aborted HTTP request skips the compile instead of burning cycles on a
 // result nobody will run.
+//
+// Concurrent calls for the same (language, src) are deduplicated: one caller
+// compiles while the rest wait for its result (counted as Dedups in Stats).
+// If the leader aborts because its own ctx died, a waiter takes over and
+// compiles itself rather than inheriting the leader's cancellation.
 func (s *Service) Compile(ctx context.Context, language, sourceName, src string) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, fmt.Errorf("toolchain: compile aborted: %w", context.Cause(ctx))
@@ -181,17 +270,52 @@ func (s *Service) Compile(ctx context.Context, language, sourceName, src string)
 		return Result{}, fmt.Errorf("%w: %q", ErrUnknownLanguage, language)
 	}
 	id := digest(language, src)
-	s.mu.Lock()
-	if art, hit := s.artifacts[id]; hit {
-		s.cacheHits++
+	var fl *inflightCompile
+	for {
+		s.mu.Lock()
+		if el, hit := s.artifacts[id]; hit {
+			s.cacheHits++
+			s.lru.MoveToFront(el)
+			art := el.Value.(*Artifact)
+			s.mu.Unlock()
+			sp.Annotate("cached", "true")
+			sp.Annotate("artifact", art.ID)
+			return Result{OK: true, Artifact: art, Cached: true}, nil
+		}
+		if other, running := s.inflight[id]; running {
+			s.dedups++
+			s.mu.Unlock()
+			select {
+			case <-other.done:
+			case <-ctx.Done():
+				return Result{}, fmt.Errorf("toolchain: compile aborted: %w", context.Cause(ctx))
+			}
+			if other.err == nil {
+				sp.Annotate("deduped", "true")
+				return other.res, nil
+			}
+			// The leader bailed on its own ctx; try again, becoming the
+			// leader if nobody else has.
+			continue
+		}
+		fl = &inflightCompile{done: make(chan struct{})}
+		s.inflight[id] = fl
+		s.compiles++
 		s.mu.Unlock()
-		sp.Annotate("cached", "true")
-		sp.Annotate("artifact", art.ID)
-		return Result{OK: true, Artifact: art, Cached: true}, nil
+		break
 	}
-	s.compiles++
+	res, err := s.compileLeader(ctx, p, id, language, sourceName, src, sp)
+	fl.res, fl.err = res, err
+	s.mu.Lock()
+	delete(s.inflight, id)
 	s.mu.Unlock()
+	close(fl.done)
+	return res, err
+}
 
+// compileLeader performs the actual compilation for the caller that won the
+// in-flight slot and stores a successful artifact in the LRU.
+func (s *Service) compileLeader(ctx context.Context, p *Profile, id, language, sourceName, src string, sp *trace.Span) (Result, error) {
 	effective := src
 	if p.Preprocess != nil {
 		effective = p.Preprocess(src)
@@ -219,28 +343,59 @@ func (s *Service) Compile(ctx context.Context, language, sourceName, src string)
 		BuiltAt:    s.clk.Now(),
 	}
 	s.mu.Lock()
-	s.artifacts[id] = art
+	if el, hit := s.artifacts[id]; hit {
+		// Lost a (theoretical) race with another insert; keep the existing
+		// artifact so every holder of the id sees one object.
+		s.lru.MoveToFront(el)
+		art = el.Value.(*Artifact)
+	} else {
+		s.artifacts[id] = s.lru.PushFront(art)
+		s.evictOverCapLocked()
+	}
 	s.mu.Unlock()
 	sp.Annotate("artifact", art.ID)
 	return Result{OK: true, Artifact: art}, nil
 }
 
-// Artifact fetches a stored artifact by id.
+// Artifact fetches a stored artifact by id, marking it recently used.
 func (s *Service) Artifact(id string) (*Artifact, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	a, ok := s.artifacts[id]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.artifacts[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownArtifact, id)
 	}
-	return a, nil
+	s.lru.MoveToFront(el)
+	return el.Value.(*Artifact), nil
 }
 
-// Stats reports compile counts and cache hits.
-func (s *Service) Stats() (compiles, cacheHits int64) {
+// ServiceStats is a snapshot of the service's counters.
+type ServiceStats struct {
+	// Compiles counts full compiler runs (cache misses that won the
+	// in-flight slot).
+	Compiles int64
+	// CacheHits counts Compile calls served from the artifact store.
+	CacheHits int64
+	// Dedups counts Compile calls that waited on a concurrent identical
+	// compile instead of running their own.
+	Dedups int64
+	// Evictions counts artifacts dropped by the LRU cap.
+	Evictions int64
+	// Cached is the current artifact store size.
+	Cached int
+}
+
+// Stats reports compile counts, cache activity, and store size.
+func (s *Service) Stats() ServiceStats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.compiles, s.cacheHits
+	return ServiceStats{
+		Compiles:  s.compiles,
+		CacheHits: s.cacheHits,
+		Dedups:    s.dedups,
+		Evictions: s.evictions,
+		Cached:    s.lru.Len(),
+	}
 }
 
 // StandardProfiles returns the four built-in language profiles.

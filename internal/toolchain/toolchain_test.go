@@ -99,9 +99,9 @@ func TestArtifactCache(t *testing.T) {
 	if r2.Artifact.ID != r1.Artifact.ID || !r2.Cached || r1.Cached {
 		t.Fatalf("cache behaviour: r1=%+v r2=%+v", r1.Cached, r2.Cached)
 	}
-	compiles, hits := s.Stats()
-	if compiles != 1 || hits != 1 {
-		t.Fatalf("stats = %d compiles, %d hits", compiles, hits)
+	st := s.Stats()
+	if st.Compiles != 1 || st.CacheHits != 1 {
+		t.Fatalf("stats = %d compiles, %d hits", st.Compiles, st.CacheHits)
 	}
 	// Different language → different artifact even for identical text.
 	r3, _ := s.Compile(context.Background(), "c", "a.c", src)
