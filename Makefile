@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build vet fmt test race bench bench-vm apilint
+.PHONY: all check build vet fmt test race bench bench-vm bench-sched apilint
 
 all: check
 
@@ -29,7 +29,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/scheduler/... ./internal/jobs/... ./internal/mpi/... ./internal/portal/... ./internal/minic/... ./internal/toolchain/...
+	$(GO) test -race ./internal/cluster/... ./internal/scheduler/... ./internal/jobs/... ./internal/mpi/... ./internal/portal/... ./internal/minic/... ./internal/toolchain/...
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkDispatchLatency -benchtime 20x ./internal/scheduler/
@@ -44,3 +44,12 @@ bench-vm:
 	  $(GO) test -run '^$$' -bench 'BenchmarkMinicExecute|BenchmarkMinicCompile|BenchmarkPortalPipeline' -benchmem -benchtime 1s . ; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_vm.json
 	@cat BENCH_vm.json
+
+# bench-sched measures sustained control-plane throughput (jobs/sec and
+# scheduler pass latency at 64 and 1024 simulated nodes) and records it in
+# BENCH_sched.json. Like bench-vm, it is not part of check: benchmark
+# walltime is too noisy for a CI gate.
+bench-sched:
+	$(GO) test -run '^$$' -bench BenchmarkSchedulerThroughput -benchtime 5x ./internal/scheduler/ \
+	| $(GO) run ./cmd/benchjson -o BENCH_sched.json
+	@cat BENCH_sched.json

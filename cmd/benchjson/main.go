@@ -18,12 +18,15 @@ import (
 	"strings"
 )
 
-// Entry is one benchmark's measurements.
+// Entry is one benchmark's measurements. Extra holds custom metrics
+// reported via b.ReportMetric (e.g. "jobs/s", "µs/pass-p50"), keyed by
+// their unit.
 type Entry struct {
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
@@ -47,10 +50,25 @@ func parse(lines *bufio.Scanner) (map[string]Entry, error) {
 		for _, f := range strings.Split(m[4], "\t") {
 			f = strings.TrimSpace(f)
 			switch {
+			case f == "":
 			case strings.HasSuffix(f, " B/op"):
 				e.BytesPerOp, _ = strconv.ParseInt(strings.TrimSuffix(f, " B/op"), 10, 64)
 			case strings.HasSuffix(f, " allocs/op"):
 				e.AllocsPerOp, _ = strconv.ParseInt(strings.TrimSuffix(f, " allocs/op"), 10, 64)
+			default:
+				// A custom metric from b.ReportMetric: "<value> <unit>".
+				val, unit, ok := strings.Cut(f, " ")
+				if !ok {
+					continue
+				}
+				v, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					continue
+				}
+				if e.Extra == nil {
+					e.Extra = make(map[string]float64)
+				}
+				e.Extra[unit] = v
 			}
 		}
 		out[m[1]] = e

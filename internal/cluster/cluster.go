@@ -8,13 +8,18 @@
 // node's clock and occupying its allocation slot. Real computation happens
 // in the minic VM (package minic) and in the Go lab workloads; the cluster
 // supplies placement, failure injection, and utilization accounting.
+//
+// The inventory is indexed for the scheduler's hot path: a bitmap free-set
+// (plus a GPU sub-index) is maintained incrementally on every Allocate,
+// Release, MarkDown and MarkUp, so FreeCount is O(1) and FreeNodes is
+// proportional to the number of free nodes returned rather than the size of
+// the grid. Verify cross-checks the index against a full rescan.
 package cluster
 
 import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -68,10 +73,19 @@ func (n *Node) Free() bool { return n.State == StateUp && n.JobID == "" }
 
 // Cluster is the grid inventory.
 type Cluster struct {
-	mu    sync.RWMutex
-	grid  *topology.Grid
-	nodes map[topology.NodeID]*Node
+	mu   sync.RWMutex
+	grid *topology.Grid
+	// nodes is indexed by flat rank — the id→node lookup is arithmetic, not
+	// a map probe, and every in-order walk is a plain slice scan.
+	nodes []*Node
 	clk   clock.Clock
+
+	// free indexes allocatable nodes (up and unoccupied); freeGPU is the
+	// sub-index of free nodes that carry a GPU. Both are kept in lockstep
+	// with node mutations by syncNodeLocked.
+	free     freeSet
+	freeGPU  freeSet
+	gpuTotal int
 
 	// accounting
 	allocations map[string][]topology.NodeID // jobID → nodes
@@ -109,10 +123,13 @@ func New(cfg config.Config, clk clock.Clock) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	total := grid.TotalNodes()
 	c := &Cluster{
 		grid:        grid,
-		nodes:       make(map[topology.NodeID]*Node, grid.TotalNodes()),
+		nodes:       make([]*Node, total),
 		clk:         clk,
+		free:        newFreeSet(total),
+		freeGPU:     newFreeSet(total),
 		allocations: make(map[string][]topology.NodeID),
 		start:       clk.Now(),
 		lastSample:  clk.Now(),
@@ -125,7 +142,7 @@ func New(cfg config.Config, clk clock.Clock) (*Cluster, error) {
 		}
 		for i := 0; i < cfg.Cluster.NodesPerSegment; i++ {
 			id := topology.NodeID{Segment: s, Index: i}
-			c.nodes[id] = &Node{
+			n := &Node{
 				ID:            id,
 				Cores:         cores,
 				MemoryMB:      cfg.Cluster.MemoryMBPerNode,
@@ -133,9 +150,42 @@ func New(cfg config.Config, clk clock.Clock) (*Cluster, error) {
 				State:         StateUp,
 				LastHeartbeat: now,
 			}
+			flat := grid.Flat(id)
+			c.nodes[flat] = n
+			c.free.set(flat)
+			if n.GPU {
+				c.gpuTotal++
+				c.freeGPU.set(flat)
+			}
 		}
 	}
 	return c, nil
+}
+
+// nodeAt returns the node addressed by id, or nil when the id is outside the
+// grid. Callers hold c.mu.
+func (c *Cluster) nodeAt(id topology.NodeID) *Node {
+	if !c.grid.Valid(id) {
+		return nil
+	}
+	return c.nodes[c.grid.Flat(id)]
+}
+
+// syncNodeLocked re-derives the node's free-set membership after a mutation
+// to its state or occupancy. Callers hold c.mu.
+func (c *Cluster) syncNodeLocked(n *Node) {
+	flat := c.grid.Flat(n.ID)
+	if n.Free() {
+		c.free.set(flat)
+		if n.GPU {
+			c.freeGPU.set(flat)
+		}
+	} else {
+		c.free.clear(flat)
+		if n.GPU {
+			c.freeGPU.clear(flat)
+		}
+	}
 }
 
 // Grid returns the interconnect description.
@@ -144,12 +194,15 @@ func (c *Cluster) Grid() *topology.Grid { return c.grid }
 // Size returns the total node count.
 func (c *Cluster) Size() int { return c.grid.TotalNodes() }
 
+// GPUNodeCount reports how many nodes in the whole cluster carry a GPU.
+func (c *Cluster) GPUNodeCount() int { return c.gpuTotal }
+
 // Node returns a snapshot of the node with the given id.
 func (c *Cluster) Node(id topology.NodeID) (Node, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	n, ok := c.nodes[id]
-	if !ok {
+	n := c.nodeAt(id)
+	if n == nil {
 		return Node{}, fmt.Errorf("%w: %v", ErrUnknownNode, id)
 	}
 	return *n, nil
@@ -159,60 +212,68 @@ func (c *Cluster) Node(id topology.NodeID) (Node, error) {
 func (c *Cluster) Nodes() []Node {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	out := make([]Node, 0, len(c.nodes))
-	for _, n := range c.nodes {
-		out = append(out, *n)
+	out := make([]Node, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = *n
 	}
-	sort.Slice(out, func(i, j int) bool {
-		return c.grid.Flat(out[i].ID) < c.grid.Flat(out[j].ID)
-	})
 	return out
 }
 
 // FreeNodes returns the ids of currently allocatable nodes, flat order.
 func (c *Cluster) FreeNodes() []topology.NodeID {
+	return c.FreeNodesN(-1)
+}
+
+// FreeNodesN returns up to max allocatable node ids in flat order (all of
+// them when max < 0). The scheduler uses it with a policy's free-list bound
+// so a pack placement of n ranks reads n ids, not the whole grid.
+func (c *Cluster) FreeNodesN(max int) []topology.NodeID {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.freeNodesLocked()
-}
-
-func (c *Cluster) freeNodesLocked() []topology.NodeID {
-	var out []topology.NodeID
-	for _, n := range c.nodes {
-		if n.Free() {
-			out = append(out, n.ID)
-		}
+	size := c.free.count
+	if max >= 0 && max < size {
+		size = max
 	}
-	sort.Slice(out, func(i, j int) bool { return c.grid.Flat(out[i]) < c.grid.Flat(out[j]) })
-	return out
+	return c.free.appendIDs(make([]topology.NodeID, 0, size), c.grid, max)
 }
 
-// FreeNodesWhere returns allocatable nodes satisfying pred, in flat order —
-// how the scheduler finds GPU nodes for jobs that request one.
+// FreeGPUNodes returns the ids of allocatable GPU-equipped nodes, flat
+// order, straight from the GPU sub-index.
+func (c *Cluster) FreeGPUNodes() []topology.NodeID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.freeGPU.appendIDs(make([]topology.NodeID, 0, c.freeGPU.count), c.grid, -1)
+}
+
+// FreeNodesWhere returns allocatable nodes satisfying pred, in flat order.
+// It walks only the free set; for the common GPU predicate use FreeGPUNodes,
+// which is indexed.
 func (c *Cluster) FreeNodesWhere(pred func(Node) bool) []topology.NodeID {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	var out []topology.NodeID
-	for _, n := range c.nodes {
-		if n.Free() && pred(*n) {
+	c.free.forEach(func(flat int) bool {
+		if n := c.nodes[flat]; pred(*n) {
 			out = append(out, n.ID)
 		}
-	}
-	sort.Slice(out, func(i, j int) bool { return c.grid.Flat(out[i]) < c.grid.Flat(out[j]) })
+		return true
+	})
 	return out
 }
 
-// FreeCount reports how many nodes are allocatable.
+// FreeCount reports how many nodes are allocatable. O(1): the free set
+// carries its population count.
 func (c *Cluster) FreeCount() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	n := 0
-	for _, node := range c.nodes {
-		if node.Free() {
-			n++
-		}
-	}
-	return n
+	return c.free.count
+}
+
+// FreeGPUCount reports how many GPU-equipped nodes are allocatable.
+func (c *Cluster) FreeGPUCount() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.freeGPU.count
 }
 
 // AllocateNodes claims exactly the given nodes for a job. It is
@@ -224,8 +285,8 @@ func (c *Cluster) AllocateNodes(jobID string, ids []topology.NodeID) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, id := range ids {
-		n, ok := c.nodes[id]
-		if !ok {
+		n := c.nodeAt(id)
+		if n == nil {
 			return fmt.Errorf("%w: %v", ErrUnknownNode, id)
 		}
 		if n.State == StateDown {
@@ -237,10 +298,12 @@ func (c *Cluster) AllocateNodes(jobID string, ids []topology.NodeID) error {
 	}
 	c.sampleLocked()
 	for _, id := range ids {
-		c.nodes[id].JobID = jobID
+		n := c.nodeAt(id)
+		n.JobID = jobID
+		c.syncNodeLocked(n)
 	}
 	c.allocations[jobID] = append(c.allocations[jobID], ids...)
-	c.recountLocked()
+	c.busyNodes += len(ids)
 	return nil
 }
 
@@ -286,12 +349,13 @@ func (c *Cluster) Release(jobID string) int {
 	ids := c.allocations[jobID]
 	c.sampleLocked()
 	for _, id := range ids {
-		if n, ok := c.nodes[id]; ok && n.JobID == jobID {
+		if n := c.nodeAt(id); n != nil && n.JobID == jobID {
 			n.JobID = ""
+			c.busyNodes--
+			c.syncNodeLocked(n)
 		}
 	}
 	delete(c.allocations, jobID)
-	c.recountLocked()
 	notify := c.releaseNotify
 	c.mu.Unlock()
 	if notify != nil && len(ids) > 0 {
@@ -314,12 +378,13 @@ func (c *Cluster) Allocation(jobID string) []topology.NodeID {
 func (c *Cluster) MarkDown(id topology.NodeID) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	n, ok := c.nodes[id]
-	if !ok {
+	n := c.nodeAt(id)
+	if n == nil {
 		return fmt.Errorf("%w: %v", ErrUnknownNode, id)
 	}
 	c.sampleLocked()
 	n.State = StateDown
+	c.syncNodeLocked(n)
 	return nil
 }
 
@@ -327,13 +392,14 @@ func (c *Cluster) MarkDown(id topology.NodeID) error {
 func (c *Cluster) MarkUp(id topology.NodeID) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	n, ok := c.nodes[id]
-	if !ok {
+	n := c.nodeAt(id)
+	if n == nil {
 		return fmt.Errorf("%w: %v", ErrUnknownNode, id)
 	}
 	c.sampleLocked()
 	n.State = StateUp
 	n.LastHeartbeat = c.clk.Now()
+	c.syncNodeLocked(n)
 	return nil
 }
 
@@ -341,8 +407,8 @@ func (c *Cluster) MarkUp(id topology.NodeID) error {
 func (c *Cluster) Heartbeat(id topology.NodeID) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	n, ok := c.nodes[id]
-	if !ok {
+	n := c.nodeAt(id)
+	if n == nil {
 		return fmt.Errorf("%w: %v", ErrUnknownNode, id)
 	}
 	n.LastHeartbeat = c.clk.Now()
@@ -361,13 +427,58 @@ func (c *Cluster) StaleNodes(maxAge time.Duration) []topology.NodeID {
 			out = append(out, n.ID)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return c.grid.Flat(out[i]) < c.grid.Flat(out[j]) })
 	return out
 }
 
+// Verify cross-checks the incremental free-set index against a brute-force
+// rescan of the inventory and returns a descriptive error on the first
+// mismatch. It exists for tests and debugging: any sequence of Allocate,
+// Release, MarkDown and MarkUp must leave Verify passing.
+func (c *Cluster) Verify() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	wantFree, wantGPU, wantBusy, wantGPUTotal := 0, 0, 0, 0
+	for flat, n := range c.nodes {
+		free := n.Free()
+		if free {
+			wantFree++
+		}
+		if c.free.has(flat) != free {
+			return fmt.Errorf("cluster: index says free=%v for %v, rescan says %v",
+				c.free.has(flat), n.ID, free)
+		}
+		if n.GPU {
+			wantGPUTotal++
+			if free {
+				wantGPU++
+			}
+		}
+		if c.freeGPU.has(flat) != (free && n.GPU) {
+			return fmt.Errorf("cluster: GPU index says %v for %v, rescan says %v",
+				c.freeGPU.has(flat), n.ID, free && n.GPU)
+		}
+		if n.JobID != "" {
+			wantBusy++
+		}
+	}
+	if c.free.count != wantFree {
+		return fmt.Errorf("cluster: free count %d, rescan %d", c.free.count, wantFree)
+	}
+	if c.freeGPU.count != wantGPU {
+		return fmt.Errorf("cluster: free GPU count %d, rescan %d", c.freeGPU.count, wantGPU)
+	}
+	if c.gpuTotal != wantGPUTotal {
+		return fmt.Errorf("cluster: GPU total %d, rescan %d", c.gpuTotal, wantGPUTotal)
+	}
+	if c.busyNodes != wantBusy {
+		return fmt.Errorf("cluster: busy count %d, rescan %d", c.busyNodes, wantBusy)
+	}
+	return nil
+}
+
 // sampleLocked integrates busy-node time up to now using the busy count that
-// was in effect since the last sample; callers hold c.mu and must call
-// recountLocked after any mutation that changes which nodes are busy.
+// was in effect since the last sample; callers hold c.mu and must adjust
+// busyNodes after any mutation that changes which nodes are busy.
 func (c *Cluster) sampleLocked() {
 	now := c.clk.Now()
 	dt := now.Sub(c.lastSample)
@@ -375,17 +486,6 @@ func (c *Cluster) sampleLocked() {
 		c.busyTime += dt * time.Duration(c.busyNodes)
 		c.lastSample = now
 	}
-}
-
-// recountLocked refreshes the cached busy-node count; callers hold c.mu.
-func (c *Cluster) recountLocked() {
-	busy := 0
-	for _, n := range c.nodes {
-		if n.JobID != "" {
-			busy++
-		}
-	}
-	c.busyNodes = busy
 }
 
 // Utilization returns the time-averaged fraction of nodes busy since the

@@ -7,6 +7,12 @@
 // cancelled — with a cause naming the terminal state and reason — the moment
 // the job reaches a terminal state, so every layer of the pipeline (compiler,
 // VM interpreter loop, MPI runtime) can observe cancellation and unwind.
+//
+// The store is built for concurrent traffic: jobs live in hash-sharded maps
+// so lookups on different jobs never contend, per-state counts are atomics
+// so Counts is O(1), and a FIFO queued-index lets the scheduler walk exactly
+// the jobs that are waiting (ScanQueued) instead of snapshotting every
+// non-terminal job per pass.
 package jobs
 
 import (
@@ -15,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
@@ -192,27 +199,55 @@ func (j *Job) SetNodes(nodes []topology.NodeID) {
 	j.mu.Unlock()
 }
 
+// numShards is the job-map shard count; a power of two so the hash can be
+// masked. Sixteen shards keep submit/get contention negligible at portal
+// scale without wasting memory on empty maps.
+const numShards = 16
+
+// shard is one slice of the job map with its own lock.
+type shard struct {
+	mu   sync.RWMutex
+	jobs map[string]*Job
+}
+
 // Store holds all jobs and enforces lifecycle transitions.
+//
+// Concurrency layout: job records live in numShards hash-sharded maps keyed
+// by id (Get contends only within a shard); the append-only submission log
+// (order/pos, under listMu) serves List/ListPage; the FIFO queued-index
+// (queue, under queueMu) serves the scheduler's ScanQueued; per-state counts
+// and the admission counter are atomics. The locks are never nested with
+// each other.
 type Store struct {
-	mu     sync.RWMutex
-	jobs   map[string]*Job
-	order  []string       // submission order
-	pos    map[string]int // job id → index in order, for O(page) listing
+	shards [numShards]shard
 	gen    *ids.Sequential
 	clk    clock.Clock
 	maxQ   int
-	queued int
-	notify func()
+
+	// active counts non-terminal jobs for maxQ admission; counts tracks
+	// every lifecycle state for O(1) Counts.
+	active atomic.Int64
+	counts [StateCancelled + 1]atomic.Int64
+
+	listMu sync.RWMutex
+	order  []*Job         // submission order
+	pos    map[string]int // job id → index in order, for O(page) listing
+
+	queueMu sync.Mutex
+	queue   []*Job // FIFO queued-index; lazily pruned by ScanQueued
+
+	notifyMu sync.Mutex
+	notify   func()
 }
 
-// SetNotify installs a hook invoked (outside the store lock) after every
+// SetNotify installs a hook invoked (outside the store locks) after every
 // successful Submit — the scheduler registers its wake channel here so a new
 // job is dispatched without waiting for a poll interval. A nil fn disables
 // notification.
 func (s *Store) SetNotify(fn func()) {
-	s.mu.Lock()
+	s.notifyMu.Lock()
 	s.notify = fn
-	s.mu.Unlock()
+	s.notifyMu.Unlock()
 }
 
 // NewStore returns a Store admitting at most maxQueued non-terminal jobs
@@ -221,13 +256,25 @@ func NewStore(maxQueued int, clk clock.Clock) *Store {
 	if clk == nil {
 		clk = clock.Real{}
 	}
-	return &Store{
-		jobs: make(map[string]*Job),
-		pos:  make(map[string]int),
+	s := &Store{
 		gen:  ids.NewSequential("job"),
 		clk:  clk,
 		maxQ: maxQueued,
+		pos:  make(map[string]int),
 	}
+	for i := range s.shards {
+		s.shards[i].jobs = make(map[string]*Job)
+	}
+	return s
+}
+
+// shardFor maps a job id to its shard (FNV-1a).
+func (s *Store) shardFor(id string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint32(id[i])) * 16777619
+	}
+	return &s.shards[h&(numShards-1)]
 }
 
 // Submit validates the spec and creates a queued job.
@@ -244,11 +291,16 @@ func (s *Store) Submit(spec Spec) (*Job, error) {
 	if spec.Ranks <= 0 {
 		return nil, fmt.Errorf("jobs: ranks must be positive, got %d", spec.Ranks)
 	}
-	s.mu.Lock()
-	if s.maxQ > 0 && s.queued >= s.maxQ {
-		n := s.queued
-		s.mu.Unlock()
-		return nil, fmt.Errorf("%w (%d active)", ErrQueueFull, n)
+	// Claim an admission slot with a CAS loop so the cap stays exact under
+	// concurrent submissions without a global lock.
+	for {
+		n := s.active.Load()
+		if s.maxQ > 0 && n >= int64(s.maxQ) {
+			return nil, fmt.Errorf("%w (%d active)", ErrQueueFull, n)
+		}
+		if s.active.CompareAndSwap(n, n+1) {
+			break
+		}
 	}
 	id := s.gen.Next()
 	tr := trace.New("job", s.clk)
@@ -272,12 +324,21 @@ func (s *Store) Submit(spec Spec) (*Job, error) {
 	if spec.Stdin != "" {
 		j.Stdin.Feed([]byte(spec.Stdin))
 	}
-	s.jobs[j.ID] = j
+	s.counts[StateQueued].Add(1)
+	sh := s.shardFor(j.ID)
+	sh.mu.Lock()
+	sh.jobs[j.ID] = j
+	sh.mu.Unlock()
+	s.listMu.Lock()
 	s.pos[j.ID] = len(s.order)
-	s.order = append(s.order, j.ID)
-	s.queued++
+	s.order = append(s.order, j)
+	s.listMu.Unlock()
+	s.queueMu.Lock()
+	s.queue = append(s.queue, j)
+	s.queueMu.Unlock()
+	s.notifyMu.Lock()
 	notify := s.notify
-	s.mu.Unlock()
+	s.notifyMu.Unlock()
 	if notify != nil {
 		notify()
 	}
@@ -286,9 +347,10 @@ func (s *Store) Submit(spec Spec) (*Job, error) {
 
 // Get fetches a job by id.
 func (s *Store) Get(id string) (*Job, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	j, ok := s.jobs[id]
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	j, ok := sh.jobs[id]
+	sh.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
@@ -320,6 +382,8 @@ func (s *Store) Transition(id string, next State, failure string) error {
 	}
 	now := s.clk.Now()
 	j.state = next
+	s.counts[cur].Add(-1)
+	s.counts[next].Add(1)
 	switch next {
 	case StateRunning:
 		j.started = now
@@ -340,9 +404,7 @@ func (s *Store) Transition(id string, next State, failure string) error {
 	}
 	j.mu.Unlock()
 	if next.Terminal() {
-		s.mu.Lock()
-		s.queued--
-		s.mu.Unlock()
+		s.active.Add(-1)
 		cause := context.Canceled
 		if next == StateCancelled {
 			cause = fmt.Errorf("%w: %s", ErrCancelled, failure)
@@ -362,11 +424,11 @@ func (s *Store) Transition(id string, next State, failure string) error {
 
 // List returns snapshots, newest first. owner filters when non-empty.
 func (s *Store) List(owner string) []Snapshot {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.listMu.RLock()
+	defer s.listMu.RUnlock()
 	out := make([]Snapshot, 0, len(s.order))
 	for i := len(s.order) - 1; i >= 0; i-- {
-		j := s.jobs[s.order[i]]
+		j := s.order[i]
 		if owner != "" && j.Spec.Owner != owner {
 			continue
 		}
@@ -386,8 +448,8 @@ func (s *Store) ListPage(owner string, state *State, limit int, cursor string) (
 	if limit <= 0 {
 		limit = 50
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.listMu.RLock()
+	defer s.listMu.RUnlock()
 	start := len(s.order) - 1
 	if cursor != "" {
 		idx, ok := s.pos[cursor]
@@ -398,7 +460,7 @@ func (s *Store) ListPage(owner string, state *State, limit int, cursor string) (
 	}
 	out := make([]Snapshot, 0, limit)
 	for i := start; i >= 0; i-- {
-		j := s.jobs[s.order[i]]
+		j := s.order[i]
 		if owner != "" && j.Spec.Owner != owner {
 			continue
 		}
@@ -417,14 +479,14 @@ func (s *Store) ListPage(owner string, state *State, limit int, cursor string) (
 	return out, "", nil
 }
 
-// Active returns snapshots of non-terminal jobs in submission order — the
-// scheduler's work list.
+// Active returns snapshots of non-terminal jobs in submission order. It
+// walks the whole submission log; the scheduler's dispatch pass uses
+// ScanQueued instead, which touches only queued jobs.
 func (s *Store) Active() []Snapshot {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.listMu.RLock()
+	defer s.listMu.RUnlock()
 	var out []Snapshot
-	for _, id := range s.order {
-		j := s.jobs[id]
+	for _, j := range s.order {
 		if snap := j.Snapshot(); !snap.State.Terminal() {
 			out = append(out, snap)
 		}
@@ -432,13 +494,52 @@ func (s *Store) Active() []Snapshot {
 	return out
 }
 
-// Counts reports how many jobs are in each state.
+// ScanQueued walks still-queued jobs in submission (FIFO) order, calling fn
+// on each until fn returns false. Jobs that have left StateQueued are pruned
+// from the index as the walk passes them, so a pass costs O(jobs visited +
+// jobs departed since the last scan) — amortized O(1) per job over its
+// lifetime — rather than O(all non-terminal jobs).
+//
+// fn runs with the queued-index locked: it must not call Submit (the only
+// store operation that takes the same lock). State transitions on the
+// visited job are fine.
+func (s *Store) ScanQueued(fn func(*Job) bool) {
+	s.queueMu.Lock()
+	defer s.queueMu.Unlock()
+	q := s.queue
+	w, r := 0, 0
+	for ; r < len(q); r++ {
+		j := q[r]
+		if j.State() != StateQueued {
+			continue // departed; drop from the index
+		}
+		q[w] = j
+		w++
+		if !fn(j) {
+			r++
+			break
+		}
+	}
+	// Keep the unvisited tail verbatim; it is pruned when a later scan
+	// reaches it.
+	w += copy(q[w:], q[r:])
+	for i := w; i < len(q); i++ {
+		q[i] = nil // release for GC
+	}
+	s.queue = q[:w]
+}
+
+// QueuedCount reports how many jobs are waiting in StateQueued. O(1).
+func (s *Store) QueuedCount() int64 { return s.counts[StateQueued].Load() }
+
+// Counts reports how many jobs are in each state. O(states): the store
+// maintains the tallies on every submit and transition.
 func (s *Store) Counts() map[State]int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make(map[State]int)
-	for _, j := range s.jobs {
-		out[j.State()]++
+	out := make(map[State]int, len(s.counts))
+	for st := StateQueued; st <= StateCancelled; st++ {
+		if n := s.counts[st].Load(); n != 0 {
+			out[st] = int(n)
+		}
 	}
 	return out
 }
@@ -467,10 +568,10 @@ func (s *Store) WaitTerminal(id string, timeout time.Duration) (Snapshot, error)
 
 // OwnersWithJobs lists distinct owners, sorted.
 func (s *Store) OwnersWithJobs() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.listMu.RLock()
+	defer s.listMu.RUnlock()
 	set := map[string]bool{}
-	for _, j := range s.jobs {
+	for _, j := range s.order {
 		set[j.Spec.Owner] = true
 	}
 	out := make([]string, 0, len(set))

@@ -2,7 +2,6 @@ package scheduler
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/topology"
 )
@@ -15,6 +14,10 @@ type Policy interface {
 	// Select picks n nodes from free (already in flat order). It returns
 	// nil when the request cannot be satisfied.
 	Select(grid *topology.Grid, free []topology.NodeID, n int) []topology.NodeID
+	// FreeNeeded reports how many free nodes Select must see to place n
+	// ranks, or -1 when it needs the full free list. The scheduler uses it
+	// to bound how much of the free-node index it materializes per attempt.
+	FreeNeeded(n int) int
 }
 
 // PackPolicy fills nodes in flat order, packing a job into as few segments
@@ -24,6 +27,9 @@ type PackPolicy struct{}
 
 // Name returns "pack".
 func (PackPolicy) Name() string { return "pack" }
+
+// FreeNeeded is n: packing looks only at the first n free nodes.
+func (PackPolicy) FreeNeeded(n int) int { return n }
 
 // Select takes the first n free nodes in flat order.
 func (PackPolicy) Select(_ *topology.Grid, free []topology.NodeID, n int) []topology.NodeID {
@@ -40,39 +46,47 @@ type SpreadPolicy struct{}
 // Name returns "spread".
 func (SpreadPolicy) Name() string { return "spread" }
 
-// Select interleaves segments: one node from each segment in turn.
+// FreeNeeded is -1: spreading balances across every segment, so it needs
+// the whole free list.
+func (SpreadPolicy) FreeNeeded(int) int { return -1 }
+
+// Select interleaves segments: one node from each segment in turn. Because
+// free is in flat order, each segment's nodes form one contiguous run, so
+// bucketing is a single boundary scan — no per-call map, no sort.
 func (SpreadPolicy) Select(_ *topology.Grid, free []topology.NodeID, n int) []topology.NodeID {
 	if n <= 0 || len(free) < n {
 		return nil
 	}
-	bySeg := map[int][]topology.NodeID{}
-	var segs []int
-	for _, id := range free {
-		if _, seen := bySeg[id.Segment]; !seen {
-			segs = append(segs, id.Segment)
+	// spans[k] is the half-open range of free holding segment k's run;
+	// segments appear in ascending order because free is flat-ordered.
+	type span struct{ cur, end int }
+	var spans []span
+	for i := 0; i < len(free); {
+		j := i + 1
+		for j < len(free) && free[j].Segment == free[i].Segment {
+			j++
 		}
-		bySeg[id.Segment] = append(bySeg[id.Segment], id)
+		spans = append(spans, span{i, j})
+		i = j
 	}
-	sort.Ints(segs)
 	out := make([]topology.NodeID, 0, n)
-	for len(out) < n {
+	for {
 		progressed := false
-		for _, s := range segs {
-			if len(bySeg[s]) == 0 {
+		for k := range spans {
+			if spans[k].cur == spans[k].end {
 				continue
 			}
-			out = append(out, bySeg[s][0])
-			bySeg[s] = bySeg[s][1:]
+			out = append(out, free[spans[k].cur])
+			spans[k].cur++
 			progressed = true
 			if len(out) == n {
-				break
+				return out
 			}
 		}
 		if !progressed {
 			return nil // cannot happen when len(free) >= n, but stay safe
 		}
 	}
-	return out
 }
 
 // PolicyByName resolves a policy identifier.

@@ -31,6 +31,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/toolchain"
+	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/vfs"
 )
@@ -95,7 +96,7 @@ type Scheduler struct {
 	stopped sync.WaitGroup
 	once    sync.Once
 
-	dispatched       int64
+	dispatched       atomic.Int64
 	latLastUS        atomic.Int64
 	latSumUS         atomic.Int64
 	cancelledRunning atomic.Int64
@@ -103,6 +104,7 @@ type Scheduler struct {
 	queueWait   *metrics.Histogram
 	compileTime *metrics.Histogram
 	runTime     *metrics.Histogram
+	passTime    *metrics.Histogram
 }
 
 // errWallTime is the cancellation cause attached to a job's run deadline, so
@@ -160,6 +162,8 @@ func New(c *cluster.Cluster, tools *toolchain.Service, store *jobs.Store, fs *vf
 	s.queueWait = opts.Metrics.Histogram("job_queue_wait_seconds", nil)
 	s.compileTime = opts.Metrics.Histogram("job_compile_seconds", nil)
 	s.runTime = opts.Metrics.Histogram("job_run_seconds", nil)
+	s.passTime = opts.Metrics.Histogram("scheduler_pass_seconds", nil)
+	opts.Metrics.RegisterFunc("scheduler_queue_depth", store.QueuedCount)
 	store.SetNotify(s.Wake)
 	c.SetReleaseNotify(s.Wake)
 	return s
@@ -169,11 +173,7 @@ func New(c *cluster.Cluster, tools *toolchain.Service, store *jobs.Store, fs *vf
 func (s *Scheduler) Policy() Policy { return s.policy }
 
 // Dispatched reports how many jobs have been started.
-func (s *Scheduler) Dispatched() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.dispatched
-}
+func (s *Scheduler) Dispatched() int64 { return s.dispatched.Load() }
 
 // DispatchLatencyLastUS reports the most recent submit→allocate latency in
 // microseconds.
@@ -205,40 +205,42 @@ const (
 	blockedJob              // not enough free nodes right now
 )
 
-// Tick performs one scheduling pass: it walks the queue in submission order
-// and dispatches every job it can start right now. It returns the number of
-// jobs started. Tick is synchronous in its scheduling decisions but job
-// execution proceeds in background goroutines.
+// Tick performs one scheduling pass: it walks the store's queued-index in
+// submission order and dispatches every job it can start right now. It
+// returns the number of jobs started. Tick is synchronous in its scheduling
+// decisions but job execution proceeds in background goroutines.
+//
+// The walk touches only queued jobs (running ones are never snapshotted),
+// and without backfill it stops at the first job that doesn't fit, so a
+// pass costs O(jobs dispatched) amortized rather than O(all active jobs).
+// Pass duration is recorded in the scheduler_pass_seconds histogram.
 func (s *Scheduler) Tick() int {
+	passStart := time.Now()
 	started := 0
-	for _, snap := range s.store.Active() {
-		if snap.State != jobs.StateQueued {
-			continue
-		}
-		switch s.tryStart(snap.ID) {
+	s.store.ScanQueued(func(job *jobs.Job) bool {
+		switch s.tryStart(job) {
 		case startedJob:
 			started++
 		case skippedJob:
 			// Try the next job: this one is gone or already claimed.
 		case blockedJob:
 			if !s.backfill {
-				return started // FIFO: the head blocks the queue
+				return false // FIFO: the head blocks the queue
 			}
 		}
-	}
+		return true
+	})
+	s.passTime.Observe(time.Since(passStart).Seconds())
 	return started
 }
 
 // tryStart claims the job and launches its pipeline. The claim is taken
 // before any resource decision and the job's state is re-verified under it:
-// the Active() snapshot the caller walked was taken outside any lock, so a
-// job cancelled since then must not enter the pipeline, and two concurrent
+// the queued-index walk observed the job outside any claim, so a job
+// cancelled since then must not enter the pipeline, and two concurrent
 // Ticks must not both dispatch the same job.
-func (s *Scheduler) tryStart(id string) startOutcome {
-	job, err := s.store.Get(id)
-	if err != nil {
-		return skippedJob
-	}
+func (s *Scheduler) tryStart(job *jobs.Job) startOutcome {
+	id := job.ID
 	s.mu.Lock()
 	if s.inFlight[id] {
 		s.mu.Unlock()
@@ -265,14 +267,21 @@ func (s *Scheduler) tryStart(id string) startOutcome {
 		unclaim()
 		return skippedJob
 	}
-	free := s.cluster.FreeNodes()
+	var free []topology.NodeID
 	if job.Spec.GPU {
-		free = s.cluster.FreeNodesWhere(func(n cluster.Node) bool { return n.GPU })
-		if total := s.countGPUNodes(); ranks > total {
+		if total := s.cluster.GPUNodeCount(); ranks > total {
 			s.failJob(job, fmt.Sprintf("requested %d GPU nodes, cluster has %d", ranks, total))
 			unclaim()
 			return skippedJob
 		}
+		free = s.cluster.FreeGPUNodes()
+	} else if need := s.policy.FreeNeeded(ranks); need >= 0 {
+		// The policy only looks at a bounded prefix of the free list, so
+		// fetch exactly that much: allocation cost tracks the request size,
+		// not the grid size.
+		free = s.cluster.FreeNodesN(need)
+	} else {
+		free = s.cluster.FreeNodes()
 	}
 	nodes := s.policy.Select(s.cluster.Grid(), free, ranks)
 	if nodes == nil {
@@ -293,9 +302,7 @@ func (s *Scheduler) tryStart(id string) startOutcome {
 		s.latSumUS.Add(lat.Microseconds())
 		s.queueWait.Observe(lat.Seconds())
 	}
-	s.mu.Lock()
-	s.dispatched++
-	s.mu.Unlock()
+	s.dispatched.Add(1)
 	s.stopped.Add(1)
 	go func() {
 		defer s.stopped.Done()
@@ -309,17 +316,6 @@ func (s *Scheduler) tryStart(id string) startOutcome {
 		s.execute(job)
 	}()
 	return startedJob
-}
-
-// countGPUNodes reports how many nodes in the whole cluster carry a GPU.
-func (s *Scheduler) countGPUNodes() int {
-	n := 0
-	for _, node := range s.cluster.Nodes() {
-		if node.GPU {
-			n++
-		}
-	}
-	return n
 }
 
 // failJob transitions a job to failed from whatever pre-running state it is

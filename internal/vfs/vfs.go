@@ -86,15 +86,24 @@ func New(quota int64, clk clock.Clock) *FS {
 	return &FS{homes: make(map[string]*Home), quota: quota, clk: clk}
 }
 
-// EnsureHome returns the user's home, creating it on first use.
+// EnsureHome returns the user's home, creating it on first use. The common
+// case — the home already exists — is served under the read lock, so
+// steady-state request handling doesn't serialize on home lookup; the write
+// lock is taken only on first use, with the existence re-checked under it.
 func (fs *FS) EnsureHome(user string) *Home {
+	fs.mu.RLock()
+	h, ok := fs.homes[user]
+	fs.mu.RUnlock()
+	if ok {
+		return h
+	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	h, ok := fs.homes[user]
-	if !ok {
-		h = &Home{root: newDir("/", fs.clk.Now()), quota: fs.quota, clk: fs.clk}
-		fs.homes[user] = h
+	if h, ok := fs.homes[user]; ok {
+		return h
 	}
+	h = &Home{root: newDir("/", fs.clk.Now()), quota: fs.quota, clk: fs.clk}
+	fs.homes[user] = h
 	return h
 }
 
