@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build vet fmt test race bench bench-vm bench-sched apilint
+.PHONY: all check build vet fmt test race bench bench-vm bench-sched bench-wal apilint
 
 all: check
 
@@ -29,7 +29,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/scheduler/... ./internal/jobs/... ./internal/mpi/... ./internal/portal/... ./internal/minic/... ./internal/toolchain/...
+	$(GO) test -race ./internal/cluster/... ./internal/scheduler/... ./internal/jobs/... ./internal/mpi/... ./internal/portal/... ./internal/minic/... ./internal/toolchain/... ./internal/dataprovider/...
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkDispatchLatency -benchtime 20x ./internal/scheduler/
@@ -53,3 +53,12 @@ bench-sched:
 	$(GO) test -run '^$$' -bench BenchmarkSchedulerThroughput -benchtime 5x ./internal/scheduler/ \
 	| $(GO) run ./cmd/benchjson -o BENCH_sched.json
 	@cat BENCH_sched.json
+
+# bench-wal measures the write-ahead log's group-commit append throughput at
+# batch sizes 1, 16 and 256, with fsync on ("always") and off ("never"), and
+# records it in BENCH_wal.json. Like the other bench targets, not part of
+# check.
+bench-wal:
+	$(GO) test -run '^$$' -bench BenchmarkWALAppend -benchtime 1s ./internal/dataprovider/ \
+	| $(GO) run ./cmd/benchjson -o BENCH_wal.json
+	@cat BENCH_wal.json

@@ -451,3 +451,42 @@ func (c *Client) Events(since int64) ([]SchedulerEvent, error) {
 	err := c.do("GET", fmt.Sprintf("/api/cluster/events?since=%d", since), nil, &out)
 	return out, err
 }
+
+// PersistenceStatus describes the portal's data provider: its mode and the
+// WAL/snapshot counters behind it.
+type PersistenceStatus struct {
+	Mode          string    `json:"mode"`
+	Dir           string    `json:"dir"`
+	Fsync         string    `json:"fsync"`
+	WALRecords    int64     `json:"wal_records"`
+	WALBytes      int64     `json:"wal_bytes"`
+	Batches       int64     `json:"batches"`
+	Fsyncs        int64     `json:"fsyncs"`
+	Snapshots     int64     `json:"snapshots"`
+	LastSnapshot  time.Time `json:"last_snapshot"`
+	SnapshotBytes int64     `json:"snapshot_bytes"`
+	Time          time.Time `json:"time"`
+}
+
+// Persistence fetches the data provider status (admin only).
+func (c *Client) Persistence() (PersistenceStatus, error) {
+	var out PersistenceStatus
+	err := c.do("GET", "/api/admin/persistence", nil, &out)
+	return out, err
+}
+
+// Backup downloads a full state snapshot — accounts, home directories and
+// job history — as JSON (admin only).
+func (c *Client) Backup() ([]byte, error) {
+	var raw json.RawMessage
+	if err := c.do("POST", "/api/admin/backup", nil, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// RestoreBackup uploads a snapshot produced by Backup (admin only). The
+// restore is strict: accounts colliding with existing ones abort it.
+func (c *Client) RestoreBackup(snapshot []byte) error {
+	return c.do("POST", "/api/admin/restore", bytes.NewReader(snapshot), nil)
+}

@@ -80,6 +80,9 @@ func lintFile(path string) (int, error) {
 				if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "http" && sel.Sel.Name == "Error" {
 					report(node.Pos(), "raw http.Error bypasses the error envelope; use writeError")
 				}
+				if sel.Sel.Name == "HandleFunc" {
+					checkAdminRoute(node, report)
+				}
 			}
 		case *ast.CompositeLit:
 			// A map or struct literal with an "error" key smells like a
@@ -97,4 +100,23 @@ func lintFile(path string) (int, error) {
 		return true
 	})
 	return bad, nil
+}
+
+// checkAdminRoute enforces that every route under /api/admin/ is registered
+// behind withRole — an admin endpoint silently reachable by students is the
+// kind of regression a refactor introduces without failing any test.
+func checkAdminRoute(call *ast.CallExpr, report func(token.Pos, string)) {
+	if len(call.Args) < 2 {
+		return
+	}
+	pattern, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || pattern.Kind != token.STRING || !strings.Contains(pattern.Value, "/api/admin/") {
+		return
+	}
+	if wrapped, ok := call.Args[1].(*ast.CallExpr); ok {
+		if sel, ok := wrapped.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "withRole" {
+			return
+		}
+	}
+	report(call.Pos(), "route under /api/admin/ registered without withRole; wrap the handler in s.withRole")
 }

@@ -70,6 +70,45 @@ var resp = map[string]string{"error": "boom"}
 	}
 }
 
+func TestLintFlagsUnprotectedAdminRoute(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "bad.go", `package p
+
+import "net/http"
+
+func install(mux *http.ServeMux, s *server) {
+	mux.HandleFunc("POST /api/admin/backup", s.handleBackup)
+}
+`)
+	n, err := lintDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("violations = %d, want 1", n)
+	}
+}
+
+func TestLintAcceptsRoleWrappedAdminRoute(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "ok.go", `package p
+
+import "net/http"
+
+func install(mux *http.ServeMux, s *server) {
+	mux.HandleFunc("POST /api/admin/backup", s.withRole(roleAdmin, s.handleBackup))
+	mux.HandleFunc("GET /api/jobs", s.withAuth(s.handleJobs))
+}
+`)
+	n, err := lintDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("violations = %d, want 0", n)
+	}
+}
+
 func TestLintPortalPackageIsClean(t *testing.T) {
 	// Walk up to the repo root so the test works under any package dir.
 	root, err := filepath.Abs(filepath.Join("..", ".."))

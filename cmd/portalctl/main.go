@@ -20,6 +20,9 @@
 //	stats                         cluster summary
 //	events                        scheduler activity feed
 //	format <remote>               pretty-print a minic source in place
+//	backup <file>                 download a state snapshot (admin)
+//	restore <file>                upload a state snapshot (admin)
+//	persistence                   data provider status (admin)
 package main
 
 import (
@@ -248,6 +251,49 @@ func run(url, user, pass string, args []string) error {
 			st.TotalNodes, st.FreeNodes, st.Utilization*100, st.Dispatched)
 		for state, n := range st.Jobs {
 			fmt.Printf("  jobs %-10s %d\n", state, n)
+		}
+		return nil
+	case "backup":
+		if len(rest) != 1 {
+			return fmt.Errorf("backup needs <file>")
+		}
+		snap, err := c.Backup()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(rest[0], snap, 0o600); err != nil {
+			return err
+		}
+		fmt.Printf("backup written to %s (%d bytes)\n", rest[0], len(snap))
+		return nil
+	case "restore":
+		if len(rest) != 1 {
+			return fmt.Errorf("restore needs <file>")
+		}
+		snap, err := os.ReadFile(rest[0])
+		if err != nil {
+			return err
+		}
+		if err := c.RestoreBackup(snap); err != nil {
+			return err
+		}
+		fmt.Printf("restored %s (%d bytes)\n", rest[0], len(snap))
+		return nil
+	case "persistence":
+		st, err := c.Persistence()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mode: %s\n", st.Mode)
+		if st.Mode == "durable" {
+			fmt.Printf("dir: %s (fsync %s)\n", st.Dir, st.Fsync)
+			fmt.Printf("wal: %d records, %d bytes, %d batches, %d fsyncs\n",
+				st.WALRecords, st.WALBytes, st.Batches, st.Fsyncs)
+			last := "never"
+			if !st.LastSnapshot.IsZero() {
+				last = st.LastSnapshot.Format(time.RFC3339)
+			}
+			fmt.Printf("snapshots: %d (last %s, %d bytes)\n", st.Snapshots, last, st.SnapshotBytes)
 		}
 		return nil
 	default:

@@ -57,6 +57,13 @@ var (
 	ErrWeakPassword     = errors.New("auth: password too short (minimum 6 characters)")
 	ErrInvalidUsername  = errors.New("auth: invalid username")
 	ErrPermissionDenied = errors.New("auth: permission denied")
+	// ErrDuplicateImport rejects an Import whose records collide — with an
+	// existing account or with each other. Import never silently
+	// overwrites; a restore belongs on a fresh service.
+	ErrDuplicateImport = errors.New("auth: duplicate username in import")
+	// ErrBadImportRecord rejects an Import record that is structurally
+	// invalid (bad name, undecodable salt or hash, empty digest).
+	ErrBadImportRecord = errors.New("auth: invalid import record")
 )
 
 const (
@@ -90,6 +97,7 @@ type Service struct {
 	clk      clock.Clock
 	ttl      time.Duration
 	tokens   *ids.Random
+	journal  journalField
 }
 
 // NewService returns an auth service with the given session TTL.
@@ -143,8 +151,8 @@ func (s *Service) Register(name, password string, role Role) (*User, error) {
 		return nil, fmt.Errorf("auth: generating salt: %w", err)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, exists := s.users[name]; exists {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrUserExists, name)
 	}
 	u := &User{
@@ -155,6 +163,8 @@ func (s *Service) Register(name, password string, role Role) (*User, error) {
 		Created: s.clk.Now(),
 	}
 	s.users[name] = u
+	s.mu.Unlock()
+	s.journalUser(u)
 	return u, nil
 }
 
@@ -214,36 +224,45 @@ func (s *Service) ChangePassword(name, oldPassword, newPassword string) error {
 		return ErrWeakPassword
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	u, ok := s.users[name]
 	if !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownUser, name)
 	}
 	if !hmac.Equal(hashPassword(oldPassword, u.salt), u.hash) {
+		s.mu.Unlock()
 		return ErrBadCredentials
 	}
 	salt := make([]byte, saltBytes)
 	if _, err := rand.Read(salt); err != nil {
+		s.mu.Unlock()
 		return fmt.Errorf("auth: generating salt: %w", err)
 	}
 	u.salt = salt
 	u.hash = hashPassword(newPassword, salt)
+	cp := *u
+	s.mu.Unlock()
+	s.journalUser(&cp)
 	return nil
 }
 
 // SetRole changes a user's role; only an admin actor may do so.
 func (s *Service) SetRole(actor, name string, role Role) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	a, ok := s.users[actor]
 	if !ok || a.Role != RoleAdmin {
+		s.mu.Unlock()
 		return ErrPermissionDenied
 	}
 	u, ok := s.users[name]
 	if !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownUser, name)
 	}
 	u.Role = role
+	cp := *u
+	s.mu.Unlock()
+	s.journalUser(&cp)
 	return nil
 }
 
@@ -314,30 +333,57 @@ func (s *Service) Export() []Record {
 	return out
 }
 
-// Import restores accounts from Export's output. Existing accounts with the
-// same name are replaced; sessions are unaffected.
+// decodeRecord validates one serialized account and returns the live form.
+func decodeRecord(r Record) (*User, error) {
+	if !validUsername(r.Name) {
+		return nil, fmt.Errorf("%w: %w: %q", ErrBadImportRecord, ErrInvalidUsername, r.Name)
+	}
+	salt, err := hex.DecodeString(r.Salt)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q: bad salt: %v", ErrBadImportRecord, r.Name, err)
+	}
+	hash, err := hex.DecodeString(r.Hash)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q: bad hash: %v", ErrBadImportRecord, r.Name, err)
+	}
+	if len(salt) == 0 || len(hash) == 0 {
+		return nil, fmt.Errorf("%w: %q: empty salt or hash", ErrBadImportRecord, r.Name)
+	}
+	return &User{Name: r.Name, Role: r.Role, salt: salt, hash: hash, Created: r.Created}, nil
+}
+
+// Import restores accounts from Export's output. It is all-or-nothing:
+// every record is validated before any is applied, and a record naming an
+// existing account — or the same name twice in one batch — fails the whole
+// import with ErrDuplicateImport rather than silently overwriting. Imported
+// accounts are journaled like registrations; sessions are unaffected.
 func (s *Service) Import(records []Record) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	decoded := make([]*User, 0, len(records))
+	inBatch := make(map[string]bool, len(records))
 	for _, r := range records {
-		salt, err := hex.DecodeString(r.Salt)
+		u, err := decodeRecord(r)
 		if err != nil {
-			return fmt.Errorf("auth: import %q: bad salt: %v", r.Name, err)
+			return err
 		}
-		hash, err := hex.DecodeString(r.Hash)
-		if err != nil {
-			return fmt.Errorf("auth: import %q: bad hash: %v", r.Name, err)
+		if inBatch[r.Name] {
+			return fmt.Errorf("%w: %q", ErrDuplicateImport, r.Name)
 		}
-		if !validUsername(r.Name) {
-			return fmt.Errorf("%w: %q", ErrInvalidUsername, r.Name)
+		inBatch[r.Name] = true
+		decoded = append(decoded, u)
+	}
+	s.mu.Lock()
+	for _, u := range decoded {
+		if _, exists := s.users[u.Name]; exists {
+			s.mu.Unlock()
+			return fmt.Errorf("%w: %q", ErrDuplicateImport, u.Name)
 		}
-		s.users[r.Name] = &User{
-			Name:    r.Name,
-			Role:    r.Role,
-			salt:    salt,
-			hash:    hash,
-			Created: r.Created,
-		}
+	}
+	for _, u := range decoded {
+		s.users[u.Name] = u
+	}
+	s.mu.Unlock()
+	for _, u := range decoded {
+		s.journalUser(u)
 	}
 	return nil
 }

@@ -106,12 +106,37 @@ type Limits struct {
 	ArtifactCacheSize int `json:"artifact_cache_size"`
 }
 
+// Persistence describes the durable control plane: where the write-ahead
+// log and snapshot live and how aggressively they are flushed.
+type Persistence struct {
+	// Mode selects the data provider: "memory" (no durability, the
+	// historical behavior) or "durable" (WAL + snapshot in Dir).
+	Mode string `json:"mode"`
+	// Dir is the data directory for the durable provider.
+	Dir string `json:"dir"`
+	// Fsync is the WAL flush policy: "always" (fsync before every
+	// acknowledged write — group-committed, so one fsync covers a whole
+	// batch), "interval" (fsync at most every FsyncInterval), or "never"
+	// (leave flushing to the OS).
+	Fsync string `json:"fsync"`
+	// FsyncInterval is the flush period for the "interval" policy.
+	FsyncInterval Duration `json:"fsync_interval"`
+	// SnapshotInterval is how often the daemon folds the WAL into a fresh
+	// snapshot. Zero disables periodic snapshots (one is still taken on
+	// graceful shutdown).
+	SnapshotInterval Duration `json:"snapshot_interval"`
+	// JobRetention is how many finished jobs each snapshot keeps; older
+	// terminal jobs are compacted away. Negative keeps everything.
+	JobRetention int `json:"job_retention"`
+}
+
 // Config is the root configuration object.
 type Config struct {
-	Cluster Cluster `json:"cluster"`
-	Network Network `json:"network"`
-	Portal  Portal  `json:"portal"`
-	Limits  Limits  `json:"limits"`
+	Cluster     Cluster     `json:"cluster"`
+	Network     Network     `json:"network"`
+	Portal      Portal      `json:"portal"`
+	Limits      Limits      `json:"limits"`
+	Persistence Persistence `json:"persistence"`
 }
 
 // Default returns the configuration matching the paper's deployment.
@@ -143,6 +168,14 @@ func Default() Config {
 			JobWallTime:       Duration(5 * time.Minute),
 			VMStepBudget:      50_000_000,
 			ArtifactCacheSize: 4096,
+		},
+		Persistence: Persistence{
+			Mode:             "memory",
+			Dir:              "data",
+			Fsync:            "always",
+			FsyncInterval:    Duration(100 * time.Millisecond),
+			SnapshotInterval: Duration(5 * time.Minute),
+			JobRetention:     10_000,
 		},
 	}
 }
@@ -184,6 +217,16 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: limits.vm_step_budget must be positive")
 	case c.Limits.ArtifactCacheSize <= 0:
 		return fmt.Errorf("config: limits.artifact_cache_size must be positive")
+	case c.Persistence.Mode != "memory" && c.Persistence.Mode != "durable":
+		return fmt.Errorf("config: persistence.mode must be \"memory\" or \"durable\", got %q", c.Persistence.Mode)
+	case c.Persistence.Fsync != "always" && c.Persistence.Fsync != "interval" && c.Persistence.Fsync != "never":
+		return fmt.Errorf("config: persistence.fsync must be \"always\", \"interval\" or \"never\", got %q", c.Persistence.Fsync)
+	case c.Persistence.Fsync == "interval" && c.Persistence.FsyncInterval <= 0:
+		return fmt.Errorf("config: persistence.fsync_interval must be positive for the interval policy")
+	case c.Persistence.SnapshotInterval < 0:
+		return fmt.Errorf("config: persistence.snapshot_interval must be non-negative")
+	case c.Persistence.Mode == "durable" && c.Persistence.Dir == "":
+		return fmt.Errorf("config: persistence.dir must be set in durable mode")
 	}
 	return nil
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/cluster"
 	"repro/internal/config"
+	"repro/internal/dataprovider"
 	"repro/internal/jobs"
 	"repro/internal/logging"
 	"repro/internal/metrics"
@@ -56,6 +57,12 @@ type System struct {
 	Auth    *auth.Service
 	Sched   *scheduler.Scheduler
 	Portal  *portal.Server
+	// Provider is the configured persistence backend. Call Recover once
+	// before Start to restore its contents and arm journaling; Close it
+	// after Stop on shutdown.
+	Provider dataprovider.Provider
+	// Metrics is the registry shared by the scheduler, portal and provider.
+	Metrics *metrics.Registry
 
 	log     *logging.Logger
 	opts    Options
@@ -112,23 +119,31 @@ func NewSystem(cfg config.Config, opts Options) (*System, error) {
 		Clock:          clk,
 		Metrics:        reg,
 	})
+	prov, err := buildProvider(cfg, reg)
+	if err != nil {
+		return nil, err
+	}
 	srv := portal.NewServer(authSvc, fs, tools, store, sched, clus,
 		opts.Logger.Named("portal"), cfg.Portal.MaxUploadBytes)
 	srv.SetMetrics(reg)
-	return &System{
-		Config:  cfg,
-		Clock:   clk,
-		SimClk:  simClk,
-		Cluster: clus,
-		Tools:   tools,
-		Jobs:    store,
-		FS:      fs,
-		Auth:    authSvc,
-		Sched:   sched,
-		Portal:  srv,
-		log:     opts.Logger,
-		opts:    opts,
-	}, nil
+	sys := &System{
+		Config:   cfg,
+		Clock:    clk,
+		SimClk:   simClk,
+		Cluster:  clus,
+		Tools:    tools,
+		Jobs:     store,
+		FS:       fs,
+		Auth:     authSvc,
+		Sched:    sched,
+		Portal:   srv,
+		Provider: prov,
+		Metrics:  reg,
+		log:      opts.Logger,
+		opts:     opts,
+	}
+	srv.SetPersistence(persistenceOps{sys})
+	return sys, nil
 }
 
 // Start launches the background dispatch loop. It is idempotent.

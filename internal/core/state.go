@@ -7,54 +7,51 @@ import (
 	"os"
 
 	"repro/internal/auth"
+	"repro/internal/jobs"
 	"repro/internal/vfs"
 )
 
-// stateVersion guards the snapshot format.
-const stateVersion = 1
+// stateVersion guards the snapshot format. Version 1 carried accounts and
+// homes; version 2 adds the job history. Both are readable.
+const stateVersion = 2
 
-// state is the persisted system snapshot: accounts and home directories.
-// Jobs, sessions and cluster allocations are runtime state and are not
-// persisted — after a restart the queue is empty and users log in again,
-// exactly like the real portal after maintenance.
+// state is the persisted system snapshot: accounts, home directories, and
+// the job history in its stable serialized form. Sessions and cluster
+// allocations are runtime state and are never persisted — after a restart
+// users log in again and the cluster is empty, exactly like the real portal
+// after maintenance.
 type state struct {
 	Version int                   `json:"version"`
 	Users   []auth.Record         `json:"users"`
 	Homes   map[string][]vfs.Dump `json:"homes"`
+	Jobs    []jobs.PersistedJob   `json:"jobs,omitempty"`
 }
 
-// SaveState writes a snapshot of accounts and home directories.
-func (s *System) SaveState(w io.Writer) error {
+// buildState assembles the snapshot image of the current system.
+func (s *System) buildState() (state, error) {
 	st := state{
 		Version: stateVersion,
 		Users:   s.Auth.Export(),
 		Homes:   make(map[string][]vfs.Dump),
+		Jobs:    s.Jobs.Export(),
 	}
 	for _, user := range s.FS.Users() {
 		home, err := s.FS.Home(user)
 		if err != nil {
-			return err
+			return state{}, err
 		}
 		st.Homes[user] = home.Export()
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	if err := enc.Encode(st); err != nil {
-		return fmt.Errorf("core: saving state: %w", err)
-	}
-	return nil
+	return st, nil
 }
 
-// LoadState restores a snapshot produced by SaveState into this system,
-// merging over whatever already exists.
-func (s *System) LoadState(r io.Reader) error {
-	var st state
-	dec := json.NewDecoder(r)
-	if err := dec.Decode(&st); err != nil {
-		return fmt.Errorf("core: loading state: %w", err)
-	}
-	if st.Version != stateVersion {
-		return fmt.Errorf("core: state version %d, this build reads %d", st.Version, stateVersion)
+// applyState restores a decoded snapshot into this system. Accounts are
+// imported strictly (a name collision aborts with auth.ErrDuplicateImport);
+// jobs already present are skipped, so replaying the same image twice is
+// safe.
+func (s *System) applyState(st *state) error {
+	if st.Version < 1 || st.Version > stateVersion {
+		return fmt.Errorf("core: state version %d, this build reads 1..%d", st.Version, stateVersion)
 	}
 	if err := s.Auth.Import(st.Users); err != nil {
 		return err
@@ -64,7 +61,36 @@ func (s *System) LoadState(r io.Reader) error {
 			return fmt.Errorf("core: restoring home of %q: %w", user, err)
 		}
 	}
+	if err := s.Jobs.Restore(st.Jobs); err != nil {
+		return err
+	}
 	return nil
+}
+
+// SaveState writes a snapshot of accounts, home directories and jobs.
+func (s *System) SaveState(w io.Writer) error {
+	st, err := s.buildState()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(st); err != nil {
+		return fmt.Errorf("core: saving state: %w", err)
+	}
+	return nil
+}
+
+// LoadState restores a snapshot produced by SaveState into this system.
+// Restored state is journaled like live mutations, so a restore into a
+// durable system survives the next crash.
+func (s *System) LoadState(r io.Reader) error {
+	var st state
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&st); err != nil {
+		return fmt.Errorf("core: loading state: %w", err)
+	}
+	return s.applyState(&st)
 }
 
 // SaveStateFile writes the snapshot atomically (write-then-rename).

@@ -39,6 +39,18 @@ func (s *Sequential) Next() string {
 // Count reports how many identifiers have been issued.
 func (s *Sequential) Count() uint64 { return s.n.Load() }
 
+// EnsureAtLeast advances the sequence so the next identifier is numbered
+// above n. Crash recovery uses it to move the generator past every restored
+// ID, so fresh identifiers never collide with recovered history.
+func (s *Sequential) EnsureAtLeast(n uint64) {
+	for {
+		cur := s.n.Load()
+		if cur >= n || s.n.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // Random generates unguessable identifiers, suitable for session tokens.
 type Random struct {
 	prefix string

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/dataprovider"
 	"repro/internal/ids"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -78,11 +79,13 @@ func (s State) Terminal() bool {
 	return s == StateSucceeded || s == StateFailed || s == StateCancelled
 }
 
-// validNext enumerates the allowed transitions.
+// validNext enumerates the allowed transitions. Compiling and running jobs
+// may move back to queued — the requeue path crash recovery uses when the
+// process that was executing them died.
 var validNext = map[State][]State{
 	StateQueued:    {StateCompiling, StateCancelled, StateFailed},
-	StateCompiling: {StateRunning, StateFailed, StateCancelled},
-	StateRunning:   {StateSucceeded, StateFailed, StateCancelled},
+	StateCompiling: {StateRunning, StateFailed, StateCancelled, StateQueued},
+	StateRunning:   {StateSucceeded, StateFailed, StateCancelled, StateQueued},
 }
 
 // Errors returned by the store.
@@ -238,6 +241,10 @@ type Store struct {
 
 	notifyMu sync.Mutex
 	notify   func()
+
+	// journal, when attached, receives a record for every submission and
+	// transition (see journal.go). One atomic load on the hot paths.
+	journal journalField
 }
 
 // SetNotify installs a hook invoked (outside the store locks) after every
@@ -309,7 +316,7 @@ func (s *Store) Submit(spec Spec) (*Job, error) {
 	tr.Root().Annotate("source", spec.SourcePath)
 	tr.Root().Annotate("ranks", fmt.Sprintf("%d", spec.Ranks))
 	tr.StartSpan("queued")
-	ctx, cancel := context.WithCancelCause(trace.NewContext(context.Background(), tr))
+	ctx, cancel := newJobContext(tr)
 	j := &Job{
 		ID:        id,
 		Spec:      spec,
@@ -336,6 +343,7 @@ func (s *Store) Submit(spec Spec) (*Job, error) {
 	s.queueMu.Lock()
 	s.queue = append(s.queue, j)
 	s.queueMu.Unlock()
+	s.emit(dataprovider.KindJobSubmit, SubmitRecord{ID: j.ID, Spec: spec, Submitted: j.submitted})
 	s.notifyMu.Lock()
 	notify := s.notify
 	s.notifyMu.Unlock()
@@ -343,6 +351,23 @@ func (s *Store) Submit(spec Spec) (*Job, error) {
 		notify()
 	}
 	return j, nil
+}
+
+// newJobContext derives a job's lifecycle context from its trace.
+func newJobContext(tr *trace.Trace) (context.Context, context.CancelCauseFunc) {
+	return context.WithCancelCause(trace.NewContext(context.Background(), tr))
+}
+
+// traceForRestore builds the minimal trace a restored job carries: the
+// original spans died with the previous process, so the tree records only
+// the job's identity and the fact of restoration.
+func traceForRestore(s *Store, pj PersistedJob) *trace.Trace {
+	tr := trace.New("job", s.clk)
+	tr.Root().Annotate("job_id", pj.ID)
+	tr.Root().Annotate("owner", pj.Spec.Owner)
+	tr.Root().Annotate("restored", "true")
+	tr.StartSpan(pj.State)
+	return tr
 }
 
 // Get fetches a job by id.
@@ -361,8 +386,15 @@ func (s *Store) Get(id string) (*Job, error) {
 // reasons. A failure message is required for StateFailed; for StateCancelled
 // it records the cancellation reason. Any terminal transition closes the
 // job's streams and cancels its context, so in-flight compile/execute work
-// observes the cancellation and unwinds.
+// observes the cancellation and unwinds. Moving a compiling or running job
+// back to StateQueued requeues it for dispatch (the crash-recovery path).
 func (s *Store) Transition(id string, next State, failure string) error {
+	return s.transition(id, next, failure, s.clk.Now(), true)
+}
+
+// transition is the full implementation; replay calls it with the recorded
+// timestamp and journaling off (the record is already in the log).
+func (s *Store) transition(id string, next State, failure string, now time.Time, journal bool) error {
 	j, err := s.Get(id)
 	if err != nil {
 		return err
@@ -380,11 +412,13 @@ func (s *Store) Transition(id string, next State, failure string) error {
 		j.mu.Unlock()
 		return fmt.Errorf("%w: %s → %s", ErrBadTransition, cur, next)
 	}
-	now := s.clk.Now()
 	j.state = next
 	s.counts[cur].Add(-1)
 	s.counts[next].Add(1)
 	switch next {
+	case StateQueued:
+		j.started = time.Time{}
+		j.tr.StartSpan("requeued")
 	case StateRunning:
 		j.started = now
 		j.tr.StartSpan("running")
@@ -403,6 +437,25 @@ func (s *Store) Transition(id string, next State, failure string) error {
 		j.Stdin.Close()
 	}
 	j.mu.Unlock()
+	if journal {
+		s.emit(dataprovider.KindJobTransition, TransitionRecord{
+			ID: id, State: next.String(), Failure: failure, Time: now,
+		})
+	}
+	if next == StateQueued {
+		// Re-enter the FIFO queued-index (outside j.mu: ScanQueued holds
+		// queueMu while reading job state, so the lock order must stay
+		// queueMu → j.mu everywhere) and wake the dispatcher.
+		s.queueMu.Lock()
+		s.queue = append(s.queue, j)
+		s.queueMu.Unlock()
+		s.notifyMu.Lock()
+		notify := s.notify
+		s.notifyMu.Unlock()
+		if notify != nil {
+			notify()
+		}
+	}
 	if next.Terminal() {
 		s.active.Add(-1)
 		cause := context.Canceled

@@ -80,6 +80,10 @@ func fromDomain(err error) *apiErr {
 		errors.Is(err, auth.ErrInvalidUsername),
 		errors.Is(err, auth.ErrUnknownUser):
 		return errf(http.StatusBadRequest, CodeInvalidArgument, err.Error())
+	case errors.Is(err, auth.ErrDuplicateImport):
+		return errf(http.StatusConflict, CodeAlreadyExists, err.Error())
+	case errors.Is(err, auth.ErrBadImportRecord):
+		return errf(http.StatusBadRequest, CodeInvalidArgument, err.Error())
 	// vfs
 	case errors.Is(err, vfs.ErrNotFound), errors.Is(err, vfs.ErrNoHome):
 		return errf(http.StatusNotFound, CodeNotFound, err.Error())

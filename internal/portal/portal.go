@@ -49,8 +49,9 @@ type Server struct {
 	// share one across subsystems.
 	Metrics *metrics.Registry
 
-	mux    *http.ServeMux
-	reqIDs *ids.Random
+	mux     *http.ServeMux
+	reqIDs  *ids.Random
+	persist Persistence
 }
 
 // NewServer wires the handler tree.
@@ -97,6 +98,7 @@ func NewServer(a *auth.Service, fs *vfs.FS, tools *toolchain.Service, store *job
 	mux.HandleFunc("GET /api/cluster/nodes", s.withAuth(s.handleNodes))
 	mux.HandleFunc("GET /api/cluster/stats", s.withAuth(s.handleStats))
 	s.installAdmin(mux)
+	s.installPersistence(mux)
 	s.installStandardMetrics()
 	s.mux = mux
 	return s
@@ -187,6 +189,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.FS.EnsureHome(u.Name)
+	s.syncPersistence()
 	s.Log.Infof("registered user %s", u.Name)
 	writeJSON(w, http.StatusCreated, map[string]string{"user": u.Name, "role": u.Role.String()})
 }
@@ -296,6 +299,7 @@ func (s *Server) handleFileUpload(w http.ResponseWriter, r *http.Request, sess *
 		writeError(w, r, fromDomain(err))
 		return
 	}
+	s.syncPersistence()
 	s.metricsRegistry().Counter("files_uploaded_total").Inc()
 	s.Log.Infof("user %s uploaded %s (%d bytes)", sess.User, path, n)
 	writeJSON(w, http.StatusCreated, map[string]interface{}{"path": path, "bytes": n})
@@ -313,6 +317,7 @@ func (s *Server) handleMkdir(w http.ResponseWriter, r *http.Request, sess *auth.
 		writeError(w, r, fromDomain(err))
 		return
 	}
+	s.syncPersistence()
 	writeJSON(w, http.StatusCreated, map[string]string{"path": req.Path})
 }
 
@@ -329,6 +334,7 @@ func (s *Server) handleRename(w http.ResponseWriter, r *http.Request, sess *auth
 		writeError(w, r, fromDomain(err))
 		return
 	}
+	s.syncPersistence()
 	writeJSON(w, http.StatusOK, map[string]string{"src": req.Src, "dst": req.Dst})
 }
 
@@ -345,6 +351,7 @@ func (s *Server) handleCopy(w http.ResponseWriter, r *http.Request, sess *auth.S
 		writeError(w, r, fromDomain(err))
 		return
 	}
+	s.syncPersistence()
 	writeJSON(w, http.StatusOK, map[string]string{"src": req.Src, "dst": req.Dst})
 }
 
@@ -361,6 +368,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request, sess *auth
 		writeError(w, r, fromDomain(err))
 		return
 	}
+	s.syncPersistence()
 	writeJSON(w, http.StatusOK, map[string]string{"path": req.Path})
 }
 
@@ -389,6 +397,7 @@ func (s *Server) handleFormat(w http.ResponseWriter, r *http.Request, sess *auth
 		writeError(w, r, fromDomain(err))
 		return
 	}
+	s.syncPersistence()
 	writeJSON(w, http.StatusOK, map[string]interface{}{"path": req.Path, "bytes": len(formatted)})
 }
 
@@ -507,6 +516,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, sess *auth
 	if rid := RequestIDFromContext(r.Context()); rid != "" {
 		job.Trace().Root().Annotate("request_id", rid)
 	}
+	s.syncPersistence()
 	s.metricsRegistry().Counter("jobs_submitted_total").Inc()
 	s.Log.Infof("user %s submitted %s as %s (%d ranks)", sess.User, req.SourcePath, job.ID, req.Ranks)
 	writeJSON(w, http.StatusAccepted, toJobJSON(job.Snapshot()))
@@ -646,6 +656,7 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request, sess *a
 		writeError(w, r, errf(http.StatusConflict, CodeJobTerminal, err.Error()))
 		return
 	}
+	s.syncPersistence()
 	writeJSON(w, http.StatusOK, map[string]string{"id": job.ID, "state": "cancelled"})
 }
 

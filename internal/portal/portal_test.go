@@ -25,11 +25,12 @@ import (
 
 // stack is a full in-process portal for tests.
 type stack struct {
-	srv   *httptest.Server
-	sched *scheduler.Scheduler
-	store *jobs.Store
-	authz *auth.Service
-	clus  *cluster.Cluster
+	srv    *httptest.Server
+	server *Server
+	sched  *scheduler.Scheduler
+	store  *jobs.Store
+	authz  *auth.Service
+	clus   *cluster.Cluster
 }
 
 func newStack(t *testing.T) *stack {
@@ -58,7 +59,7 @@ func newStack(t *testing.T) *stack {
 	server.SetMetrics(reg)
 	ts := httptest.NewServer(server)
 	t.Cleanup(ts.Close)
-	return &stack{srv: ts, sched: sched, store: store, authz: authz, clus: clus}
+	return &stack{srv: ts, server: server, sched: sched, store: store, authz: authz, clus: clus}
 }
 
 // client is a minimal API client holding a bearer token.

@@ -1,0 +1,145 @@
+package scheduler
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/dataprovider"
+	"repro/internal/jobs"
+	"repro/internal/metrics"
+	"repro/internal/toolchain"
+	"repro/internal/vfs"
+)
+
+// BenchmarkSchedulerThroughputDurable re-runs the grid=64 throughput case
+// with the production persistence path attached: every submission and
+// transition journaled into a real on-disk WAL with fsync "always".
+//
+// Two sub-cases separate the two costs the durable design keeps apart:
+//
+//   - journal: the exact baseline workload (sequential submits, scheduler
+//     drains) with write-behind journaling armed. This isolates what
+//     durability costs the control plane itself — the in-memory structures
+//     stay the only read path, so jobs/s must stay within a few percent of
+//     the plain BenchmarkSchedulerThroughput grid=64 number.
+//   - ackbarrier: 200 users submit concurrently and each submission crosses
+//     the portal's Sync acknowledgment barrier before the next, as real
+//     requests do. This prices the durability guarantee users actually get;
+//     group commit keeps the fsync count near-constant rather than
+//     per-request.
+func BenchmarkSchedulerThroughputDurable(b *testing.B) {
+	b.Run("journal", func(b *testing.B) { durableThroughput(b, false) })
+	b.Run("ackbarrier", func(b *testing.B) { durableThroughput(b, true) })
+}
+
+func durableThroughput(b *testing.B, ackBarrier bool) {
+	const users, jobsPerUser = 200, 2
+	totalJobs := users * jobsPerUser
+	clk := clock.Real{}
+	b.ResetTimer()
+	for iter := 0; iter < b.N; iter++ {
+		cfg := config.Default()
+		clus, err := cluster.New(cfg, clk)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tools := toolchain.NewService(clk)
+		store := jobs.NewStore(0, clk)
+		fs := vfs.New(1<<24, clk)
+		reg := metrics.NewRegistry()
+		s := New(clus, tools, store, fs, Options{
+			WallTime: time.Minute,
+			Clock:    clk,
+			Metrics:  reg,
+		})
+		b.StopTimer()
+		prov, err := dataprovider.NewDurable(b.TempDir(), dataprovider.DurableOptions{
+			Fsync: dataprovider.FsyncAlways,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		store.SetJournal(prov)
+		for u := 0; u < users; u++ {
+			h := fs.EnsureHome(fmt.Sprintf("user%03d", u))
+			if err := h.WriteFile("/job.mc", []byte(helloSrc)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		s.Start(5 * time.Millisecond)
+		ids := make([]string, totalJobs)
+		if ackBarrier {
+			var wg sync.WaitGroup
+			for u := 0; u < users; u++ {
+				wg.Add(1)
+				go func(u int) {
+					defer wg.Done()
+					owner := fmt.Sprintf("user%03d", u)
+					for k := 0; k < jobsPerUser; k++ {
+						j, err := store.Submit(jobs.Spec{
+							Owner: owner, SourcePath: "/job.mc", Language: "minic", Ranks: 1,
+						})
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if err := prov.Sync(); err != nil {
+							b.Error(err)
+							return
+						}
+						ids[u*jobsPerUser+k] = j.ID
+					}
+				}(u)
+			}
+			wg.Wait()
+			if b.Failed() {
+				b.FailNow()
+			}
+		} else {
+			for i := 0; i < totalJobs; i++ {
+				owner := fmt.Sprintf("user%03d", i/jobsPerUser)
+				j, err := store.Submit(jobs.Spec{
+					Owner: owner, SourcePath: "/job.mc", Language: "minic", Ranks: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ids[i] = j.ID
+			}
+		}
+		for _, id := range ids {
+			snap, err := store.WaitTerminal(id, time.Minute)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if snap.State != jobs.StateSucceeded {
+				b.Fatalf("job %s: %v (%s)", id, snap.State, snap.Failure)
+			}
+		}
+		// Everything journaled so far must be durable before the run counts.
+		if err := prov.Sync(); err != nil {
+			b.Fatal(err)
+		}
+		s.Stop()
+		b.StopTimer()
+		st := prov.Status()
+		b.ReportMetric(float64(st.WALRecords)/float64(totalJobs), "records/job")
+		b.ReportMetric(float64(st.Fsyncs), "fsyncs")
+		b.ReportMetric(float64(st.Batches), "batches")
+		if err := prov.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(totalJobs*b.N)/elapsed, "jobs/s")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/dataprovider"
 )
 
 // Error values returned by filesystem operations. They wrap a path via
@@ -68,14 +69,20 @@ type Home struct {
 	used  int64
 	quota int64
 	clk   clock.Clock
+	// owner is the user this home belongs to; emit journals a mutation
+	// through the owning FS (nil when the home is detached, e.g. in tests).
+	// Both are set once at construction, before the home is published.
+	owner string
+	emit  func(kind dataprovider.Kind, payload interface{})
 }
 
 // FS manages the collection of user homes, as the portal's backend.
 type FS struct {
-	mu    sync.RWMutex
-	homes map[string]*Home
-	quota int64
-	clk   clock.Clock
+	mu      sync.RWMutex
+	homes   map[string]*Home
+	quota   int64
+	clk     clock.Clock
+	journal journalField
 }
 
 // New returns an FS creating homes with the given per-user byte quota.
@@ -102,7 +109,7 @@ func (fs *FS) EnsureHome(user string) *Home {
 	if h, ok := fs.homes[user]; ok {
 		return h
 	}
-	h = &Home{root: newDir("/", fs.clk.Now()), quota: fs.quota, clk: fs.clk}
+	h = &Home{root: newDir("/", fs.clk.Now()), quota: fs.quota, clk: fs.clk, owner: user, emit: fs.emit}
 	fs.homes[user] = h
 	return h
 }
@@ -218,6 +225,7 @@ func (h *Home) Mkdir(p string) error {
 	now := h.clk.Now()
 	pn.children[base] = newDir(base, now)
 	pn.modTime = now
+	h.note(dataprovider.KindVFSMkdir, MkdirRecord{User: h.owner, Path: cp})
 	return nil
 }
 
@@ -246,6 +254,7 @@ func (h *Home) MkdirAll(p string) error {
 		}
 		cur = next
 	}
+	h.note(dataprovider.KindVFSMkdir, MkdirRecord{User: h.owner, Path: cp, All: true})
 	return nil
 }
 
@@ -286,6 +295,7 @@ func (h *Home) WriteFile(p string, data []byte) error {
 	pn.children[base] = &node{name: base, data: cp2, modTime: now}
 	pn.modTime = now
 	h.used += int64(len(data)) - old
+	h.note(dataprovider.KindVFSWrite, WriteRecord{User: h.owner, Path: cp, Data: cp2})
 	return nil
 }
 
@@ -411,6 +421,7 @@ func (h *Home) Remove(p string, recursive bool) error {
 	h.used -= subtreeBytes(n)
 	delete(pn.children, base)
 	pn.modTime = h.clk.Now()
+	h.note(dataprovider.KindVFSRemove, RemoveRecord{User: h.owner, Path: cp, Recursive: recursive})
 	return nil
 }
 
@@ -471,6 +482,7 @@ func (h *Home) Rename(src, dst string) error {
 	dpn.children[db] = n
 	spn.modTime = now
 	dpn.modTime = now
+	h.note(dataprovider.KindVFSRename, MoveRecord{User: h.owner, Src: cs, Dst: cd})
 	return nil
 }
 
@@ -516,6 +528,7 @@ func (h *Home) Copy(src, dst string) error {
 	dpn.children[db] = cloneNode(n, db, now)
 	dpn.modTime = now
 	h.used += extra
+	h.note(dataprovider.KindVFSCopy, MoveRecord{User: h.owner, Src: cs, Dst: cd})
 	return nil
 }
 
