@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build vet fmt test race bench bench-vm bench-sched bench-wal apilint
+.PHONY: all check build vet fmt test race bench bench-vm bench-sched bench-wal bench-stream apilint
 
 all: check
 
@@ -53,6 +53,16 @@ bench-sched:
 	$(GO) test -run '^$$' -bench BenchmarkSchedulerThroughput -benchtime 5x ./internal/scheduler/ \
 	| $(GO) run ./cmd/benchjson -o BENCH_sched.json
 	@cat BENCH_sched.json
+
+# bench-stream measures output fan-out: 10k concurrent watchers tailing 1000
+# job streams (plus a stalled watcher per stream proving writes never block),
+# reporting delivery-latency quantiles and the zero-alloc producer write path
+# into BENCH_stream.json. Like the other bench targets, not part of check.
+bench-stream:
+	{ $(GO) test -run '^$$' -bench BenchmarkStreamFanout -benchtime 1x -timeout 300s ./internal/jobs/ ; \
+	  $(GO) test -run '^$$' -bench BenchmarkStreamWrite -benchtime 100000x ./internal/jobs/ ; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_stream.json
+	@cat BENCH_stream.json
 
 # bench-wal measures the write-ahead log's group-commit append throughput at
 # batch sizes 1, 16 and 256, with fsync on ("always") and off ("never"), and

@@ -1,7 +1,9 @@
 package ccportal
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -77,27 +79,7 @@ func (c *Client) do(method, path string, body io.Reader, out interface{}) error 
 		return err
 	}
 	if res.StatusCode >= 400 {
-		ae := &APIError{Status: res.StatusCode, RequestID: res.Header.Get("X-Request-ID")}
-		var env struct {
-			Error struct {
-				Code      string          `json:"code"`
-				Message   string          `json:"message"`
-				RequestID string          `json:"request_id"`
-				Details   json.RawMessage `json:"details"`
-			} `json:"error"`
-		}
-		if json.Unmarshal(data, &env) == nil && env.Error.Code != "" {
-			ae.Code = env.Error.Code
-			ae.Message = env.Error.Message
-			ae.Details = env.Error.Details
-			if env.Error.RequestID != "" {
-				ae.RequestID = env.Error.RequestID
-			}
-		} else {
-			ae.Code = "internal"
-			ae.Message = fmt.Sprintf("%s %s returned no error envelope", method, path)
-		}
-		return ae
+		return decodeAPIError(res, data, method, path)
 	}
 	if out != nil {
 		if err := json.Unmarshal(data, out); err != nil {
@@ -105,6 +87,32 @@ func (c *Client) do(method, path string, body io.Reader, out interface{}) error 
 		}
 	}
 	return nil
+}
+
+// decodeAPIError turns a non-2xx response body into an *APIError, tolerating
+// bodies that are not the standard envelope.
+func decodeAPIError(res *http.Response, body []byte, method, path string) *APIError {
+	ae := &APIError{Status: res.StatusCode, RequestID: res.Header.Get("X-Request-ID")}
+	var env struct {
+		Error struct {
+			Code      string          `json:"code"`
+			Message   string          `json:"message"`
+			RequestID string          `json:"request_id"`
+			Details   json.RawMessage `json:"details"`
+		} `json:"error"`
+	}
+	if json.Unmarshal(body, &env) == nil && env.Error.Code != "" {
+		ae.Code = env.Error.Code
+		ae.Message = env.Error.Message
+		ae.Details = env.Error.Details
+		if env.Error.RequestID != "" {
+			ae.RequestID = env.Error.RequestID
+		}
+	} else {
+		ae.Code = "internal"
+		ae.Message = fmt.Sprintf("%s %s returned no error envelope", method, path)
+	}
+	return ae
 }
 
 func (c *Client) doJSON(method, path string, in, out interface{}) error {
@@ -363,20 +371,129 @@ func (c *Client) Trace(id string) (JobTrace, error) {
 	return out, err
 }
 
-// OutputChunk is a slice of a job's merged stdout.
+// OutputChunk is a slice of a job's merged stdout, as returned by the
+// compatibility long-poll endpoint. Dropped counts bytes between the
+// requested offset and Data that aged out of the server's retention ring
+// before they were read.
 type OutputChunk struct {
-	Data  string `json:"data"`
-	Next  int64  `json:"next"`
-	Done  bool   `json:"done"`
-	State string `json:"state"`
+	Data    string `json:"data"`
+	Next    int64  `json:"next"`
+	Done    bool   `json:"done"`
+	Dropped int64  `json:"dropped"`
+	State   string `json:"state"`
 }
 
 // Output reads the job's stdout from the given offset.
+//
+// Deprecated: Output polls the compatibility endpoint; new code should use
+// Watch, which pushes events over one connection and reports drops per
+// event.
 func (c *Client) Output(id string, offset int64) (OutputChunk, error) {
 	var out OutputChunk
 	err := c.do("GET", fmt.Sprintf("/api/jobs/%s/output?offset=%d", id, offset), nil, &out)
 	return out, err
 }
+
+// WatchEvent is one delivery from a job's event stream. Seq is the stream
+// position immediately after Data — the cursor WatchFrom resumes from.
+// Dropped counts bytes that aged out of the server's retention ring before
+// this watcher read them (0 in the healthy case). The final event of a
+// stream has Done=true and carries the job's terminal State instead of data.
+type WatchEvent struct {
+	Seq     int64  `json:"seq"`
+	Stream  string `json:"stream"`
+	Data    string `json:"data"`
+	Dropped int64  `json:"dropped"`
+	State   string `json:"state"`
+	Done    bool   `json:"-"`
+}
+
+// Watch is a live subscription to a job's output, delivered server-push over
+// one HTTP connection (Server-Sent Events). Iterate with Next; Close
+// releases the connection.
+type Watch struct {
+	body io.ReadCloser
+	br   *bufio.Reader
+	done bool
+}
+
+// Watch subscribes to the job's output from the beginning of its retained
+// history. It returns an iterator of events: call Next until it reports
+// io.EOF (after the Done event). The subscription lives until ctx is
+// cancelled, Close is called, or the job finishes and is drained.
+func (c *Client) Watch(ctx context.Context, id string) (*Watch, error) {
+	return c.WatchFrom(ctx, id, 0)
+}
+
+// WatchFrom is Watch resuming from a previous event's Seq. seq < 0 attaches
+// at the live tail (only new output); a stale seq is clamped to the oldest
+// retained byte, surfacing the gap as the first event's Dropped count.
+func (c *Client) WatchFrom(ctx context.Context, id string, seq int64) (*Watch, error) {
+	path := fmt.Sprintf("/api/jobs/%s/events?seq=%d", id, seq)
+	req, err := http.NewRequestWithContext(ctx, "GET", c.BaseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	res, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if res.StatusCode >= 400 {
+		defer res.Body.Close()
+		body, _ := io.ReadAll(io.LimitReader(res.Body, 1<<20))
+		return nil, decodeAPIError(res, body, "GET", path)
+	}
+	return &Watch{body: res.Body, br: bufio.NewReader(res.Body)}, nil
+}
+
+// Next returns the next event, blocking until one arrives. After the job
+// finishes it returns the terminal event (Done=true), then io.EOF. A
+// cancelled context surfaces as the underlying transport error.
+func (w *Watch) Next() (WatchEvent, error) {
+	if w.done {
+		return WatchEvent{}, io.EOF
+	}
+	var event string
+	var data []byte
+	for {
+		line, err := w.br.ReadString('\n')
+		if err != nil {
+			if err == io.EOF {
+				w.done = true
+			}
+			return WatchEvent{}, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "":
+			if event == "" && data == nil {
+				continue // separator after a comment/heartbeat
+			}
+			var ev WatchEvent
+			if err := json.Unmarshal(data, &ev); err != nil {
+				return WatchEvent{}, fmt.Errorf("ccportal: decoding %s event: %w", event, err)
+			}
+			if event == "done" {
+				ev.Done = true
+				w.done = true
+			}
+			return ev, nil
+		case strings.HasPrefix(line, ":"): // heartbeat comment
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")...)
+		}
+	}
+}
+
+// Close releases the subscription's connection. It is safe to call at any
+// point, including concurrently with a blocked Next.
+func (w *Watch) Close() error { return w.body.Close() }
 
 // SendInput feeds interactive stdin to a running job.
 func (c *Client) SendInput(id, data string) error {
@@ -389,28 +506,31 @@ func (c *Client) Cancel(id string) error {
 	return c.doJSON("POST", "/api/jobs/"+id+"/cancel", nil, nil)
 }
 
-// WaitJob polls until the job finishes or the timeout elapses, returning the
-// final record and its full output.
+// WaitJob follows the job's event stream until it finishes or the timeout
+// elapses, returning the final record and its full output.
 func (c *Client) WaitJob(id string, timeout time.Duration) (Job, string, error) {
-	deadline := time.Now().Add(timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	w, err := c.Watch(ctx, id)
+	if err != nil {
+		return Job{}, "", err
+	}
+	defer w.Close()
 	var output strings.Builder
-	var offset int64
 	for {
-		chunk, err := c.Output(id, offset)
+		ev, err := w.Next()
+		if err == io.EOF || (err == nil && ev.Done) {
+			job, serr := c.JobStatus(id)
+			return job, output.String(), serr
+		}
 		if err != nil {
+			if ctx.Err() != nil {
+				job, _ := c.JobStatus(id)
+				return job, output.String(), fmt.Errorf("ccportal: job %s still %s after %v", id, job.State, timeout)
+			}
 			return Job{}, output.String(), err
 		}
-		output.WriteString(chunk.Data)
-		offset = chunk.Next
-		if chunk.Done {
-			job, err := c.JobStatus(id)
-			return job, output.String(), err
-		}
-		if time.Now().After(deadline) {
-			job, _ := c.JobStatus(id)
-			return job, output.String(), fmt.Errorf("ccportal: job %s still %s after %v", id, job.State, timeout)
-		}
-		time.Sleep(5 * time.Millisecond)
+		output.WriteString(ev.Data)
 	}
 }
 

@@ -4,6 +4,12 @@
 // handler reaches for http.Error or hand-rolls an {"error": ...} map
 // literal, the two ways envelope drift has actually happened.
 //
+// It also enforces the streaming-route contract: any handler that declares
+// Content-Type text/event-stream must set Cache-Control: no-store (an SSE
+// response cached by an intermediary replays a stale job transcript) and
+// must flush through http.Flusher (an unflushed SSE stream sits in the
+// response buffer and delivers nothing until the job ends).
+//
 // Usage:
 //
 //	apilint [dir ...]
@@ -73,6 +79,11 @@ func lintFile(path string) (int, error) {
 		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(pos), msg)
 		bad++
 	}
+	for _, decl := range f.Decls {
+		if fn, ok := decl.(*ast.FuncDecl); ok {
+			checkSSEHandler(fn, report)
+		}
+	}
 	ast.Inspect(f, func(n ast.Node) bool {
 		switch node := n.(type) {
 		case *ast.CallExpr:
@@ -100,6 +111,48 @@ func lintFile(path string) (int, error) {
 		return true
 	})
 	return bad, nil
+}
+
+// checkSSEHandler enforces the SSE contract on any function that declares a
+// text/event-stream response: it must also set Cache-Control: no-store and
+// flush via http.Flusher. The check is structural — it looks for the
+// literals and the Flusher/Flush use inside the same function body — so a
+// refactor that drops either one fails the build rather than shipping a
+// streaming route that proxies buffer or caches replay.
+func checkSSEHandler(fn *ast.FuncDecl, report func(token.Pos, string)) {
+	if fn.Body == nil {
+		return
+	}
+	var isSSE, noStore, cacheControl, flush bool
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.BasicLit:
+			if node.Kind == token.STRING {
+				switch node.Value {
+				case `"text/event-stream"`:
+					isSSE = true
+				case `"no-store"`:
+					noStore = true
+				case `"Cache-Control"`:
+					cacheControl = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if node.Sel.Name == "Flusher" || node.Sel.Name == "Flush" {
+				flush = true
+			}
+		}
+		return true
+	})
+	if !isSSE {
+		return
+	}
+	if !noStore || !cacheControl {
+		report(fn.Pos(), fmt.Sprintf("%s declares text/event-stream without setting Cache-Control: no-store", fn.Name.Name))
+	}
+	if !flush {
+		report(fn.Pos(), fmt.Sprintf("%s declares text/event-stream without flushing via http.Flusher", fn.Name.Name))
+	}
 }
 
 // checkAdminRoute enforces that every route under /api/admin/ is registered

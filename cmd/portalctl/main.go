@@ -13,7 +13,8 @@
 //	get <remote>                  print a file
 //	rm <remote>                   delete a file or tree
 //	compile <remote> [lang]       compile only, printing diagnostics
-//	run <remote> [ranks]          submit, wait, stream output
+//	run <remote> [ranks]          submit, stream output live, wait for the result
+//	watch <job-id>                follow a job's output live (SSE)
 //	jobs [state] [limit]          list jobs, optionally filtered and capped
 //	trace <job-id>                print the job's lifecycle span tree
 //	cancel <job-id>               cancel a queued or running job
@@ -26,8 +27,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -153,15 +156,28 @@ func run(url, user, pass string, args []string) error {
 			return err
 		}
 		fmt.Printf("submitted %s (%d ranks)\n", job.ID, ranks)
-		final, output, err := c.WaitJob(job.ID, 10*time.Minute)
-		fmt.Print(output)
+		state, err := watchJob(c, job.ID, 10*time.Minute)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("[%s]\n", final.State)
-		if final.State != "succeeded" {
+		fmt.Printf("[%s]\n", state)
+		if state != "succeeded" {
+			final, err := c.JobStatus(job.ID)
+			if err != nil {
+				return err
+			}
 			return fmt.Errorf("%s", final.Failure)
 		}
+		return nil
+	case "watch":
+		if len(rest) != 1 {
+			return fmt.Errorf("watch needs <job-id>")
+		}
+		state, err := watchJob(c, rest[0], 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("[%s]\n", state)
 		return nil
 	case "cancel":
 		if len(rest) != 1 {
@@ -298,6 +314,41 @@ func run(url, user, pass string, args []string) error {
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// watchJob follows a job's event stream, printing output as it arrives,
+// until the job finishes; it returns the terminal state. timeout 0 means
+// wait indefinitely. Dropped ranges (output that aged out of the server's
+// retention before we read it) are flagged on stderr so the printed text is
+// never silently incomplete.
+func watchJob(c *ccportal.Client, id string, timeout time.Duration) (string, error) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	w, err := c.Watch(ctx, id)
+	if err != nil {
+		return "", err
+	}
+	defer w.Close()
+	for {
+		ev, err := w.Next()
+		if err != nil {
+			if err == io.EOF {
+				return "", fmt.Errorf("event stream for %s ended without a done event", id)
+			}
+			return "", err
+		}
+		if ev.Dropped > 0 {
+			fmt.Fprintf(os.Stderr, "portalctl: [%d bytes of output dropped]\n", ev.Dropped)
+		}
+		if ev.Done {
+			return ev.State, nil
+		}
+		fmt.Print(ev.Data)
 	}
 }
 

@@ -104,6 +104,14 @@ type Limits struct {
 	// ArtifactCacheSize bounds the toolchain's compiled-artifact store;
 	// least-recently-used artifacts are evicted beyond it.
 	ArtifactCacheSize int `json:"artifact_cache_size"`
+	// StreamBufferBytes is the per-job output ring: how many trailing
+	// stdout/stderr bytes stay readable. Older bytes age out and surface
+	// to watchers as explicit dropped-range markers.
+	StreamBufferBytes int `json:"stream_buffer"`
+	// StdinBufferBytes caps a job's unread interactive stdin, so a client
+	// cannot feed input faster than the program consumes it and balloon
+	// the process.
+	StdinBufferBytes int `json:"stdin_buffer"`
 }
 
 // Persistence describes the durable control plane: where the write-ahead
@@ -168,6 +176,8 @@ func Default() Config {
 			JobWallTime:       Duration(5 * time.Minute),
 			VMStepBudget:      50_000_000,
 			ArtifactCacheSize: 4096,
+			StreamBufferBytes: 1 << 20,
+			StdinBufferBytes:  1 << 20,
 		},
 		Persistence: Persistence{
 			Mode:             "memory",
@@ -217,6 +227,10 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: limits.vm_step_budget must be positive")
 	case c.Limits.ArtifactCacheSize <= 0:
 		return fmt.Errorf("config: limits.artifact_cache_size must be positive")
+	case c.Limits.StreamBufferBytes <= 0:
+		return fmt.Errorf("config: limits.stream_buffer must be positive")
+	case c.Limits.StdinBufferBytes <= 0:
+		return fmt.Errorf("config: limits.stdin_buffer must be positive")
 	case c.Persistence.Mode != "memory" && c.Persistence.Mode != "durable":
 		return fmt.Errorf("config: persistence.mode must be \"memory\" or \"durable\", got %q", c.Persistence.Mode)
 	case c.Persistence.Fsync != "always" && c.Persistence.Fsync != "interval" && c.Persistence.Fsync != "never":

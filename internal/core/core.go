@@ -96,6 +96,7 @@ func NewSystem(cfg config.Config, opts Options) (*System, error) {
 	tools := toolchain.NewService(clk)
 	tools.SetArtifactCacheCap(cfg.Limits.ArtifactCacheSize)
 	store := jobs.NewStore(cfg.Limits.MaxQueuedJobs, clk)
+	store.SetStreamLimits(cfg.Limits.StreamBufferBytes, cfg.Limits.StdinBufferBytes)
 	fs := vfs.New(cfg.Portal.QuotaBytes, clk)
 	// Sessions always live on the wall clock: browsers are real even when
 	// the cluster is simulated.

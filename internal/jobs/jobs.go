@@ -227,6 +227,11 @@ type Store struct {
 	clk    clock.Clock
 	maxQ   int
 
+	// streamLimit and stdinLimit size each new job's output ring and stdin
+	// cap; zero means the package defaults (1 MiB each).
+	streamLimit int
+	stdinLimit  int
+
 	// active counts non-terminal jobs for maxQ admission; counts tracks
 	// every lifecycle state for O(1) Counts.
 	active atomic.Int64
@@ -275,6 +280,14 @@ func NewStore(maxQueued int, clk clock.Clock) *Store {
 	return s
 }
 
+// SetStreamLimits sizes the per-job output ring buffer and the interactive
+// stdin cap for jobs submitted after the call (existing jobs keep their
+// buffers). Zero or negative values select the 1 MiB defaults.
+func (s *Store) SetStreamLimits(streamBytes, stdinBytes int) {
+	s.streamLimit = streamBytes
+	s.stdinLimit = stdinBytes
+}
+
 // shardFor maps a job id to its shard (FNV-1a).
 func (s *Store) shardFor(id string) *shard {
 	h := uint32(2166136261)
@@ -297,6 +310,14 @@ func (s *Store) Submit(spec Spec) (*Job, error) {
 	}
 	if spec.Ranks <= 0 {
 		return nil, fmt.Errorf("jobs: ranks must be positive, got %d", spec.Ranks)
+	}
+	stdinCap := s.stdinLimit
+	if stdinCap <= 0 {
+		stdinCap = defaultStdinLimit
+	}
+	if len(spec.Stdin) > stdinCap {
+		return nil, fmt.Errorf("%w: pre-supplied stdin is %d bytes, cap %d",
+			ErrStdinOverflow, len(spec.Stdin), stdinCap)
 	}
 	// Claim an admission slot with a CAS loop so the cap stays exact under
 	// concurrent submissions without a global lock.
@@ -325,8 +346,8 @@ func (s *Store) Submit(spec Spec) (*Job, error) {
 		tr:        tr,
 		state:     StateQueued,
 		submitted: s.clk.Now(),
-		Stdout:    NewStream(0),
-		Stdin:     NewInput(),
+		Stdout:    NewStream(s.streamLimit),
+		Stdin:     NewInput(s.stdinLimit),
 	}
 	if spec.Stdin != "" {
 		j.Stdin.Feed([]byte(spec.Stdin))

@@ -1,6 +1,7 @@
 package jobs
 
 import (
+	"context"
 	"errors"
 	"io"
 	"strings"
@@ -325,9 +326,10 @@ func TestStreamConcurrentWriters(t *testing.T) {
 
 func TestStreamWaitChange(t *testing.T) {
 	s := NewStream(0)
+	ctx := context.Background()
 	done := make(chan struct{})
 	go func() {
-		s.WaitChange(0)
+		s.WaitChange(ctx, 0)
 		close(done)
 	}()
 	select {
@@ -342,13 +344,13 @@ func TestStreamWaitChange(t *testing.T) {
 		t.Fatal("WaitChange missed the write")
 	}
 	// Returns immediately when already past the offset or closed.
-	s.WaitChange(0)
+	s.WaitChange(ctx, 0)
 	s.Close()
-	s.WaitChange(99)
+	s.WaitChange(ctx, 99)
 }
 
 func TestInputFeedAndEOF(t *testing.T) {
-	in := NewInput()
+	in := NewInput(0)
 	go func() {
 		in.Feed([]byte("line1\n"))
 		in.Close()

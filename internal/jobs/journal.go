@@ -139,11 +139,14 @@ func (s *Store) restoreOne(pj PersistedJob, journal bool) error {
 		started:   pj.Started,
 		finished:  pj.Finished,
 		failure:   pj.Failure,
-		Stdout:    NewStream(0),
-		Stdin:     NewInput(),
+		Stdout:    NewStream(s.streamLimit),
+		Stdin:     NewInput(s.stdinLimit),
 	}
 	if pj.Spec.Stdin != "" && !st.Terminal() {
-		j.Stdin.Feed([]byte(pj.Spec.Stdin))
+		// Best effort: a snapshot written under a larger stdin cap may not
+		// fit after a config change; the job still runs, just without the
+		// overflowing pre-supplied input.
+		_ = j.Stdin.Feed([]byte(pj.Spec.Stdin))
 	}
 	if st.Terminal() {
 		j.Stdout.Close()

@@ -21,6 +21,7 @@ const (
 	CodeConflict        = "conflict"
 	CodeJobTerminal     = "job_terminal"
 	CodeCompileFailed   = "compile_failed"
+	CodeStdinOverflow   = "stdin_overflow"
 	CodeQuotaExceeded   = "quota_exceeded"
 	CodeQueueFull       = "queue_full"
 	CodeInternal        = "internal"
@@ -103,6 +104,8 @@ func fromDomain(err error) *apiErr {
 		return errf(http.StatusBadRequest, CodeInvalidArgument, err.Error())
 	case errors.Is(err, jobs.ErrBadTransition):
 		return errf(http.StatusConflict, CodeJobTerminal, err.Error())
+	case errors.Is(err, jobs.ErrStdinOverflow):
+		return errf(http.StatusRequestEntityTooLarge, CodeStdinOverflow, err.Error())
 	// toolchain
 	case errors.Is(err, toolchain.ErrUnknownLanguage),
 		errors.Is(err, toolchain.ErrUnknownArtifact):

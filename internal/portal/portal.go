@@ -91,6 +91,7 @@ func NewServer(a *auth.Service, fs *vfs.FS, tools *toolchain.Service, store *job
 	mux.HandleFunc("GET /api/jobs", s.withAuth(s.handleJobList))
 	mux.HandleFunc("GET /api/jobs/{id}", s.withAuth(s.handleJobGet))
 	mux.HandleFunc("GET /api/jobs/{id}/output", s.withAuth(s.handleJobOutput))
+	mux.HandleFunc("GET /api/jobs/{id}/events", s.withAuth(s.handleJobEvents))
 	mux.HandleFunc("GET /api/jobs/{id}/trace", s.withAuth(s.handleJobTrace))
 	mux.HandleFunc("POST /api/jobs/{id}/input", s.withAuth(s.handleJobInput))
 	mux.HandleFunc("POST /api/jobs/{id}/cancel", s.withAuth(s.handleJobCancel))
@@ -617,11 +618,15 @@ func (s *Server) handleJobOutput(w http.ResponseWriter, r *http.Request, sess *a
 	}
 	offset, _ := strconv.ParseInt(r.URL.Query().Get("offset"), 10, 64)
 	if r.URL.Query().Get("wait") == "1" {
-		job.Stdout.WaitChange(offset)
+		// The wait is bound to the request context: a client that
+		// disconnects mid-poll releases the handler goroutine immediately
+		// instead of parking it until the job's next write.
+		job.Stdout.WaitChange(r.Context(), offset)
 	}
-	data, next, done := job.Stdout.ReadAt(offset)
+	data, next, dropped, done := job.Stdout.ReadFrom(offset, 0)
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"data": string(data), "next": next, "done": done, "state": job.State().String(),
+		"data": string(data), "next": next, "done": done, "dropped": dropped,
+		"state": job.State().String(),
 	})
 }
 
@@ -642,7 +647,10 @@ func (s *Server) handleJobInput(w http.ResponseWriter, r *http.Request, sess *au
 		writeError(w, r, errf(http.StatusConflict, CodeJobTerminal, "job already finished"))
 		return
 	}
-	job.Stdin.Feed([]byte(req.Data))
+	if err := job.Stdin.Feed([]byte(req.Data)); err != nil {
+		writeError(w, r, fromDomain(err))
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]int{"fed": len(req.Data)})
 }
 

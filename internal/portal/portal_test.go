@@ -33,7 +33,12 @@ type stack struct {
 	clus   *cluster.Cluster
 }
 
-func newStack(t *testing.T) *stack {
+func newStack(t *testing.T) *stack { return newStackDispatch(t, true) }
+
+// newStackDispatch builds the stack; dispatch=false leaves the scheduler
+// idle so a test can submit jobs and drive their streams by hand without
+// the dispatcher racing it to a compile failure.
+func newStackDispatch(t *testing.T, dispatch bool) *stack {
 	t.Helper()
 	sim := clock.NewSim()
 	cfg := config.Default()
@@ -53,8 +58,10 @@ func newStack(t *testing.T) *stack {
 		StepBudget: 1 << 40, // cancellation tests spin; the budget must not end them first
 		Metrics:    reg,
 	})
-	sched.Start(time.Millisecond)
-	t.Cleanup(sched.Stop)
+	if dispatch {
+		sched.Start(time.Millisecond)
+		t.Cleanup(sched.Stop)
+	}
 	server := NewServer(authz, fs, tools, store, sched, clus, logging.Discard(), 1<<20)
 	server.SetMetrics(reg)
 	ts := httptest.NewServer(server)

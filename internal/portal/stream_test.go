@@ -1,0 +1,292 @@
+package portal
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// sseEvent is one decoded Server-Sent Event frame.
+type sseEvent struct {
+	name string
+	id   int64
+	Seq  int64  `json:"seq"`
+	Strm string `json:"stream"`
+	Data string `json:"data"`
+	Drop int64  `json:"dropped"`
+	Stat string `json:"state"`
+}
+
+// sseReader incrementally parses an SSE response body.
+type sseReader struct {
+	t  *testing.T
+	br *bufio.Reader
+}
+
+// next returns the next event frame, skipping heartbeat comments.
+func (r *sseReader) next() sseEvent {
+	r.t.Helper()
+	var ev sseEvent
+	var name string
+	var id int64
+	var data []byte
+	for {
+		line, err := r.br.ReadString('\n')
+		if err != nil {
+			r.t.Fatalf("reading SSE frame: %v", err)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if name == "" && data == nil {
+				continue
+			}
+			if err := json.Unmarshal(data, &ev); err != nil {
+				r.t.Fatalf("decoding %q: %v", data, err)
+			}
+			ev.name, ev.id = name, id
+			return ev
+		case strings.HasPrefix(line, ":"):
+		case strings.HasPrefix(line, "event: "):
+			name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "id: "):
+			id, _ = strconv.ParseInt(strings.TrimPrefix(line, "id: "), 10, 64)
+		case strings.HasPrefix(line, "data: "):
+			data = append(data, strings.TrimPrefix(line, "data: ")...)
+		}
+	}
+}
+
+// openEvents starts an SSE subscription for the job and returns the live
+// response plus a frame reader.
+func openEvents(t *testing.T, s *stack, c *client, jobID, extra string, hdr map[string]string) (*http.Response, *sseReader) {
+	t.Helper()
+	req, err := http.NewRequest("GET", s.srv.URL+"/api/jobs/"+jobID+"/events"+extra, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+c.token)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { res.Body.Close() })
+	return res, &sseReader{t: t, br: bufio.NewReader(res.Body)}
+}
+
+func submitIdleJob(t *testing.T, s *stack, owner string) *jobs.Job {
+	t.Helper()
+	job, err := s.store.Submit(jobs.Spec{Owner: owner, SourcePath: "/p.mc", Language: "minic", Ranks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return job
+}
+
+func TestJobEventsSSEDelivery(t *testing.T) {
+	s := newStackDispatch(t, false)
+	alice := s.register(t, "alice", "password1")
+	job := submitIdleJob(t, s, "alice")
+	job.Stdout.Write([]byte("hello "))
+
+	res, r := openEvents(t, s, alice, job.ID, "", nil)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if cc := res.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Fatalf("Cache-Control = %q", cc)
+	}
+
+	ev := r.next()
+	if ev.name != "output" || ev.Data != "hello " || ev.Seq != 6 || ev.id != 6 || ev.Drop != 0 || ev.Strm != "stdout" {
+		t.Fatalf("first event = %+v", ev)
+	}
+
+	// Tail delivery: bytes written after attach arrive pushed, and closing
+	// the stream ends the subscription with a done event.
+	job.Stdout.Write([]byte("world"))
+	ev = r.next()
+	if ev.name != "output" || ev.Data != "world" || ev.Seq != 11 {
+		t.Fatalf("tail event = %+v", ev)
+	}
+	job.Stdout.Close()
+	ev = r.next()
+	if ev.name != "done" || ev.Seq != 11 {
+		t.Fatalf("done event = %+v", ev)
+	}
+
+	// The server-side watcher must detach once the stream completes.
+	waitFor(t, func() bool { return job.Stdout.Stats().Watchers == 0 })
+
+	// The watcher metrics made it to the shared registry.
+	snap := s.server.Metrics.Snapshot()
+	if snap["sse_events_total"] < 2 {
+		t.Fatalf("sse_events_total = %d", snap["sse_events_total"])
+	}
+}
+
+func TestJobEventsResume(t *testing.T) {
+	s := newStackDispatch(t, false)
+	alice := s.register(t, "alice", "password1")
+	job := submitIdleJob(t, s, "alice")
+	job.Stdout.Write([]byte("0123456789"))
+	job.Stdout.Close()
+
+	// Resume mid-stream via Last-Event-ID, as a reconnecting EventSource
+	// would. The id on each event is the position after its last byte, so a
+	// client that saw id 4 has bytes [0,4) and resumes at position 4.
+	_, r := openEvents(t, s, alice, job.ID, "", map[string]string{"Last-Event-ID": "4"})
+	ev := r.next()
+	if ev.Data != "456789" || ev.Seq != 10 || ev.Drop != 0 {
+		t.Fatalf("resumed event = %+v", ev)
+	}
+	if ev = r.next(); ev.name != "done" {
+		t.Fatalf("expected done, got %+v", ev)
+	}
+
+	// An explicit ?seq= wins over the header.
+	_, r = openEvents(t, s, alice, job.ID, "?seq=8", map[string]string{"Last-Event-ID": "2"})
+	if ev = r.next(); ev.Data != "89" {
+		t.Fatalf("seq-param event = %+v", ev)
+	}
+
+	// A malformed resume point is a 400 in the standard envelope, not a
+	// silently restarted stream.
+	res, _ := openEvents(t, s, alice, job.ID, "", map[string]string{"Last-Event-ID": "bogus"})
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad Last-Event-ID status = %d", res.StatusCode)
+	}
+}
+
+func TestJobEventsStaleResumeReportsDrop(t *testing.T) {
+	s := newStackDispatch(t, false)
+	s.store.SetStreamLimits(16, 0) // tiny ring: chunk size clamps to the limit
+	alice := s.register(t, "alice", "password1")
+	job := submitIdleJob(t, s, "alice")
+	for i := 0; i < 8; i++ {
+		job.Stdout.Write([]byte("01234567")) // 64 bytes through a 16-byte ring
+	}
+	job.Stdout.Close()
+
+	_, r := openEvents(t, s, alice, job.ID, "?seq=0", nil)
+	ev := r.next()
+	if ev.Drop == 0 {
+		t.Fatalf("stale resume did not surface a dropped range: %+v", ev)
+	}
+	if ev.Drop+int64(len(ev.Data)) != 64 {
+		t.Fatalf("dropped %d + data %d != written 64", ev.Drop, len(ev.Data))
+	}
+}
+
+func TestJobEventsAuthz(t *testing.T) {
+	s := newStackDispatch(t, false)
+	s.register(t, "alice", "password1")
+	eve := s.register(t, "eve", "password1")
+	job := submitIdleJob(t, s, "alice")
+	if st := eve.getJSON("/api/jobs/"+job.ID+"/events", nil); st != http.StatusForbidden {
+		t.Fatalf("cross-user events status = %d", st)
+	}
+}
+
+// TestJobOutputLongPollDisconnectReleasesWatcher covers the leak fix on the
+// compatibility endpoint: a long-poller that goes away mid-wait must release
+// its server-side watcher without waiting for the job's next write.
+func TestJobOutputLongPollDisconnectReleasesWatcher(t *testing.T) {
+	s := newStackDispatch(t, false)
+	alice := s.register(t, "alice", "password1")
+	job := submitIdleJob(t, s, "alice")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "GET", s.srv.URL+"/api/jobs/"+job.ID+"/output?offset=0&wait=1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+alice.token)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := http.DefaultClient.Do(req)
+		errc <- err
+	}()
+
+	// The handler is parked in WaitChange with a watcher attached.
+	waitFor(t, func() bool { return job.Stdout.Stats().Watchers == 1 })
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("cancelled long-poll returned a response")
+	}
+	// No write ever happened, yet the watcher is gone: the handler exited.
+	waitFor(t, func() bool { return job.Stdout.Stats().Watchers == 0 })
+}
+
+func TestJobInputOverflowEnvelope(t *testing.T) {
+	s := newStackDispatch(t, false)
+	s.store.SetStreamLimits(0, 8)
+	alice := s.register(t, "alice", "password1")
+	job := submitIdleJob(t, s, "alice")
+
+	status, body := alice.do("POST", "/api/jobs/"+job.ID+"/input", map[string]string{"data": "under"})
+	if status != http.StatusOK {
+		t.Fatalf("input under cap = %d: %s", status, body)
+	}
+	status, body = alice.do("POST", "/api/jobs/"+job.ID+"/input", map[string]string{"data": "overflowing"})
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("overflow status = %d: %s", status, body)
+	}
+	var env struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != CodeStdinOverflow {
+		t.Fatalf("overflow envelope = %s (err %v)", body, err)
+	}
+}
+
+// waitFor polls cond for a few seconds; real time, since SSE plumbing and
+// HTTP run on the wall clock even when the cluster clock is simulated.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition never held")
+}
+
+// TestJobEventsLongPollStillWorks pins the compatibility contract: the
+// long-poll response carries the dropped count next to data/next/done.
+func TestJobEventsLongPollStillWorks(t *testing.T) {
+	s := newStackDispatch(t, false)
+	alice := s.register(t, "alice", "password1")
+	job := submitIdleJob(t, s, "alice")
+	job.Stdout.Write([]byte("abc"))
+	var out struct {
+		Data    string `json:"data"`
+		Next    int64  `json:"next"`
+		Done    bool   `json:"done"`
+		Dropped int64  `json:"dropped"`
+		State   string `json:"state"`
+	}
+	if st := alice.getJSON("/api/jobs/"+job.ID+"/output?offset=0", &out); st != http.StatusOK {
+		t.Fatalf("output status = %d", st)
+	}
+	if out.Data != "abc" || out.Next != 3 || out.Done || out.Dropped != 0 || out.State != "queued" {
+		t.Fatalf("long-poll shape = %+v", out)
+	}
+}
