@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: all check build vet fmt test race bench bench-vm bench-sched bench-wal bench-stream apilint
+.PHONY: all check build vet fmt test race bench bench-vm bench-sched bench-wal bench-stream bench-http smoke-http apilint
 
 all: check
 
 # check is the CI gate: formatting, vet, the API-surface lint, the full
-# suite, and the race detector over the concurrency-heavy packages.
-check: fmt vet apilint test race
+# suite, the race detector over the concurrency-heavy packages, and a short
+# end-to-end load smoke against an in-process portal.
+check: fmt vet apilint test race smoke-http
 
 # apilint fails on responses that bypass the error envelope (raw http.Error
 # or hand-rolled {"error": ...} literals) in the portal package.
@@ -29,7 +30,12 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/scheduler/... ./internal/jobs/... ./internal/mpi/... ./internal/portal/... ./internal/minic/... ./internal/toolchain/... ./internal/dataprovider/...
+	$(GO) test -race ./internal/cluster/... ./internal/scheduler/... ./internal/jobs/... ./internal/mpi/... ./internal/portal/... ./internal/minic/... ./internal/toolchain/... ./internal/dataprovider/... ./internal/auth/... ./internal/metrics/...
+
+# smoke-http boots an in-process portal and runs the open-loop load
+# generator briefly at low rate; any server or transport error fails it.
+smoke-http:
+	$(GO) run ./cmd/loadgen -smoke
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkDispatchLatency -benchtime 20x ./internal/scheduler/
@@ -72,3 +78,17 @@ bench-wal:
 	$(GO) test -run '^$$' -bench BenchmarkWALAppend -benchtime 1s ./internal/dataprovider/ \
 	| $(GO) run ./cmd/benchjson -o BENCH_wal.json
 	@cat BENCH_wal.json
+
+# bench-http measures the HTTP edge two ways: in-process ServeHTTP
+# micro-benchmarks (ns/op and allocs/op per endpoint) and the open-loop load
+# generator driving a real listener at a fixed arrival rate (achieved rps
+# and p50/p99/p999 from intended start times). Both land in BENCH_http.json.
+# Like the other bench targets, not part of check.
+bench-http:
+	{ for b in Languages JobGet JobList Submit Login; do \
+	    $(GO) test -run '^$$' -bench BenchmarkHTTP$$b'$$' -benchmem -benchtime 20000x ./internal/portal/ ; \
+	  done ; \
+	  $(GO) run ./cmd/loadgen -deck mixed -rps 1000 -duration 5s ; \
+	  $(GO) run ./cmd/loadgen -deck read -rps 2000 -duration 5s ; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_http.json
+	@cat BENCH_http.json

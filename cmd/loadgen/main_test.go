@@ -1,0 +1,108 @@
+package main
+
+import (
+	"math/rand"
+	"regexp"
+	"testing"
+	"time"
+)
+
+// TestPercentile pins quantile selection on a known distribution.
+func TestPercentile(t *testing.T) {
+	var lats []time.Duration
+	for i := 1; i <= 1000; i++ {
+		lats = append(lats, time.Duration(i)*time.Millisecond)
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.0, 1 * time.Millisecond},
+		{0.50, 500 * time.Millisecond},
+		{0.99, 990 * time.Millisecond},
+		{0.999, 999 * time.Millisecond},
+		{1.0, 1000 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := percentile(lats, c.q); got != c.want {
+			t.Errorf("percentile(q=%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("percentile(empty) = %v, want 0", got)
+	}
+}
+
+// TestPickOpDistribution verifies the deck dealer respects weights: every
+// listed op appears, nothing else does, and shares land near their weights.
+func TestPickOpDistribution(t *testing.T) {
+	mix := decks["mixed"]
+	total := 0
+	for _, w := range mix {
+		total += w.weight
+	}
+	rng := rand.New(rand.NewSource(42))
+	counts := make(map[op]int)
+	const draws = 100_000
+	for i := 0; i < draws; i++ {
+		counts[pickOp(mix, rng)]++
+	}
+	if len(counts) != len(mix) {
+		t.Fatalf("dealt %d distinct ops, deck has %d", len(counts), len(mix))
+	}
+	for _, w := range mix {
+		want := float64(draws) * float64(w.weight) / float64(total)
+		got := float64(counts[w.op])
+		if got < want*0.9 || got > want*1.1 {
+			t.Errorf("op %d dealt %v times, want ~%v", w.op, got, want)
+		}
+	}
+}
+
+// TestBenchLineFormat pins the stdout line to the shape cmd/benchjson
+// parses: name, iterations, ns/op, then tab-separated "<value> <unit>"
+// custom metrics.
+func TestBenchLineFormat(t *testing.T) {
+	res := result{
+		completed: 1994,
+		elapsed:   10 * time.Second,
+		latencies: []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond},
+	}
+	line := benchLine("mixed", 200, res)
+
+	// The same pattern cmd/benchjson anchors on.
+	benchRe := regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+	m := benchRe.FindStringSubmatch(line)
+	if m == nil {
+		t.Fatalf("line does not match the bench format: %q", line)
+	}
+	if m[1] != "BenchmarkLoadgenMixed" {
+		t.Errorf("name = %q, want BenchmarkLoadgenMixed", m[1])
+	}
+	if m[2] != "1994" {
+		t.Errorf("iterations = %q, want 1994", m[2])
+	}
+	extraRe := regexp.MustCompile(`^[\d.]+ [\w-]+$`)
+	for _, f := range regexp.MustCompile(`\t`).Split(m[4], -1) {
+		if f == "" || f == " " {
+			continue
+		}
+		f = regexp.MustCompile(`^\s+|\s+$`).ReplaceAllString(f, "")
+		if f == "" {
+			continue
+		}
+		if !extraRe.MatchString(f) {
+			t.Errorf("extra metric %q is not \"<value> <unit>\"", f)
+		}
+	}
+}
+
+// TestDecksComplete keeps the advertised deck names wired.
+func TestDecksComplete(t *testing.T) {
+	for _, name := range []string{"mixed", "read", "submit", "login", "languages", "get", "list", "watch"} {
+		mix, ok := decks[name]
+		if !ok || len(mix) == 0 {
+			t.Errorf("deck %q missing or empty", name)
+		}
+	}
+}

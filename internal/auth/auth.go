@@ -79,9 +79,18 @@ type User struct {
 	salt    []byte
 	hash    []byte
 	Created time.Time
+	// cached is the single-iteration digest of the last successfully
+	// verified password (sha256(salt||password), the first round of the
+	// stored iterated hash). A login whose digest matches it skips the
+	// remaining hashIterations-1 rounds — the sftpgo "cached password"
+	// pattern — so hot login loops cost one SHA-256 instead of 4096.
+	// ChangePassword clears it. nil until the first successful login.
+	cached []byte
 }
 
-// Session is an authenticated browser session.
+// Session is an authenticated browser session. Sessions are immutable after
+// creation: Lookup hands out the stored pointer, so nothing may write these
+// fields once the session is registered.
 type Session struct {
 	Token   string
 	User    string
@@ -89,11 +98,21 @@ type Session struct {
 	Expires time.Time
 }
 
+// sessionShards is the session-map shard count; a power of two so the
+// token-hash shard pick is a mask. Sharding keeps token verification — on
+// every authenticated request — from serializing on one lock.
+const sessionShards = 16
+
+type sessionShard struct {
+	mu sync.RWMutex
+	m  map[string]*Session
+}
+
 // Service stores users and sessions.
 type Service struct {
 	mu       sync.RWMutex
 	users    map[string]*User
-	sessions map[string]*Session
+	sessions [sessionShards]sessionShard
 	clk      clock.Clock
 	ttl      time.Duration
 	tokens   *ids.Random
@@ -105,23 +124,57 @@ func NewService(ttl time.Duration, clk clock.Clock) *Service {
 	if clk == nil {
 		clk = clock.Real{}
 	}
-	return &Service{
-		users:    make(map[string]*User),
-		sessions: make(map[string]*Session),
-		clk:      clk,
-		ttl:      ttl,
-		tokens:   ids.NewRandom("sess", 16),
+	s := &Service{
+		users:  make(map[string]*User),
+		clk:    clk,
+		ttl:    ttl,
+		tokens: ids.NewRandom("sess", 16),
 	}
+	for i := range s.sessions {
+		s.sessions[i].m = make(map[string]*Session)
+	}
+	return s
+}
+
+// shardFor picks the session shard for a token (FNV-1a, masked).
+func (s *Service) shardFor(token string) *sessionShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(token); i++ {
+		h ^= uint64(token[i])
+		h *= prime64
+	}
+	return &s.sessions[h&(sessionShards-1)]
+}
+
+// passwordDigest is the first round of the iterated hash:
+// sha256(salt||password). It is both the input to the remaining iterations
+// and the value the credential cache compares against.
+func passwordDigest(password string, salt []byte) [sha256.Size]byte {
+	buf := make([]byte, 0, len(salt)+len(password))
+	buf = append(buf, salt...)
+	buf = append(buf, password...)
+	return sha256.Sum256(buf)
+}
+
+// iterateDigest runs the remaining hashIterations-1 rounds over the first
+// digest, producing the stored password hash.
+func iterateDigest(sum [sha256.Size]byte) []byte {
+	for i := 1; i < hashIterations; i++ {
+		sum = sha256.Sum256(sum[:])
+	}
+	out := make([]byte, sha256.Size)
+	copy(out, sum[:])
+	return out
 }
 
 // hashPassword derives an iterated salted SHA-256 digest. Iterating the hash
 // (stdlib-only) slows brute force the way PBKDF1 does.
 func hashPassword(password string, salt []byte) []byte {
-	sum := sha256.Sum256(append(append([]byte{}, salt...), password...))
-	for i := 1; i < hashIterations; i++ {
-		sum = sha256.Sum256(sum[:])
-	}
-	return sum[:]
+	return iterateDigest(passwordDigest(password, salt))
 }
 
 func validUsername(name string) bool {
@@ -168,64 +221,112 @@ func (s *Service) Register(name, password string, role Role) (*User, error) {
 	return u, nil
 }
 
-// Login checks credentials and opens a session.
-func (s *Service) Login(name, password string) (*Session, error) {
+// verifyPassword checks password against the account's stored hash,
+// consulting the credential cache first. It returns whether the password is
+// valid and whether the hit came from the cache. On a successful full
+// verification it populates the cache — guarded against a concurrent
+// ChangePassword by rechecking that the salt is unchanged.
+func (s *Service) verifyPassword(name, password string) (ok, cachedHit bool) {
 	s.mu.RLock()
-	u, ok := s.users[name]
+	u, exists := s.users[name]
+	var salt, hash, cached []byte
+	if exists {
+		salt, hash, cached = u.salt, u.hash, u.cached
+	}
 	s.mu.RUnlock()
-	if !ok {
+	if !exists {
 		// Burn the same work as a real check so timing doesn't reveal
 		// whether the username exists.
 		hashPassword(password, make([]byte, saltBytes))
+		return false, false
+	}
+	d := passwordDigest(password, salt)
+	if cached != nil && hmac.Equal(d[:], cached) {
+		return true, true
+	}
+	if !hmac.Equal(iterateDigest(d), hash) {
+		return false, false
+	}
+	s.mu.Lock()
+	// Only cache if the credentials we verified are still current.
+	if cur, stillThere := s.users[name]; stillThere && &cur.salt[0] == &salt[0] {
+		cur.cached = d[:]
+	}
+	s.mu.Unlock()
+	return true, false
+}
+
+// Login checks credentials and opens a session.
+func (s *Service) Login(name, password string) (*Session, error) {
+	ok, _ := s.verifyPassword(name, password)
+	if !ok {
 		return nil, ErrBadCredentials
 	}
-	if !hmac.Equal(hashPassword(password, u.salt), u.hash) {
+	s.mu.RLock()
+	u, exists := s.users[name]
+	var userName string
+	var role Role
+	if exists {
+		userName, role = u.Name, u.Role
+	}
+	s.mu.RUnlock()
+	if !exists {
 		return nil, ErrBadCredentials
 	}
 	sess := &Session{
 		Token:   s.tokens.Next(),
-		User:    u.Name,
-		Role:    u.Role,
+		User:    userName,
+		Role:    role,
 		Expires: s.clk.Now().Add(s.ttl),
 	}
-	s.mu.Lock()
-	s.sessions[sess.Token] = sess
-	s.mu.Unlock()
+	sh := s.shardFor(sess.Token)
+	sh.mu.Lock()
+	sh.m[sess.Token] = sess
+	sh.mu.Unlock()
 	return sess, nil
 }
 
 // Lookup resolves a session token, refusing expired sessions (and reaping
-// them as a side effect).
+// them as a side effect). The returned Session is the stored, immutable
+// record — the fast path on every authenticated request is one read-locked
+// map hit on the token's shard, with no copy.
 func (s *Service) Lookup(token string) (*Session, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sess, ok := s.sessions[token]
+	sh := s.shardFor(token)
+	sh.mu.RLock()
+	sess, ok := sh.m[token]
+	sh.mu.RUnlock()
 	if !ok {
 		return nil, ErrSessionNotFound
 	}
 	if s.clk.Now().After(sess.Expires) {
-		delete(s.sessions, token)
+		sh.mu.Lock()
+		delete(sh.m, token)
+		sh.mu.Unlock()
 		return nil, ErrSessionExpired
 	}
-	cp := *sess
-	return &cp, nil
+	return sess, nil
 }
 
 // Logout closes a session. Unknown tokens are ignored.
 func (s *Service) Logout(token string) {
-	s.mu.Lock()
-	delete(s.sessions, token)
-	s.mu.Unlock()
+	sh := s.shardFor(token)
+	sh.mu.Lock()
+	delete(sh.m, token)
+	sh.mu.Unlock()
 }
 
-// ChangePassword updates a user's password after verifying the old one.
+// ChangePassword updates a user's password after verifying the old one. The
+// credential cache is invalidated: a login with the old password afterwards
+// takes the full verification path and fails. Verification happens under the
+// service lock so a concurrent change cannot interleave between check and
+// update.
 func (s *Service) ChangePassword(name, oldPassword, newPassword string) error {
 	if len(newPassword) < minPassword {
 		return ErrWeakPassword
 	}
 	s.mu.Lock()
-	u, ok := s.users[name]
-	if !ok {
+	u, exists := s.users[name]
+	if !exists {
 		s.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownUser, name)
 	}
@@ -240,6 +341,7 @@ func (s *Service) ChangePassword(name, oldPassword, newPassword string) error {
 	}
 	u.salt = salt
 	u.hash = hashPassword(newPassword, salt)
+	u.cached = nil
 	cp := *u
 	s.mu.Unlock()
 	s.journalUser(&cp)
@@ -289,18 +391,22 @@ func (s *Service) Usernames() []string {
 	return names
 }
 
-// ActiveSessions counts unexpired sessions.
+// ActiveSessions counts unexpired sessions, reaping expired ones shard by
+// shard as a side effect.
 func (s *Service) ActiveSessions() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	now := s.clk.Now()
 	n := 0
-	for tok, sess := range s.sessions {
-		if now.After(sess.Expires) {
-			delete(s.sessions, tok)
-			continue
+	for i := range s.sessions {
+		sh := &s.sessions[i]
+		sh.mu.Lock()
+		for tok, sess := range sh.m {
+			if now.After(sess.Expires) {
+				delete(sh.m, tok)
+				continue
+			}
+			n++
 		}
-		n++
+		sh.mu.Unlock()
 	}
 	return n
 }

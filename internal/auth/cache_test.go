@@ -1,0 +1,108 @@
+package auth
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCachedCredentialFastPath verifies the repeated-login fast path: the
+// first successful verification pays the full iterated hash and primes the
+// cache, every following one is a single digest compare.
+func TestCachedCredentialFastPath(t *testing.T) {
+	s := NewService(time.Hour, nil)
+	if _, err := s.Register("ana", "correct horse", RoleStudent); err != nil {
+		t.Fatal(err)
+	}
+
+	ok, hit := s.verifyPassword("ana", "correct horse")
+	if !ok || hit {
+		t.Fatalf("first verify: ok=%v hit=%v, want ok, cold", ok, hit)
+	}
+	ok, hit = s.verifyPassword("ana", "correct horse")
+	if !ok || !hit {
+		t.Fatalf("second verify: ok=%v hit=%v, want ok via cache", ok, hit)
+	}
+
+	// A wrong password must fail even with a primed cache.
+	if ok, _ := s.verifyPassword("ana", "wrong"); ok {
+		t.Fatal("wrong password accepted")
+	}
+	// And failing must not have poisoned the cache.
+	if ok, hit := s.verifyPassword("ana", "correct horse"); !ok || !hit {
+		t.Fatalf("after wrong attempt: ok=%v hit=%v, want cached ok", ok, hit)
+	}
+}
+
+// TestCachedCredentialInvalidation verifies a password change drops the
+// cache: the old password stops working immediately and the new one takes a
+// cold verification before it caches.
+func TestCachedCredentialInvalidation(t *testing.T) {
+	s := NewService(time.Hour, nil)
+	if _, err := s.Register("bo", "old password", RoleStudent); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := s.verifyPassword("bo", "old password"); !ok {
+		t.Fatal("priming verify failed")
+	}
+	if err := s.ChangePassword("bo", "old password", "new password"); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := s.verifyPassword("bo", "old password"); ok {
+		t.Fatal("old password still accepted after change")
+	}
+	ok, hit := s.verifyPassword("bo", "new password")
+	if !ok || hit {
+		t.Fatalf("new password: ok=%v hit=%v, want cold ok", ok, hit)
+	}
+	if ok, hit := s.verifyPassword("bo", "new password"); !ok || !hit {
+		t.Fatalf("new password re-verify: ok=%v hit=%v, want cached ok", ok, hit)
+	}
+}
+
+// TestCachedCredentialUnknownUser keeps the unknown-user path deniable: no
+// cache involvement, plain failure.
+func TestCachedCredentialUnknownUser(t *testing.T) {
+	s := NewService(time.Hour, nil)
+	if ok, hit := s.verifyPassword("ghost", "anything"); ok || hit {
+		t.Fatalf("unknown user: ok=%v hit=%v", ok, hit)
+	}
+}
+
+// BenchmarkLoginCold measures login with the credential cache defeated by
+// changing the password every iteration — the full iterated hash.
+func BenchmarkLoginCold(b *testing.B) {
+	s := NewService(time.Hour, nil)
+	if _, err := s.Register("bench", "password-0", RoleStudent); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		old := "password-0"
+		s.users["bench"].cached = nil
+		b.StartTimer()
+		if _, err := s.Login("bench", old); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoginCached measures the steady-state login cost after the first
+// verification primed the cache.
+func BenchmarkLoginCached(b *testing.B) {
+	s := NewService(time.Hour, nil)
+	if _, err := s.Register("bench", "hunter2", RoleStudent); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Login("bench", "hunter2"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Login("bench", "hunter2"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

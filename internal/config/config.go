@@ -88,6 +88,9 @@ type Portal struct {
 	MaxUploadBytes int64 `json:"max_upload_bytes"`
 	// QuotaBytes is the per-user home directory quota.
 	QuotaBytes int64 `json:"quota_bytes"`
+	// AccessLogSample logs one in every N successful requests (error
+	// responses are always logged). 0 or 1 logs every request.
+	AccessLogSample int `json:"access_log_sample"`
 }
 
 // Limits bounds job execution.
@@ -217,6 +220,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: portal.max_upload_bytes must be positive")
 	case c.Portal.QuotaBytes <= 0:
 		return fmt.Errorf("config: portal.quota_bytes must be positive")
+	case c.Portal.AccessLogSample < 0:
+		return fmt.Errorf("config: portal.access_log_sample must be non-negative, got %d", c.Portal.AccessLogSample)
 	case c.Limits.MaxQueuedJobs <= 0:
 		return fmt.Errorf("config: limits.max_queued_jobs must be positive")
 	case c.Limits.MaxNodesPerJob <= 0:

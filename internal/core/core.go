@@ -127,6 +127,7 @@ func NewSystem(cfg config.Config, opts Options) (*System, error) {
 	srv := portal.NewServer(authSvc, fs, tools, store, sched, clus,
 		opts.Logger.Named("portal"), cfg.Portal.MaxUploadBytes)
 	srv.SetMetrics(reg)
+	srv.SetAccessLogSampling(cfg.Portal.AccessLogSample)
 	sys := &System{
 		Config:   cfg,
 		Clock:    clk,

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -173,9 +174,20 @@ func (j *Job) State() State {
 
 // Snapshot captures the job's current record.
 func (j *Job) Snapshot() Snapshot {
+	var snap Snapshot
+	j.SnapshotInto(&snap)
+	return snap
+}
+
+// SnapshotInto fills dst with a consistent snapshot, reusing dst's Nodes
+// backing array when it has capacity. Hot read paths (the portal's paginated
+// job listing) call it with pooled snapshots so a steady-state list page
+// allocates nothing.
+func (j *Job) SnapshotInto(dst *Snapshot) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return Snapshot{
+	nodes := append(dst.Nodes[:0], j.nodes...)
+	*dst = Snapshot{
 		ID:         j.ID,
 		Spec:       j.Spec,
 		State:      j.state,
@@ -184,7 +196,7 @@ func (j *Job) Snapshot() Snapshot {
 		Finished:   j.finished,
 		ArtifactID: j.artifactID,
 		Failure:    j.failure,
-		Nodes:      append([]topology.NodeID(nil), j.nodes...),
+		Nodes:      nodes,
 	}
 }
 
@@ -335,7 +347,7 @@ func (s *Store) Submit(spec Spec) (*Job, error) {
 	tr.Root().Annotate("job_id", id)
 	tr.Root().Annotate("owner", spec.Owner)
 	tr.Root().Annotate("source", spec.SourcePath)
-	tr.Root().Annotate("ranks", fmt.Sprintf("%d", spec.Ranks))
+	tr.Root().Annotate("ranks", strconv.Itoa(spec.Ranks))
 	tr.StartSpan("queued")
 	ctx, cancel := newJobContext(tr)
 	j := &Job{
@@ -519,6 +531,14 @@ func (s *Store) List(owner string) []Snapshot {
 // An unfiltered page costs O(page) rather than O(history); a filtered scan
 // additionally walks the non-matching jobs between the matches.
 func (s *Store) ListPage(owner string, state *State, limit int, cursor string) ([]Snapshot, string, error) {
+	return s.ListPageInto(nil, owner, state, limit, cursor)
+}
+
+// ListPageInto is ListPage appending into dst, reusing its capacity (and the
+// Nodes backing arrays of recycled elements). Callers that pool the page
+// slice — the portal's job-list handler — pay zero allocations per page at
+// steady state. dst may be nil.
+func (s *Store) ListPageInto(dst []Snapshot, owner string, state *State, limit int, cursor string) ([]Snapshot, string, error) {
 	if limit <= 0 {
 		limit = 50
 	}
@@ -528,29 +548,37 @@ func (s *Store) ListPage(owner string, state *State, limit int, cursor string) (
 	if cursor != "" {
 		idx, ok := s.pos[cursor]
 		if !ok {
-			return nil, "", fmt.Errorf("%w: %q", ErrBadCursor, cursor)
+			return dst, "", fmt.Errorf("%w: %q", ErrBadCursor, cursor)
 		}
 		start = idx - 1
 	}
-	out := make([]Snapshot, 0, limit)
+	base := len(dst)
 	for i := start; i >= 0; i-- {
 		j := s.order[i]
 		if owner != "" && j.Spec.Owner != owner {
 			continue
 		}
-		snap := j.Snapshot()
+		// Grow by one, recycling a truncated element's Nodes capacity when
+		// the backing array already holds one.
+		if cap(dst) > len(dst) {
+			dst = dst[:len(dst)+1]
+		} else {
+			dst = append(dst, Snapshot{})
+		}
+		snap := &dst[len(dst)-1]
+		j.SnapshotInto(snap)
 		if state != nil && snap.State != *state {
+			dst = dst[:len(dst)-1]
 			continue
 		}
-		out = append(out, snap)
-		if len(out) == limit {
+		if len(dst)-base == limit {
 			if i > 0 {
-				return out, snap.ID, nil
+				return dst, snap.ID, nil
 			}
 			break
 		}
 	}
-	return out, "", nil
+	return dst, "", nil
 }
 
 // Active returns snapshots of non-terminal jobs in submission order. It

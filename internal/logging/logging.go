@@ -62,12 +62,13 @@ func ParseLevel(s string) (Level, error) {
 // Logger writes leveled, timestamped lines to a destination.
 // It is safe for concurrent use.
 type Logger struct {
-	mu    sync.Mutex
-	out   io.Writer
-	min   Level
-	name  string
-	nowFn func() time.Time
-	lines int
+	mu      sync.Mutex
+	out     io.Writer
+	min     Level
+	name    string
+	nowFn   func() time.Time
+	lines   int
+	scratch []byte // WriteLine prefix-assembly buffer, reused under mu
 }
 
 // New returns a Logger writing to out at the given minimum level, tagged
@@ -111,6 +112,47 @@ func (l *Logger) Lines() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.lines
+}
+
+// Enabled reports whether a line at the given level would be emitted. Hot
+// paths guard log calls with it so argument boxing and line assembly are
+// skipped entirely when the level is filtered.
+func (l *Logger) Enabled(lv Level) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return lv >= l.min && l.min != Off
+}
+
+// WriteLine emits a caller-assembled line at the given level without any
+// formatting: the timestamp/level/name prefix is appended into an internal
+// scratch buffer reused across calls, so a caller that also reuses its line
+// buffer logs with zero allocations. line must not contain a newline; one is
+// appended.
+func (l *Logger) WriteLine(lv Level, line []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lv < l.min || l.min == Off {
+		return
+	}
+	b := l.scratch[:0]
+	b = l.nowFn().AppendFormat(b, "2006-01-02T15:04:05.000")
+	b = append(b, ' ')
+	name := lv.String()
+	b = append(b, name...)
+	for i := len(name); i < 5; i++ {
+		b = append(b, ' ')
+	}
+	if l.name != "" {
+		b = append(b, ' ', '[')
+		b = append(b, l.name...)
+		b = append(b, ']')
+	}
+	b = append(b, ' ')
+	b = append(b, line...)
+	b = append(b, '\n')
+	l.scratch = b[:0]
+	l.out.Write(b)
+	l.lines++
 }
 
 func (l *Logger) log(lv Level, format string, args ...interface{}) {

@@ -58,23 +58,36 @@ type Registry struct {
 	funcs     map[string]GaugeFunc
 	hists     map[string]*Histogram // keyed by name + rendered label
 	histOrder []string
+	// histByName indexes the same histograms as hists, keyed name →
+	// labelValue → series, so the per-request HistogramLabeled lookup is two
+	// map hits under a read lock instead of a formatted-key allocation.
+	histByName map[string]map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		funcs:    make(map[string]GaugeFunc),
-		hists:    make(map[string]*Histogram),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		funcs:      make(map[string]GaugeFunc),
+		hists:      make(map[string]*Histogram),
+		histByName: make(map[string]map[string]*Histogram),
 	}
 }
 
-// Counter returns (registering on first use) the named counter.
+// Counter returns (registering on first use) the named counter. The common
+// already-registered case is a map hit under a read lock, so per-request
+// counter bumps never serialize on the registry write lock.
 func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c, ok := r.counters[name]
+	c, ok = r.counters[name]
 	if !ok {
 		c = &Counter{}
 		r.counters[name] = c
@@ -84,9 +97,15 @@ func (r *Registry) Counter(name string) *Counter {
 
 // Gauge returns (registering on first use) the named gauge.
 func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	g, ok := r.gauges[name]
+	g, ok = r.gauges[name]
 	if !ok {
 		g = &Gauge{}
 		r.gauges[name] = g
@@ -113,7 +132,17 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 // constant label, e.g. HistogramLabeled("http_request_seconds", "route",
 // "GET /api/jobs", nil). Each distinct label value is its own series under
 // the shared metric name, the way a Prometheus label works.
+//
+// The already-registered case — every request after the first on a route —
+// is two map hits under a read lock with zero allocations; the formatted
+// series key is only built when a new series is actually registered.
 func (r *Registry) HistogramLabeled(name, labelKey, labelValue string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h, ok := r.histByName[name][labelValue]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
 	label := ""
 	if labelKey != "" {
 		label = fmt.Sprintf("%s=%q", labelKey, labelValue)
@@ -124,12 +153,18 @@ func (r *Registry) HistogramLabeled(name, labelKey, labelValue string, bounds []
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	h, ok := r.hists[key]
+	h, ok = r.hists[key]
 	if !ok {
 		h = newHistogram(name, label, bounds)
 		r.hists[key] = h
 		r.histOrder = append(r.histOrder, key)
 	}
+	byValue, ok := r.histByName[name]
+	if !ok {
+		byValue = make(map[string]*Histogram)
+		r.histByName[name] = byValue
+	}
+	byValue[labelValue] = h
 	return h
 }
 

@@ -113,3 +113,29 @@ func TestDefaultRegistryExists(t *testing.T) {
 		t.Fatal("default registry broken")
 	}
 }
+
+// TestHistogramLabeledFastPath verifies the per-request lookup: the same
+// series comes back for repeat calls, distinct label values get distinct
+// series, and the already-registered case allocates nothing.
+func TestHistogramLabeledFastPath(t *testing.T) {
+	r := NewRegistry()
+	a := r.HistogramLabeled("req_seconds", "route", "GET /a", nil)
+	if got := r.HistogramLabeled("req_seconds", "route", "GET /a", nil); got != a {
+		t.Fatal("repeat lookup returned a different series")
+	}
+	b := r.HistogramLabeled("req_seconds", "route", "GET /b", nil)
+	if b == a {
+		t.Fatal("distinct label values shared a series")
+	}
+	if n := len(r.Histograms()); n != 2 {
+		t.Fatalf("Histograms() = %d series, want 2", n)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if r.HistogramLabeled("req_seconds", "route", "GET /a", nil) != a {
+			t.Fatal("lookup changed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("registered HistogramLabeled lookup allocates %v/op, want 0", allocs)
+	}
+}

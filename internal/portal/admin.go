@@ -14,13 +14,13 @@ import (
 // node up/down (admin only), node heartbeats, stale-node queries (faculty
 // and admin), and the metrics exposition.
 func (s *Server) installAdmin(mux *http.ServeMux) {
-	mux.HandleFunc("GET /api/metrics", s.handleMetrics)
-	mux.HandleFunc("GET /metrics", s.handlePrometheus)
-	mux.HandleFunc("POST /api/cluster/nodes/{id}/down", s.withRole(auth.RoleAdmin, s.handleNodeDown))
-	mux.HandleFunc("POST /api/cluster/nodes/{id}/up", s.withRole(auth.RoleAdmin, s.handleNodeUp))
-	mux.HandleFunc("POST /api/cluster/nodes/{id}/heartbeat", s.withAuth(s.handleNodeHeartbeat))
-	mux.HandleFunc("GET /api/cluster/stale", s.withRole(auth.RoleFaculty, s.handleStaleNodes))
-	mux.HandleFunc("GET /api/cluster/events", s.withAuth(s.handleSchedulerEvents))
+	s.route(mux, "GET /api/metrics", s.handleMetrics)
+	s.route(mux, "GET /metrics", s.handlePrometheus)
+	s.route(mux, "POST /api/cluster/nodes/{id}/down", s.withRole(auth.RoleAdmin, s.handleNodeDown))
+	s.route(mux, "POST /api/cluster/nodes/{id}/up", s.withRole(auth.RoleAdmin, s.handleNodeUp))
+	s.route(mux, "POST /api/cluster/nodes/{id}/heartbeat", s.withAuth(s.handleNodeHeartbeat))
+	s.route(mux, "GET /api/cluster/stale", s.withRole(auth.RoleFaculty, s.handleStaleNodes))
+	s.route(mux, "GET /api/cluster/events", s.withAuth(s.handleSchedulerEvents))
 }
 
 // handleSchedulerEvents streams the scheduler's recent activity feed; the
@@ -55,7 +55,7 @@ func (s *Server) handleSchedulerEvents(w http.ResponseWriter, r *http.Request, _
 			JobID: e.JobID, Nodes: nodes, Detail: e.Detail,
 		}
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 // withRole wraps withAuth and additionally requires at least the given role
@@ -133,7 +133,14 @@ func (s *Server) handleNodeDown(w http.ResponseWriter, r *http.Request, sess *au
 		return
 	}
 	s.Log.Warnf("node %v marked down by %s", id, sess.User)
-	writeJSON(w, http.StatusOK, map[string]string{"node": id.String(), "state": "down"})
+	s.writeJSON(w, http.StatusOK, nodeStateResponse{Node: id.String(), State: "down"})
+}
+
+// nodeStateResponse acknowledges a node lifecycle action; State is empty for
+// a plain heartbeat.
+type nodeStateResponse struct {
+	Node  string `json:"node"`
+	State string `json:"state,omitempty"`
 }
 
 func (s *Server) handleNodeUp(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
@@ -147,7 +154,7 @@ func (s *Server) handleNodeUp(w http.ResponseWriter, r *http.Request, sess *auth
 		return
 	}
 	s.Log.Infof("node %v returned to service by %s", id, sess.User)
-	writeJSON(w, http.StatusOK, map[string]string{"node": id.String(), "state": "up"})
+	s.writeJSON(w, http.StatusOK, nodeStateResponse{Node: id.String(), State: "up"})
 }
 
 func (s *Server) handleNodeHeartbeat(w http.ResponseWriter, r *http.Request, _ *auth.Session) {
@@ -160,7 +167,7 @@ func (s *Server) handleNodeHeartbeat(w http.ResponseWriter, r *http.Request, _ *
 		writeError(w, r, errf(http.StatusNotFound, CodeNotFound, err.Error()))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"node": id.String()})
+	s.writeJSON(w, http.StatusOK, nodeStateResponse{Node: id.String()})
 }
 
 func (s *Server) handleStaleNodes(w http.ResponseWriter, r *http.Request, _ *auth.Session) {
@@ -178,5 +185,5 @@ func (s *Server) handleStaleNodes(w http.ResponseWriter, r *http.Request, _ *aut
 	for i, id := range stale {
 		out[i] = id.String()
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }

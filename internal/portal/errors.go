@@ -44,18 +44,31 @@ type errorBody struct {
 	Details   interface{} `json:"details,omitempty"`
 }
 
+// errorEnvelope is the outer wrapper of every error response.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
 // writeError emits the one true error envelope:
 // {"error":{"code","message","request_id"}}, echoing the request ID the
 // middleware assigned so a support ticket can be matched to the access log
-// and the job trace.
+// and the job trace. Like writeJSON it buffers the encode, so the envelope
+// goes out with an exact Content-Length and an encode failure (a details
+// payload refusing to marshal) degrades to a static 500 body instead of a
+// truncated response.
 func writeError(w http.ResponseWriter, r *http.Request, e *apiErr) {
-	body := errorBody{Code: e.code, Message: e.msg, Details: e.details}
-	if r != nil {
-		body.RequestID = RequestIDFromContext(r.Context())
+	env := errorEnvelope{errorBody{
+		Code: e.code, Message: e.msg, Details: e.details, RequestID: requestIDOf(w, r),
+	}}
+	rb := getBuf()
+	rb.buf.Reset()
+	if err := rb.enc.Encode(&env); err != nil {
+		putBuf(rb)
+		writeBody(w, http.StatusInternalServerError, encodeFailedBody)
+		return
 	}
-	writeJSON(w, e.status, struct {
-		Error errorBody `json:"error"`
-	}{body})
+	writeBody(w, e.status, rb.buf.Bytes())
+	putBuf(rb)
 }
 
 // errf builds an apiErr with an explicit status and code.

@@ -3,8 +3,11 @@ package portal
 import (
 	"context"
 	"net/http"
+	"strconv"
+	"sync"
 	"time"
 
+	"repro/internal/logging"
 	"repro/internal/metrics"
 )
 
@@ -13,14 +16,27 @@ import (
 // one when absent.
 const RequestIDHeader = "X-Request-ID"
 
+// ridHeaderKey is RequestIDHeader in the canonical form the header map keys
+// by, so the middleware can assign directly instead of going through Set.
+const ridHeaderKey = "X-Request-Id"
+
 // ridKey keys the request ID in a request context.
 type ridKey struct{}
 
-// RequestIDFromContext returns the request ID the middleware assigned, or
-// "" outside a request.
+// RequestIDFromContext returns the request ID carried by ctx, or "". The
+// serving path no longer stores the ID in the context (cloning the request
+// for a WithValue cost two allocations on every request); handlers reached
+// through ServeHTTP recover it from the statusWriter via requestIDOf. This
+// remains for callers that inject an ID into a context themselves.
 func RequestIDFromContext(ctx context.Context) string {
 	id, _ := ctx.Value(ridKey{}).(string)
 	return id
+}
+
+// ContextWithRequestID returns a context carrying the request ID, for code
+// paths that hand work to goroutines outliving the request.
+func ContextWithRequestID(ctx context.Context, rid string) context.Context {
+	return context.WithValue(ctx, ridKey{}, rid)
 }
 
 // sanitizeRequestID accepts a client-supplied ID only if it is short and
@@ -39,12 +55,20 @@ func sanitizeRequestID(id string) string {
 }
 
 // statusWriter captures the status code and body size for metrics and the
-// access log. Flush is forwarded so long-polling handlers keep working.
+// access log, and carries the request ID so handlers and writeError reach it
+// without a context lookup. Flush is forwarded so streaming handlers keep
+// working. Instances are pooled: one lives exactly for the duration of a
+// ServeHTTP call, alongside its access-line scratch buffer.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
 	bytes  int64
+	rid    string
+	route  string // mux pattern, stamped by the route registration wrapper
+	line   []byte // access-line assembly, reused across requests
 }
+
+var statusWriters = sync.Pool{New: func() interface{} { return new(statusWriter) }}
 
 func (w *statusWriter) WriteHeader(status int) {
 	if w.status == 0 {
@@ -68,37 +92,118 @@ func (w *statusWriter) Flush() {
 	}
 }
 
+// Unwrap exposes the underlying writer to http.ResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// route registers h under pattern and stamps the pattern on the statusWriter
+// when the handler runs. ServeHTTP previously called mux.Handler(r) before
+// dispatching just to learn the route for metrics — matching every request
+// twice and, on wildcard routes, allocating a second capture slice.
+func (s *Server) route(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		if sw, ok := w.(*statusWriter); ok {
+			sw.route = pattern
+		}
+		h(w, r)
+	})
+}
+
+// SetAccessLogSampling makes the access log record one in every n successful
+// requests (n <= 1 restores logging every request). Requests that fail —
+// status 400 and up — are always logged. Under heavy load the access log is
+// the serving path's main contention point; sampling keeps the signal while
+// shedding the cost.
+func (s *Server) SetAccessLogSampling(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.accessEvery.Store(int64(n))
+}
+
+// shouldLogAccess applies the sampling policy: errors always, successes one
+// in accessEvery.
+func (s *Server) shouldLogAccess(status int) bool {
+	if status >= 400 {
+		return true
+	}
+	every := s.accessEvery.Load()
+	if every <= 1 {
+		return true
+	}
+	return s.accessN.Add(1)%uint64(every) == 0
+}
+
 // ServeHTTP implements http.Handler. Every request passes through here: a
 // request ID is assigned (or accepted from the client) and echoed, the
 // request latency is observed into the per-route http_request_seconds
-// histogram, and a structured access line is logged.
+// histogram, and a structured access line is logged — assembled into a
+// pooled buffer with strconv appends, so a sampled-out or filtered line
+// costs nothing and an emitted one allocates nothing.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	rid := sanitizeRequestID(r.Header.Get(RequestIDHeader))
+	// Index by the canonical key directly: Header.Get(RequestIDHeader) would
+	// re-canonicalize "X-Request-ID" (and allocate) on every request.
+	clientRID := ""
+	if v := r.Header[ridHeaderKey]; len(v) > 0 {
+		clientRID = v[0]
+	}
+	rid := sanitizeRequestID(clientRID)
 	if rid == "" {
 		rid = s.reqIDs.Next()
 	}
-	w.Header().Set(RequestIDHeader, rid)
-	r = r.WithContext(context.WithValue(r.Context(), ridKey{}, rid))
-
-	_, route := s.mux.Handler(r)
-	if route == "" {
-		route = "unmatched"
+	h := w.Header()
+	if v := h[ridHeaderKey]; len(v) == 1 {
+		// Reuse the existing value slice in place (it belongs to this
+		// response) rather than allocating a fresh one.
+		v[0] = rid
+	} else {
+		h[ridHeaderKey] = []string{rid}
 	}
-	sw := &statusWriter{ResponseWriter: w}
+
+	sw := statusWriters.Get().(*statusWriter)
+	sw.ResponseWriter, sw.status, sw.bytes, sw.rid, sw.route = w, 0, 0, rid, ""
+
 	start := time.Now()
 	s.mux.ServeHTTP(sw, r)
 	elapsed := time.Since(start)
 
+	route := sw.route
+	if route == "" {
+		route = "unmatched"
+	}
+
 	s.metricsRegistry().
 		HistogramLabeled("http_request_seconds", "route", route, metrics.DefBuckets).
 		Observe(elapsed.Seconds())
-	s.Log.Infow("http",
-		"rid", rid,
-		"method", r.Method,
-		"path", r.URL.Path,
-		"route", route,
-		"status", sw.status,
-		"bytes", sw.bytes,
-		"dur_us", elapsed.Microseconds(),
-	)
+
+	if s.shouldLogAccess(sw.status) && s.Log.Enabled(logging.Info) {
+		b := append(sw.line[:0], "http rid="...)
+		b = append(b, rid...)
+		b = append(b, " method="...)
+		b = append(b, r.Method...)
+		b = append(b, " path="...)
+		b = appendLogValue(b, r.URL.Path)
+		b = append(b, " route="...)
+		b = appendLogValue(b, route)
+		b = append(b, " status="...)
+		b = strconv.AppendInt(b, int64(sw.status), 10)
+		b = append(b, " bytes="...)
+		b = strconv.AppendInt(b, sw.bytes, 10)
+		b = append(b, " dur_us="...)
+		b = strconv.AppendInt(b, elapsed.Microseconds(), 10)
+		s.Log.WriteLine(logging.Info, b)
+		sw.line = b[:0]
+	}
+	sw.ResponseWriter = nil
+	statusWriters.Put(sw)
+}
+
+// appendLogValue appends v, quoting it when it contains characters that
+// would break the key=value line format — the same rule Logger.Infow uses.
+func appendLogValue(b []byte, v string) []byte {
+	for i := 0; i < len(v); i++ {
+		if c := v[i]; c == ' ' || c == '\t' || c == '"' {
+			return strconv.AppendQuote(b, v)
+		}
+	}
+	return append(b, v...)
 }

@@ -1,0 +1,236 @@
+package portal
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/logging"
+)
+
+// TestSanitizeRequestID pins the accept/reject rules for client-supplied
+// request IDs: printable ASCII without spaces or quotes, at most 64 bytes.
+func TestSanitizeRequestID(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"", ""},
+		{"abc-123", "abc-123"},
+		{"req_42.A~", "req_42.A~"},
+		{strings.Repeat("x", 64), strings.Repeat("x", 64)},
+		{strings.Repeat("x", 65), ""},
+		{"has space", ""},
+		{"has\ttab", ""},
+		{"has\nnewline", ""},
+		{"has\"quote", ""},
+		{"ctrl\x01char", ""},
+		{"non-ascii-é", ""},
+		{"del\x7f", ""},
+	}
+	for _, c := range cases {
+		if got := sanitizeRequestID(c.in); got != c.want {
+			t.Errorf("sanitizeRequestID(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestStatusWriterCapture verifies the wrapper records status and byte count,
+// defaulting to 200 when the handler writes without an explicit WriteHeader.
+func TestStatusWriterCapture(t *testing.T) {
+	t.Run("explicit status", func(t *testing.T) {
+		rec := httptest.NewRecorder()
+		sw := &statusWriter{ResponseWriter: rec}
+		sw.WriteHeader(http.StatusNotFound)
+		sw.Write([]byte("missing"))
+		sw.Write([]byte("!"))
+		if sw.status != http.StatusNotFound {
+			t.Errorf("status = %d, want 404", sw.status)
+		}
+		if sw.bytes != 8 {
+			t.Errorf("bytes = %d, want 8", sw.bytes)
+		}
+		if rec.Code != http.StatusNotFound || rec.Body.String() != "missing!" {
+			t.Errorf("underlying writer saw %d %q", rec.Code, rec.Body.String())
+		}
+	})
+	t.Run("implicit 200 on write", func(t *testing.T) {
+		sw := &statusWriter{ResponseWriter: httptest.NewRecorder()}
+		sw.Write([]byte("ok"))
+		if sw.status != http.StatusOK {
+			t.Errorf("status = %d, want 200", sw.status)
+		}
+		if sw.bytes != 2 {
+			t.Errorf("bytes = %d, want 2", sw.bytes)
+		}
+	})
+	t.Run("first status wins", func(t *testing.T) {
+		sw := &statusWriter{ResponseWriter: httptest.NewRecorder()}
+		sw.WriteHeader(http.StatusAccepted)
+		sw.Write([]byte("x")) // must not reset to 200
+		if sw.status != http.StatusAccepted {
+			t.Errorf("status = %d, want 202", sw.status)
+		}
+	})
+}
+
+// flushRecorder counts Flush calls reaching the underlying writer.
+type flushRecorder struct {
+	*httptest.ResponseRecorder
+	flushes int
+}
+
+func (f *flushRecorder) Flush() { f.flushes++ }
+
+// TestStatusWriterFlush verifies Flush forwarding — what keeps SSE streaming
+// through the pooled wrapper — and that a non-flusher base is a safe no-op.
+func TestStatusWriterFlush(t *testing.T) {
+	fr := &flushRecorder{ResponseRecorder: httptest.NewRecorder()}
+	sw := &statusWriter{ResponseWriter: fr}
+	sw.Flush()
+	sw.Flush()
+	if fr.flushes != 2 {
+		t.Errorf("flushes = %d, want 2", fr.flushes)
+	}
+
+	// http.ResponseController unwraps to the flusher too.
+	sw2 := &statusWriter{ResponseWriter: fr}
+	if err := http.NewResponseController(sw2).Flush(); err != nil {
+		t.Errorf("ResponseController.Flush: %v", err)
+	}
+	if fr.flushes != 3 {
+		t.Errorf("flushes after controller = %d, want 3", fr.flushes)
+	}
+
+	// A base writer without Flush must not panic.
+	type plainWriter struct{ http.ResponseWriter }
+	sw3 := &statusWriter{ResponseWriter: plainWriter{httptest.NewRecorder()}}
+	sw3.Flush()
+}
+
+// TestRequestIDEchoAndGenerate runs requests through the full middleware and
+// checks the response header: a valid client ID is echoed, an invalid or
+// absent one is replaced with a generated ID.
+func TestRequestIDEchoAndGenerate(t *testing.T) {
+	srv, token := benchServer(t)
+
+	get := func(rid string) string {
+		req := httptest.NewRequest("GET", "/api/languages", nil)
+		req.Header.Set("Authorization", "Bearer "+token)
+		if rid != "" {
+			req.Header.Set(RequestIDHeader, rid)
+		}
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status = %d", rec.Code)
+		}
+		return rec.Header().Get(RequestIDHeader)
+	}
+
+	if got := get("client-supplied-7"); got != "client-supplied-7" {
+		t.Errorf("valid client ID: echoed %q", got)
+	}
+	if got := get("bad id with spaces"); got == "bad id with spaces" || got == "" {
+		t.Errorf("invalid client ID: got %q, want generated", got)
+	}
+	if got := get(""); got == "" {
+		t.Error("absent client ID: no generated ID on response")
+	}
+	// Generated IDs must be distinct across requests.
+	if a, b := get(""), get(""); a == b {
+		t.Errorf("generated IDs collide: %q", a)
+	}
+}
+
+// accessLines counts emitted access-log lines in the buffer.
+func accessLines(buf *bytes.Buffer) int {
+	return strings.Count(buf.String(), " http rid=")
+}
+
+// TestAccessLogSampling verifies the sampling knob: at 1-in-n only every nth
+// successful request produces an access line, while error responses are
+// always logged regardless of the sample counter.
+func TestAccessLogSampling(t *testing.T) {
+	srv, token := benchServer(t)
+	var buf bytes.Buffer
+	srv.Log = logging.New(&buf, "portal", logging.Info)
+
+	do := func(target, auth string) {
+		req := httptest.NewRequest("GET", target, nil)
+		if auth != "" {
+			req.Header.Set("Authorization", "Bearer "+auth)
+		}
+		srv.ServeHTTP(httptest.NewRecorder(), req)
+	}
+
+	// Default: every request logged.
+	do("/api/languages", token)
+	do("/api/languages", token)
+	if n := accessLines(&buf); n != 2 {
+		t.Fatalf("unsampled: %d access lines, want 2\n%s", n, buf.String())
+	}
+
+	// 1-in-4: twelve successes log exactly three lines.
+	buf.Reset()
+	srv.SetAccessLogSampling(4)
+	for i := 0; i < 12; i++ {
+		do("/api/languages", token)
+	}
+	if n := accessLines(&buf); n != 3 {
+		t.Fatalf("sampled 1-in-4: %d access lines, want 3\n%s", n, buf.String())
+	}
+
+	// Errors bypass sampling: three unauthorized requests, three lines.
+	buf.Reset()
+	for i := 0; i < 3; i++ {
+		do("/api/languages", "")
+	}
+	if n := accessLines(&buf); n != 3 {
+		t.Fatalf("errors while sampled: %d access lines, want 3\n%s", n, buf.String())
+	}
+	if !strings.Contains(buf.String(), "status=401") {
+		t.Fatalf("error lines missing status=401:\n%s", buf.String())
+	}
+
+	// n<=1 restores logging every request.
+	buf.Reset()
+	srv.SetAccessLogSampling(0)
+	do("/api/languages", token)
+	do("/api/languages", token)
+	if n := accessLines(&buf); n != 2 {
+		t.Fatalf("restored: %d access lines, want 2\n%s", n, buf.String())
+	}
+}
+
+// TestAccessLogLine checks the emitted line carries the fields operators
+// grep for: rid, method, path, route, status, bytes, duration.
+func TestAccessLogLine(t *testing.T) {
+	srv, token := benchServer(t)
+	var buf bytes.Buffer
+	srv.Log = logging.New(&buf, "portal", logging.Info)
+
+	req := httptest.NewRequest("GET", "/api/languages", nil)
+	req.Header.Set("Authorization", "Bearer "+token)
+	req.Header.Set(RequestIDHeader, "line-check-1")
+	srv.ServeHTTP(httptest.NewRecorder(), req)
+
+	line := buf.String()
+	for _, want := range []string{
+		"http rid=line-check-1",
+		"method=GET",
+		"path=/api/languages",
+		"route=\"GET /api/languages\"",
+		"status=200",
+		"dur_us=",
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("access line missing %q:\n%s", want, line)
+		}
+	}
+	if !strings.Contains(line, "bytes=") {
+		t.Errorf("access line missing bytes=:\n%s", line)
+	}
+}

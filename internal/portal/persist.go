@@ -43,9 +43,9 @@ func (s *Server) syncPersistence() {
 
 // installPersistence registers the admin persistence endpoints.
 func (s *Server) installPersistence(mux *http.ServeMux) {
-	mux.HandleFunc("POST /api/admin/backup", s.withRole(auth.RoleAdmin, s.handleBackup))
-	mux.HandleFunc("POST /api/admin/restore", s.withRole(auth.RoleAdmin, s.handleRestore))
-	mux.HandleFunc("GET /api/admin/persistence", s.withRole(auth.RoleAdmin, s.handlePersistenceStatus))
+	s.route(mux, "POST /api/admin/backup", s.withRole(auth.RoleAdmin, s.handleBackup))
+	s.route(mux, "POST /api/admin/restore", s.withRole(auth.RoleAdmin, s.handleRestore))
+	s.route(mux, "GET /api/admin/persistence", s.withRole(auth.RoleAdmin, s.handlePersistenceStatus))
 }
 
 func (s *Server) persistenceOrError(w http.ResponseWriter, r *http.Request) Persistence {
@@ -86,7 +86,7 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request, sess *aut
 	}
 	s.syncPersistence()
 	s.Log.Infof("state restored by %s", sess.User)
-	writeJSON(w, http.StatusOK, map[string]string{"status": "restored"})
+	s.writeJSON(w, http.StatusOK, statusResponse{Status: "restored"})
 }
 
 // persistenceStatusJSON wraps the provider status for the admin endpoint.
@@ -100,5 +100,5 @@ func (s *Server) handlePersistenceStatus(w http.ResponseWriter, r *http.Request,
 	if p == nil {
 		return
 	}
-	writeJSON(w, http.StatusOK, persistenceStatusJSON{Status: p.Status(), Time: time.Now()})
+	s.writeJSON(w, http.StatusOK, persistenceStatusJSON{Status: p.Status(), Time: time.Now()})
 }

@@ -15,6 +15,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/auth"
@@ -52,6 +54,15 @@ type Server struct {
 	mux     *http.ServeMux
 	reqIDs  *ids.Random
 	persist Persistence
+
+	// accessEvery/accessN implement access-log sampling (SetAccessLogSampling).
+	accessEvery atomic.Int64
+	accessN     atomic.Uint64
+
+	// langOnce/langBody cache the pre-marshaled /api/languages body; the
+	// language set is fixed once the toolchain is wired.
+	langOnce sync.Once
+	langBody []byte
 }
 
 // NewServer wires the handler tree.
@@ -69,35 +80,35 @@ func NewServer(a *auth.Service, fs *vfs.FS, tools *toolchain.Service, store *job
 		reqIDs: ids.NewRandom("req", 8),
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /", s.handleIndex)
-	mux.HandleFunc("POST /api/register", s.handleRegister)
-	mux.HandleFunc("POST /api/login", s.handleLogin)
-	mux.HandleFunc("POST /api/logout", s.withAuth(s.handleLogout))
-	mux.HandleFunc("GET /api/whoami", s.withAuth(s.handleWhoami))
+	s.route(mux, "GET /", s.handleIndex)
+	s.route(mux, "POST /api/register", s.handleRegister)
+	s.route(mux, "POST /api/login", s.handleLogin)
+	s.route(mux, "POST /api/logout", s.withAuth(s.handleLogout))
+	s.route(mux, "GET /api/whoami", s.withAuth(s.handleWhoami))
 
-	mux.HandleFunc("GET /api/files", s.withAuth(s.handleFileList))
-	mux.HandleFunc("GET /api/files/content", s.withAuth(s.handleFileDownload))
-	mux.HandleFunc("PUT /api/files/content", s.withAuth(s.handleFileUpload))
-	mux.HandleFunc("POST /api/files/mkdir", s.withAuth(s.handleMkdir))
-	mux.HandleFunc("POST /api/files/rename", s.withAuth(s.handleRename))
-	mux.HandleFunc("POST /api/files/copy", s.withAuth(s.handleCopy))
-	mux.HandleFunc("POST /api/files/delete", s.withAuth(s.handleDelete))
-	mux.HandleFunc("POST /api/files/format", s.withAuth(s.handleFormat))
+	s.route(mux, "GET /api/files", s.withAuth(s.handleFileList))
+	s.route(mux, "GET /api/files/content", s.withAuth(s.handleFileDownload))
+	s.route(mux, "PUT /api/files/content", s.withAuth(s.handleFileUpload))
+	s.route(mux, "POST /api/files/mkdir", s.withAuth(s.handleMkdir))
+	s.route(mux, "POST /api/files/rename", s.withAuth(s.handleRename))
+	s.route(mux, "POST /api/files/copy", s.withAuth(s.handleCopy))
+	s.route(mux, "POST /api/files/delete", s.withAuth(s.handleDelete))
+	s.route(mux, "POST /api/files/format", s.withAuth(s.handleFormat))
 
-	mux.HandleFunc("GET /api/languages", s.withAuth(s.handleLanguages))
-	mux.HandleFunc("POST /api/compile", s.withAuth(s.handleCompile))
+	s.route(mux, "GET /api/languages", s.withAuth(s.handleLanguages))
+	s.route(mux, "POST /api/compile", s.withAuth(s.handleCompile))
 
-	mux.HandleFunc("POST /api/jobs", s.withAuth(s.handleSubmit))
-	mux.HandleFunc("GET /api/jobs", s.withAuth(s.handleJobList))
-	mux.HandleFunc("GET /api/jobs/{id}", s.withAuth(s.handleJobGet))
-	mux.HandleFunc("GET /api/jobs/{id}/output", s.withAuth(s.handleJobOutput))
-	mux.HandleFunc("GET /api/jobs/{id}/events", s.withAuth(s.handleJobEvents))
-	mux.HandleFunc("GET /api/jobs/{id}/trace", s.withAuth(s.handleJobTrace))
-	mux.HandleFunc("POST /api/jobs/{id}/input", s.withAuth(s.handleJobInput))
-	mux.HandleFunc("POST /api/jobs/{id}/cancel", s.withAuth(s.handleJobCancel))
+	s.route(mux, "POST /api/jobs", s.withAuth(s.handleSubmit))
+	s.route(mux, "GET /api/jobs", s.withAuth(s.handleJobList))
+	s.route(mux, "GET /api/jobs/{id}", s.withAuth(s.handleJobGet))
+	s.route(mux, "GET /api/jobs/{id}/output", s.withAuth(s.handleJobOutput))
+	s.route(mux, "GET /api/jobs/{id}/events", s.withAuth(s.handleJobEvents))
+	s.route(mux, "GET /api/jobs/{id}/trace", s.withAuth(s.handleJobTrace))
+	s.route(mux, "POST /api/jobs/{id}/input", s.withAuth(s.handleJobInput))
+	s.route(mux, "POST /api/jobs/{id}/cancel", s.withAuth(s.handleJobCancel))
 
-	mux.HandleFunc("GET /api/cluster/nodes", s.withAuth(s.handleNodes))
-	mux.HandleFunc("GET /api/cluster/stats", s.withAuth(s.handleStats))
+	s.route(mux, "GET /api/cluster/nodes", s.withAuth(s.handleNodes))
+	s.route(mux, "GET /api/cluster/stats", s.withAuth(s.handleStats))
 	s.installAdmin(mux)
 	s.installPersistence(mux)
 	s.installStandardMetrics()
@@ -160,12 +171,6 @@ func (s *Server) withAuth(next func(http.ResponseWriter, *http.Request, *auth.Se
 	}
 }
 
-func writeJSON(w http.ResponseWriter, status int, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
-}
-
 // decode reads a JSON body into v with a size cap.
 func decode(r *http.Request, v interface{}) error {
 	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
@@ -192,7 +197,25 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	s.FS.EnsureHome(u.Name)
 	s.syncPersistence()
 	s.Log.Infof("registered user %s", u.Name)
-	writeJSON(w, http.StatusCreated, map[string]string{"user": u.Name, "role": u.Role.String()})
+	s.writeJSON(w, http.StatusCreated, whoamiResponse{User: u.Name, Role: u.Role.String()})
+}
+
+// whoamiResponse answers /api/register and /api/whoami.
+type whoamiResponse struct {
+	User string `json:"user"`
+	Role string `json:"role"`
+}
+
+// loginResponse answers /api/login.
+type loginResponse struct {
+	Token string `json:"token"`
+	User  string `json:"user"`
+	Role  string `json:"role"`
+}
+
+// statusResponse is the generic one-field acknowledgement.
+type statusResponse struct {
+	Status string `json:"status"`
 }
 
 func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
@@ -219,20 +242,20 @@ func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
 		Expires:  sess.Expires,
 	})
 	s.metricsRegistry().Counter("auth_logins_total").Inc()
-	s.Log.Infof("user %s logged in (session %s)", sess.User, auth.FingerprintToken(sess.Token))
-	writeJSON(w, http.StatusOK, map[string]string{
-		"token": sess.Token, "user": sess.User, "role": sess.Role.String(),
-	})
+	if s.Log.Enabled(logging.Info) {
+		s.Log.Infof("user %s logged in (session %s)", sess.User, auth.FingerprintToken(sess.Token))
+	}
+	s.writeJSON(w, http.StatusOK, loginResponse{Token: sess.Token, User: sess.User, Role: sess.Role.String()})
 }
 
 func (s *Server) handleLogout(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
 	s.Auth.Logout(sess.Token)
 	http.SetCookie(w, &http.Cookie{Name: SessionCookie, Value: "", Path: "/", MaxAge: -1})
-	writeJSON(w, http.StatusOK, map[string]string{"status": "logged out"})
+	s.writeJSON(w, http.StatusOK, statusResponse{Status: "logged out"})
 }
 
 func (s *Server) handleWhoami(w http.ResponseWriter, _ *http.Request, sess *auth.Session) {
-	writeJSON(w, http.StatusOK, map[string]string{"user": sess.User, "role": sess.Role.String()})
+	s.writeJSON(w, http.StatusOK, whoamiResponse{User: sess.User, Role: sess.Role.String()})
 }
 
 // --- file manager handlers -------------------------------------------------------
@@ -254,7 +277,7 @@ func toFileJSON(in vfs.Info) fileInfoJSON {
 }
 
 func (s *Server) handleFileList(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
-	path := r.URL.Query().Get("path")
+	path := queryParam(r, "path")
 	infos, err := s.home(sess).List(path)
 	if err != nil {
 		writeError(w, r, fromDomain(err))
@@ -264,11 +287,11 @@ func (s *Server) handleFileList(w http.ResponseWriter, r *http.Request, sess *au
 	for i, in := range infos {
 		out[i] = toFileJSON(in)
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleFileDownload(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
-	path := r.URL.Query().Get("path")
+	path := queryParam(r, "path")
 	data, err := s.home(sess).ReadFile(path)
 	if err != nil {
 		writeError(w, r, fromDomain(err))
@@ -279,8 +302,25 @@ func (s *Server) handleFileDownload(w http.ResponseWriter, r *http.Request, sess
 	w.Write(data)
 }
 
+// uploadResponse answers /api/files/content uploads and format-in-place.
+type uploadResponse struct {
+	Path  string `json:"path"`
+	Bytes int64  `json:"bytes"`
+}
+
+// pathResponse acknowledges a single-path mutation.
+type pathResponse struct {
+	Path string `json:"path"`
+}
+
+// srcDstResponse acknowledges a rename or copy.
+type srcDstResponse struct {
+	Src string `json:"src"`
+	Dst string `json:"dst"`
+}
+
 func (s *Server) handleFileUpload(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
-	path := r.URL.Query().Get("path")
+	path := queryParam(r, "path")
 	if path == "" {
 		writeError(w, r, errf(http.StatusBadRequest, CodeInvalidArgument, "missing path"))
 		return
@@ -302,8 +342,10 @@ func (s *Server) handleFileUpload(w http.ResponseWriter, r *http.Request, sess *
 	}
 	s.syncPersistence()
 	s.metricsRegistry().Counter("files_uploaded_total").Inc()
-	s.Log.Infof("user %s uploaded %s (%d bytes)", sess.User, path, n)
-	writeJSON(w, http.StatusCreated, map[string]interface{}{"path": path, "bytes": n})
+	if s.Log.Enabled(logging.Info) {
+		s.Log.Infof("user %s uploaded %s (%d bytes)", sess.User, path, n)
+	}
+	s.writeJSON(w, http.StatusCreated, uploadResponse{Path: path, Bytes: n})
 }
 
 func (s *Server) handleMkdir(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
@@ -319,7 +361,7 @@ func (s *Server) handleMkdir(w http.ResponseWriter, r *http.Request, sess *auth.
 		return
 	}
 	s.syncPersistence()
-	writeJSON(w, http.StatusCreated, map[string]string{"path": req.Path})
+	s.writeJSON(w, http.StatusCreated, pathResponse{Path: req.Path})
 }
 
 func (s *Server) handleRename(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
@@ -336,7 +378,7 @@ func (s *Server) handleRename(w http.ResponseWriter, r *http.Request, sess *auth
 		return
 	}
 	s.syncPersistence()
-	writeJSON(w, http.StatusOK, map[string]string{"src": req.Src, "dst": req.Dst})
+	s.writeJSON(w, http.StatusOK, srcDstResponse{Src: req.Src, Dst: req.Dst})
 }
 
 func (s *Server) handleCopy(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
@@ -353,7 +395,7 @@ func (s *Server) handleCopy(w http.ResponseWriter, r *http.Request, sess *auth.S
 		return
 	}
 	s.syncPersistence()
-	writeJSON(w, http.StatusOK, map[string]string{"src": req.Src, "dst": req.Dst})
+	s.writeJSON(w, http.StatusOK, srcDstResponse{Src: req.Src, Dst: req.Dst})
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
@@ -370,7 +412,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request, sess *auth
 		return
 	}
 	s.syncPersistence()
-	writeJSON(w, http.StatusOK, map[string]string{"path": req.Path})
+	s.writeJSON(w, http.StatusOK, pathResponse{Path: req.Path})
 }
 
 // handleFormat pretty-prints a minic source file in place — the file
@@ -399,13 +441,23 @@ func (s *Server) handleFormat(w http.ResponseWriter, r *http.Request, sess *auth
 		return
 	}
 	s.syncPersistence()
-	writeJSON(w, http.StatusOK, map[string]interface{}{"path": req.Path, "bytes": len(formatted)})
+	s.writeJSON(w, http.StatusOK, uploadResponse{Path: req.Path, Bytes: int64(len(formatted))})
 }
 
 // --- compile and job handlers ----------------------------------------------------
 
+// handleLanguages serves the pre-marshaled language list: the body is built
+// once per server (the toolchain's language set is fixed at wiring time) and
+// every request after that is a header write plus one copy.
 func (s *Server) handleLanguages(w http.ResponseWriter, _ *http.Request, _ *auth.Session) {
-	writeJSON(w, http.StatusOK, s.Tools.Languages())
+	s.langOnce.Do(func() {
+		b, err := json.Marshal(s.Tools.Languages())
+		if err != nil { // unreachable for []string; keep the body well-formed anyway
+			b = []byte("[]")
+		}
+		s.langBody = append(b, '\n')
+	})
+	writeBody(w, http.StatusOK, s.langBody)
 }
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
@@ -445,11 +497,22 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request, sess *aut
 		writeError(w, r, e)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"ok": true, "artifact": res.Artifact.ID, "language": lang, "cached": res.Cached,
+	s.writeJSON(w, http.StatusOK, compileResponse{
+		OK: true, Artifact: res.Artifact.ID, Language: lang, Cached: res.Cached,
 	})
 }
 
+// compileResponse answers a successful /api/compile.
+type compileResponse struct {
+	OK       bool   `json:"ok"`
+	Artifact string `json:"artifact"`
+	Language string `json:"language"`
+	Cached   bool   `json:"cached"`
+}
+
+// jobJSON documents the job wire shape. The serving path renders it with the
+// hand-rolled appendJob encoder; this struct (and toJobJSON) is kept as the
+// executable reference the encode parity test checks appendJob against.
 type jobJSON struct {
 	ID         string    `json:"id"`
 	Owner      string    `json:"owner"`
@@ -514,13 +577,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, sess *auth
 		writeError(w, r, fromDomain(err))
 		return
 	}
-	if rid := RequestIDFromContext(r.Context()); rid != "" {
+	if rid := requestIDOf(w, r); rid != "" {
 		job.Trace().Root().Annotate("request_id", rid)
 	}
 	s.syncPersistence()
 	s.metricsRegistry().Counter("jobs_submitted_total").Inc()
-	s.Log.Infof("user %s submitted %s as %s (%d ranks)", sess.User, req.SourcePath, job.ID, req.Ranks)
-	writeJSON(w, http.StatusAccepted, toJobJSON(job.Snapshot()))
+	if s.Log.Enabled(logging.Info) {
+		s.Log.Infof("user %s submitted %s as %s (%d ranks)", sess.User, req.SourcePath, job.ID, req.Ranks)
+	}
+	s.writeJob(w, http.StatusAccepted, job)
 }
 
 // jobForRequest fetches the job and enforces ownership (faculty and admin
@@ -546,13 +611,12 @@ type jobPageJSON struct {
 }
 
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
-	q := r.URL.Query()
 	owner := sess.User
-	if q.Get("all") == "1" && sess.Role != auth.RoleStudent {
+	if queryParam(r, "all") == "1" && sess.Role != auth.RoleStudent {
 		owner = ""
 	}
 	var state *jobs.State
-	if name := q.Get("state"); name != "" {
+	if name := queryParam(r, "state"); name != "" {
 		st, err := jobs.ParseState(name)
 		if err != nil {
 			writeError(w, r, errf(http.StatusBadRequest, CodeInvalidArgument, err.Error()))
@@ -561,7 +625,7 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request, sess *aut
 		state = &st
 	}
 	limit := 0
-	if raw := q.Get("limit"); raw != "" {
+	if raw := queryParam(r, "limit"); raw != "" {
 		n, err := strconv.Atoi(raw)
 		if err != nil || n <= 0 || n > 500 {
 			writeError(w, r, errf(http.StatusBadRequest, CodeInvalidArgument, "limit must be 1..500"))
@@ -569,16 +633,27 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request, sess *aut
 		}
 		limit = n
 	}
-	snaps, next, err := s.Jobs.ListPage(owner, state, limit, q.Get("cursor"))
+	pg := jobPages.Get().(*jobPage)
+	snaps, next, err := s.Jobs.ListPageInto(pg.snaps[:0], owner, state, limit, queryParam(r, "cursor"))
+	pg.snaps = snaps[:0]
 	if err != nil {
+		jobPages.Put(pg)
 		writeError(w, r, fromDomain(err))
 		return
 	}
-	out := make([]jobJSON, len(snaps))
-	for i, snap := range snaps {
-		out[i] = toJobJSON(snap)
+	rb := getBuf()
+	b := append(rb.b[:0], `{"jobs":[`...)
+	for i := range snaps {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendJob(b, &snaps[i])
 	}
-	writeJSON(w, http.StatusOK, jobPageJSON{Jobs: out, NextCursor: next})
+	b = append(b, `],"next_cursor":`...)
+	b = appendJSONString(b, next)
+	rb.b = append(b, '}', '\n')
+	jobPages.Put(pg)
+	writeRaw(w, http.StatusOK, rb)
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
@@ -587,7 +662,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request, sess *auth
 		writeError(w, r, e)
 		return
 	}
-	writeJSON(w, http.StatusOK, toJobJSON(job.Snapshot()))
+	s.writeJob(w, http.StatusOK, job)
 }
 
 // handleJobTrace serves the span tree recorded across the job's lifecycle —
@@ -603,11 +678,18 @@ func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request, sess *au
 		writeError(w, r, errf(http.StatusNotFound, CodeNotFound, "no trace recorded for job "+job.ID))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"id":    job.ID,
-		"state": job.State().String(),
-		"trace": tr.Snapshot(),
+	s.writeJSON(w, http.StatusOK, traceResponse{
+		ID:    job.ID,
+		State: job.State().String(),
+		Trace: tr.Snapshot(),
 	})
+}
+
+// traceResponse wraps a job's span tree.
+type traceResponse struct {
+	ID    string      `json:"id"`
+	State string      `json:"state"`
+	Trace interface{} `json:"trace"`
 }
 
 func (s *Server) handleJobOutput(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
@@ -616,18 +698,29 @@ func (s *Server) handleJobOutput(w http.ResponseWriter, r *http.Request, sess *a
 		writeError(w, r, e)
 		return
 	}
-	offset, _ := strconv.ParseInt(r.URL.Query().Get("offset"), 10, 64)
-	if r.URL.Query().Get("wait") == "1" {
+	offset, _ := strconv.ParseInt(queryParam(r, "offset"), 10, 64)
+	if queryParam(r, "wait") == "1" {
 		// The wait is bound to the request context: a client that
 		// disconnects mid-poll releases the handler goroutine immediately
 		// instead of parking it until the job's next write.
 		job.Stdout.WaitChange(r.Context(), offset)
 	}
 	data, next, dropped, done := job.Stdout.ReadFrom(offset, 0)
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"data": string(data), "next": next, "done": done, "dropped": dropped,
-		"state": job.State().String(),
-	})
+	// Hand-encoded: polling watchers hit this endpoint in a tight loop, and
+	// appendJSONBytes spares the []byte→string copy of the output slice.
+	rb := getBuf()
+	b := append(rb.b[:0], `{"data":`...)
+	b = appendJSONBytes(b, data)
+	b = append(b, `,"next":`...)
+	b = strconv.AppendInt(b, next, 10)
+	b = append(b, `,"done":`...)
+	b = strconv.AppendBool(b, done)
+	b = append(b, `,"dropped":`...)
+	b = strconv.AppendInt(b, dropped, 10)
+	b = append(b, `,"state":`...)
+	b = appendJSONString(b, job.State().String())
+	rb.b = append(b, '}', '\n')
+	writeRaw(w, http.StatusOK, rb)
 }
 
 func (s *Server) handleJobInput(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
@@ -651,7 +744,12 @@ func (s *Server) handleJobInput(w http.ResponseWriter, r *http.Request, sess *au
 		writeError(w, r, fromDomain(err))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]int{"fed": len(req.Data)})
+	s.writeJSON(w, http.StatusOK, fedResponse{Fed: len(req.Data)})
+}
+
+// fedResponse acknowledges stdin input.
+type fedResponse struct {
+	Fed int `json:"fed"`
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request, sess *auth.Session) {
@@ -665,7 +763,13 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request, sess *a
 		return
 	}
 	s.syncPersistence()
-	writeJSON(w, http.StatusOK, map[string]string{"id": job.ID, "state": "cancelled"})
+	s.writeJSON(w, http.StatusOK, cancelResponse{ID: job.ID, State: "cancelled"})
+}
+
+// cancelResponse acknowledges a cancellation.
+type cancelResponse struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
 }
 
 // --- cluster handlers -------------------------------------------------------------
@@ -687,7 +791,16 @@ func (s *Server) handleNodes(w http.ResponseWriter, _ *http.Request, _ *auth.Ses
 			GPU: n.GPU, State: n.State.String(), Job: n.JobID,
 		}
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// statsResponse is the cluster overview at /api/cluster/stats.
+type statsResponse struct {
+	TotalNodes  int            `json:"total_nodes"`
+	FreeNodes   int            `json:"free_nodes"`
+	Utilization float64        `json:"utilization"`
+	Jobs        map[string]int `json:"jobs"`
+	Dispatched  int64          `json:"dispatched"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request, _ *auth.Session) {
@@ -696,11 +809,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request, _ *auth.Ses
 	for st, n := range counts {
 		byState[st.String()] = n
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"total_nodes": s.Cluster.Size(),
-		"free_nodes":  s.Cluster.FreeCount(),
-		"utilization": s.Cluster.Utilization(),
-		"jobs":        byState,
-		"dispatched":  s.Sched.Dispatched(),
+	s.writeJSON(w, http.StatusOK, statsResponse{
+		TotalNodes:  s.Cluster.Size(),
+		FreeNodes:   s.Cluster.FreeCount(),
+		Utilization: s.Cluster.Utilization(),
+		Jobs:        byState,
+		Dispatched:  s.Sched.Dispatched(),
 	})
 }

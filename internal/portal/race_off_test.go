@@ -1,0 +1,5 @@
+//go:build !race
+
+package portal
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package portal
+
+// raceEnabled reports that this build carries race-detector
+// instrumentation, which adds allocations the gates must not count.
+const raceEnabled = true

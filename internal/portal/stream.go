@@ -39,11 +39,31 @@ var streamLagBuckets = []float64{
 // SSE id so Last-Event-ID resumes exactly where delivery stopped. Dropped
 // counts bytes between the previous event and Data that aged out of the ring
 // before this watcher read them.
+//
+// The delivery loop renders this shape with appendOutputFrame rather than
+// encoding the struct; the parity test in encode_test.go keeps the two in
+// sync.
 type sseOutputEvent struct {
 	Seq     int64  `json:"seq"`
 	Stream  string `json:"stream"`
 	Data    string `json:"data"`
 	Dropped int64  `json:"dropped"`
+}
+
+// appendOutputFrame appends one complete SSE frame carrying an
+// sseOutputEvent, escaping data straight out of the ring slice — the frame
+// buffer is reused across the connection, so steady-state delivery does not
+// allocate per event.
+func appendOutputFrame(b []byte, seq int64, data []byte, dropped int64) []byte {
+	b = append(b, "event: output\nid: "...)
+	b = strconv.AppendInt(b, seq, 10)
+	b = append(b, "\ndata: {\"seq\":"...)
+	b = strconv.AppendInt(b, seq, 10)
+	b = append(b, `,"stream":"stdout","data":`...)
+	b = appendJSONBytes(b, data)
+	b = append(b, `,"dropped":`...)
+	b = strconv.AppendInt(b, dropped, 10)
+	return append(b, '}', '\n', '\n')
 }
 
 // sseDoneEvent terminates the stream: the job is finished and everything
@@ -95,7 +115,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request, sess *a
 		}
 		from = n
 	}
-	if raw := r.URL.Query().Get("seq"); raw != "" {
+	if raw := queryParam(r, "seq"); raw != "" {
 		n, err := strconv.ParseInt(raw, 10, 64)
 		if err != nil {
 			writeError(w, r, errf(http.StatusBadRequest, CodeInvalidArgument,
@@ -127,6 +147,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request, sess *a
 	hb := time.NewTicker(sseHeartbeat)
 	defer hb.Stop()
 
+	var frame []byte // reused across the connection's whole delivery loop
 	for {
 		// Drain everything buffered since the last flush into one batch.
 		start := time.Now()
@@ -138,9 +159,8 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request, sess *a
 			}
 			eventsTotal.Inc()
 			droppedTotal.Add(ev.Dropped)
-			if err := writeSSE(w, "output", ev.Seq, sseOutputEvent{
-				Seq: ev.Seq, Stream: "stdout", Data: string(ev.Data), Dropped: ev.Dropped,
-			}); err != nil {
+			frame = appendOutputFrame(frame[:0], ev.Seq, ev.Data, ev.Dropped)
+			if _, err := w.Write(frame); err != nil {
 				return
 			}
 			sent++

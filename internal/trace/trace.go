@@ -57,7 +57,10 @@ func New(name string, clk clock.Clock) *Trace {
 		clk = clock.Real{}
 	}
 	t := &Trace{clk: clk}
-	t.spans = append(t.spans, span{name: name, parent: -1, start: clk.Now()})
+	// The root span collects the identity annotations every job gets
+	// (job_id, owner, source, ranks, request_id); starting with capacity for
+	// them keeps the submit path from growing the slice one append at a time.
+	t.spans = append(t.spans, span{name: name, parent: -1, start: clk.Now(), attrs: make([]Attr, 0, 8)})
 	return t
 }
 
