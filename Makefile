@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build vet fmt test race bench bench-vm bench-sched bench-wal bench-stream bench-http smoke-http apilint
+.PHONY: all check build vet fmt test race bench bench-vm bench-sched bench-wal bench-stream bench-http bench-fair smoke-http apilint
 
 all: check
 
@@ -10,9 +10,11 @@ all: check
 check: fmt vet apilint test race smoke-http
 
 # apilint fails on responses that bypass the error envelope (raw http.Error
-# or hand-rolled {"error": ...} literals) in the portal package.
+# or hand-rolled {"error": ...} literals) in the portal package, on
+# /api/admin/ routes registered without withRole, and on /api/ routes
+# missing from the API reference.
 apilint:
-	$(GO) run ./cmd/apilint internal/portal
+	$(GO) run ./cmd/apilint -docs docs/api.md internal/portal
 
 build:
 	$(GO) build ./...
@@ -30,7 +32,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/scheduler/... ./internal/jobs/... ./internal/mpi/... ./internal/portal/... ./internal/minic/... ./internal/toolchain/... ./internal/dataprovider/... ./internal/auth/... ./internal/metrics/...
+	$(GO) test -race ./internal/cluster/... ./internal/scheduler/... ./internal/jobs/... ./internal/mpi/... ./internal/portal/... ./internal/minic/... ./internal/toolchain/... ./internal/dataprovider/... ./internal/auth/... ./internal/metrics/... ./internal/tenancy/...
 
 # smoke-http boots an in-process portal and runs the open-loop load
 # generator briefly at low rate; any server or transport error fails it.
@@ -78,6 +80,15 @@ bench-wal:
 	$(GO) test -run '^$$' -bench BenchmarkWALAppend -benchtime 1s ./internal/dataprovider/ \
 	| $(GO) run ./cmd/benchjson -o BENCH_wal.json
 	@cat BENCH_wal.json
+
+# bench-fair measures scheduler throughput with weighted fair-share enabled
+# (BenchmarkSchedulerFairShare) next to the FIFO baseline at 1024 nodes, and
+# records both in BENCH_fair.json — the fair-share pass must hold within 10%
+# of FIFO throughput. Like the other bench targets, not part of check.
+bench-fair:
+	$(GO) test -run '^$$' -bench 'BenchmarkSchedulerThroughput/grid=1024|BenchmarkSchedulerFairShare' -benchtime 5x ./internal/scheduler/ \
+	| $(GO) run ./cmd/benchjson -o BENCH_fair.json
+	@cat BENCH_fair.json
 
 # bench-http measures the HTTP edge two ways: in-process ServeHTTP
 # micro-benchmarks (ns/op and allocs/op per endpoint) and the open-loop load

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -58,35 +59,82 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("ccportal: %s: %s (HTTP %d)", e.Code, e.Message, e.Status)
 }
 
+// Rate-limit retry policy: a 429 whose Retry-After is short is retried
+// transparently a bounded number of times, with a little jitter so a herd of
+// throttled clients does not reconverge on the same instant. A 429 without
+// the header, or with a wait beyond maxRetryAfterWait, surfaces as an
+// *APIError for the caller to handle.
+const (
+	maxRateLimitRetries = 2
+	maxRetryAfterWait   = 2 * time.Second
+	retryJitterMax      = 100 * time.Millisecond
+)
+
 func (c *Client) do(method, path string, body io.Reader, out interface{}) error {
-	req, err := http.NewRequest(method, c.BaseURL+path, body)
-	if err != nil {
-		return err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	if c.token != "" {
-		req.Header.Set("Authorization", "Bearer "+c.token)
-	}
-	res, err := c.httpClient().Do(req)
-	if err != nil {
-		return err
-	}
-	defer res.Body.Close()
-	data, err := io.ReadAll(res.Body)
-	if err != nil {
-		return err
-	}
-	if res.StatusCode >= 400 {
-		return decodeAPIError(res, data, method, path)
-	}
-	if out != nil {
-		if err := json.Unmarshal(data, out); err != nil {
-			return fmt.Errorf("ccportal: decoding %s: %w", path, err)
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest(method, c.BaseURL+path, body)
+		if err != nil {
+			return err
 		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if c.token != "" {
+			req.Header.Set("Authorization", "Bearer "+c.token)
+		}
+		res, err := c.httpClient().Do(req)
+		if err != nil {
+			return err
+		}
+		data, err := io.ReadAll(res.Body)
+		res.Body.Close()
+		if err != nil {
+			return err
+		}
+		if res.StatusCode >= 400 {
+			if res.StatusCode == http.StatusTooManyRequests && attempt < maxRateLimitRetries {
+				if wait, ok := retryAfterOf(res); ok && wait <= maxRetryAfterWait && rewind(body) {
+					time.Sleep(wait + time.Duration(rand.Int63n(int64(retryJitterMax))))
+					continue
+				}
+			}
+			return decodeAPIError(res, data, method, path)
+		}
+		if out != nil {
+			if err := json.Unmarshal(data, out); err != nil {
+				return fmt.Errorf("ccportal: decoding %s: %w", path, err)
+			}
+		}
+		return nil
 	}
-	return nil
+}
+
+// retryAfterOf parses the response's Retry-After header (delta-seconds form).
+func retryAfterOf(res *http.Response) (time.Duration, bool) {
+	raw := res.Header.Get("Retry-After")
+	if raw == "" {
+		return 0, false
+	}
+	secs, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
+}
+
+// rewind prepares body for a retried request. A nil body needs nothing; a
+// seekable body (bytes.Reader — what doJSON always builds) rewinds to the
+// start; anything else cannot be replayed, so the retry is abandoned.
+func rewind(body io.Reader) bool {
+	if body == nil {
+		return true
+	}
+	s, ok := body.(io.Seeker)
+	if !ok {
+		return false
+	}
+	_, err := s.Seek(0, io.SeekStart)
+	return err == nil
 }
 
 // decodeAPIError turns a non-2xx response body into an *APIError, tolerating
@@ -609,4 +657,123 @@ func (c *Client) Backup() ([]byte, error) {
 // restore is strict: accounts colliding with existing ones abort it.
 func (c *Client) RestoreBackup(snapshot []byte) error {
 	return c.do("POST", "/api/admin/restore", bytes.NewReader(snapshot), nil)
+}
+
+// --- tenancy / usage -------------------------------------------------------
+
+// DiskUsage is a user's home-directory standing. QuotaBytes is -1 when the
+// user is unquota'd; the same convention (-1 = unlimited) holds for every
+// bound in the usage document.
+type DiskUsage struct {
+	UsedBytes  int64 `json:"used_bytes"`
+	QuotaBytes int64 `json:"quota_bytes"`
+}
+
+// StepUsage is a user's cumulative VM instruction consumption against their
+// step budget.
+type StepUsage struct {
+	Used      int64 `json:"used"`
+	Budget    int64 `json:"budget"`
+	Remaining int64 `json:"remaining"`
+}
+
+// JobUsage is a user's concurrent-job standing.
+type JobUsage struct {
+	Active int   `json:"active"`
+	Max    int64 `json:"max"`
+}
+
+// RateUsage is a user's effective API rate-limit parameters.
+type RateUsage struct {
+	PerSec float64 `json:"per_sec"`
+	Burst  int     `json:"burst"`
+}
+
+// Usage is one user's point-in-time resource standing.
+type Usage struct {
+	User   string    `json:"user"`
+	Disk   DiskUsage `json:"disk"`
+	Steps  StepUsage `json:"steps"`
+	Jobs   JobUsage  `json:"jobs"`
+	Rate   RateUsage `json:"rate"`
+	Weight int64     `json:"weight"`
+}
+
+// UsagePage is one page of the admin usage listing.
+type UsagePage struct {
+	Users []Usage `json:"users"`
+	// NextCursor is "" on the last page; otherwise pass it to the next
+	// AdminUsageList call to continue.
+	NextCursor string `json:"next_cursor"`
+}
+
+// Limits mirrors the server's per-user limit set. In overrides, zero means
+// "inherit the deployment default" and negative means "unlimited".
+type Limits struct {
+	QuotaBytes int64   `json:"quota_bytes"`
+	StepBudget int64   `json:"step_budget"`
+	MaxJobs    int     `json:"max_jobs"`
+	RatePerSec float64 `json:"rate_per_sec"`
+	Burst      int     `json:"burst"`
+	Weight     int64   `json:"weight"`
+}
+
+// LimitSpec is a partial limits update: nil fields are left untouched, so a
+// single override can be changed without restating the rest.
+type LimitSpec struct {
+	QuotaBytes *int64   `json:"quota_bytes,omitempty"`
+	StepBudget *int64   `json:"step_budget,omitempty"`
+	MaxJobs    *int     `json:"max_jobs,omitempty"`
+	RatePerSec *float64 `json:"rate_per_sec,omitempty"`
+	Burst      *int     `json:"burst,omitempty"`
+	Weight     *int64   `json:"weight,omitempty"`
+}
+
+// LimitsResult reports a user's stored overrides and their resolution
+// against the deployment defaults.
+type LimitsResult struct {
+	User      string `json:"user"`
+	Limits    Limits `json:"limits"`
+	Effective Limits `json:"effective"`
+}
+
+// Usage fetches the caller's own resource standing.
+func (c *Client) Usage() (Usage, error) {
+	var out Usage
+	err := c.do("GET", "/api/usage", nil, &out)
+	return out, err
+}
+
+// AdminUsage fetches any user's resource standing (admin only).
+func (c *Client) AdminUsage(user string) (Usage, error) {
+	var out Usage
+	err := c.do("GET", "/api/admin/users/"+url.PathEscape(user)+"/usage", nil, &out)
+	return out, err
+}
+
+// AdminUsageList fetches one page of every user's usage (admin only).
+// limit <= 0 uses the server default; cursor is "" for the first page.
+func (c *Client) AdminUsageList(limit int, cursor string) (UsagePage, error) {
+	q := url.Values{}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if cursor != "" {
+		q.Set("cursor", cursor)
+	}
+	path := "/api/admin/users/usage"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var out UsagePage
+	err := c.do("GET", path, nil, &out)
+	return out, err
+}
+
+// SetLimits updates a user's limit overrides (admin only). Only the non-nil
+// fields of spec change; an all-nil spec is a read of the current standing.
+func (c *Client) SetLimits(user string, spec LimitSpec) (LimitsResult, error) {
+	var out LimitsResult
+	err := c.doJSON("PUT", "/api/admin/users/"+url.PathEscape(user)+"/limits", spec, &out)
+	return out, err
 }

@@ -10,15 +10,20 @@
 // must flush through http.Flusher (an unflushed SSE stream sits in the
 // response buffer and delivers nothing until the job ends).
 //
+// With -docs it additionally cross-checks route registrations against the
+// API reference: every /api/ path registered in the linted source must
+// appear in the docs file, so an endpoint cannot ship undocumented.
+//
 // Usage:
 //
-//	apilint [dir ...]
+//	apilint [-docs docs/api.md] [dir ...]
 //
 // With no arguments it lints internal/portal. Test files are exempt: tests
 // may construct arbitrary payloads to probe the server.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/parser"
@@ -29,13 +34,23 @@ import (
 )
 
 func main() {
-	dirs := os.Args[1:]
+	docs := flag.String("docs", "", "API reference file; every registered /api/ route must appear in it")
+	flag.Parse()
+	dirs := flag.Args()
 	if len(dirs) == 0 {
 		dirs = []string{"internal/portal"}
 	}
 	bad := 0
 	for _, dir := range dirs {
 		n, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apilint:", err)
+			os.Exit(2)
+		}
+		bad += n
+	}
+	if *docs != "" {
+		n, err := checkDocs(dirs, *docs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "apilint:", err)
 			os.Exit(2)
@@ -91,8 +106,14 @@ func lintFile(path string) (int, error) {
 				if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "http" && sel.Sel.Name == "Error" {
 					report(node.Pos(), "raw http.Error bypasses the error envelope; use writeError")
 				}
-				if sel.Sel.Name == "HandleFunc" {
-					checkAdminRoute(node, report)
+				// Routes register two ways: straight onto the mux
+				// (mux.HandleFunc(pattern, h)) or through the server's
+				// instrumented helper (s.route(mux, pattern, h)).
+				if sel.Sel.Name == "HandleFunc" && len(node.Args) >= 2 {
+					checkAdminRoute(node.Args[0], node.Args[1], node.Pos(), report)
+				}
+				if sel.Sel.Name == "route" && len(node.Args) >= 3 {
+					checkAdminRoute(node.Args[1], node.Args[2], node.Pos(), report)
 				}
 			}
 		case *ast.CompositeLit:
@@ -158,18 +179,104 @@ func checkSSEHandler(fn *ast.FuncDecl, report func(token.Pos, string)) {
 // checkAdminRoute enforces that every route under /api/admin/ is registered
 // behind withRole — an admin endpoint silently reachable by students is the
 // kind of regression a refactor introduces without failing any test.
-func checkAdminRoute(call *ast.CallExpr, report func(token.Pos, string)) {
-	if len(call.Args) < 2 {
-		return
-	}
-	pattern, ok := call.Args[0].(*ast.BasicLit)
+func checkAdminRoute(patternArg, handlerArg ast.Expr, pos token.Pos, report func(token.Pos, string)) {
+	pattern, ok := patternArg.(*ast.BasicLit)
 	if !ok || pattern.Kind != token.STRING || !strings.Contains(pattern.Value, "/api/admin/") {
 		return
 	}
-	if wrapped, ok := call.Args[1].(*ast.CallExpr); ok {
+	if wrapped, ok := handlerArg.(*ast.CallExpr); ok {
 		if sel, ok := wrapped.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "withRole" {
 			return
 		}
 	}
-	report(call.Pos(), "route under /api/admin/ registered without withRole; wrap the handler in s.withRole")
+	report(pos, "route under /api/admin/ registered without withRole; wrap the handler in s.withRole")
+}
+
+// checkDocs verifies that every /api/ route registered in the linted
+// directories is mentioned in the API reference file. The check is textual
+// on the path (method stripped): a route whose literal path — wildcards and
+// all — never appears in the docs is an endpoint that shipped undocumented.
+func checkDocs(dirs []string, docsPath string) (int, error) {
+	ref, err := os.ReadFile(docsPath)
+	if err != nil {
+		return 0, err
+	}
+	docs := string(ref)
+	bad := 0
+	for _, dir := range dirs {
+		routes, err := collectRoutes(dir)
+		if err != nil {
+			return bad, err
+		}
+		for _, rt := range routes {
+			if !strings.Contains(docs, rt.path) {
+				fmt.Fprintf(os.Stderr, "%s: route %s is not documented in %s\n", rt.pos, rt.path, docsPath)
+				bad++
+			}
+		}
+	}
+	return bad, nil
+}
+
+type routeDecl struct {
+	path string
+	pos  token.Position
+}
+
+// collectRoutes parses a directory again and returns every /api/ path
+// registered through mux.HandleFunc or s.route, with the "METHOD " prefix
+// stripped.
+func collectRoutes(dir string) ([]routeDecl, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var routes []routeDecl
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			var patternArg ast.Expr
+			switch {
+			case sel.Sel.Name == "HandleFunc" && len(call.Args) >= 2:
+				patternArg = call.Args[0]
+			case sel.Sel.Name == "route" && len(call.Args) >= 3:
+				patternArg = call.Args[1]
+			default:
+				return true
+			}
+			lit, ok := patternArg.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			pattern := strings.Trim(lit.Value, `"`)
+			// Patterns are "METHOD /path"; keep only the path, and only
+			// API routes (the index page and /metrics are not part of the
+			// documented API surface).
+			if i := strings.IndexByte(pattern, ' '); i >= 0 {
+				pattern = pattern[i+1:]
+			}
+			if strings.HasPrefix(pattern, "/api/") {
+				routes = append(routes, routeDecl{path: pattern, pos: fset.Position(call.Pos())})
+			}
+			return true
+		})
+	}
+	return routes, nil
 }

@@ -109,6 +109,52 @@ func install(mux *http.ServeMux, s *server) {
 	}
 }
 
+func TestLintFlagsUnprotectedRouteSelector(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "bad.go", `package p
+
+import "net/http"
+
+func install(mux *http.ServeMux, s *server) {
+	s.route(mux, "PUT /api/admin/users/x/limits", s.handleSetLimits)
+	s.route(mux, "GET /api/admin/users/usage", s.withRole(roleAdmin, s.handleUsageList))
+	s.route(mux, "GET /api/usage", s.withAuth(s.handleUsage))
+}
+`)
+	n, err := lintDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("violations = %d, want 1", n)
+	}
+}
+
+func TestDocsRuleFlagsUndocumentedRoute(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "routes.go", `package p
+
+import "net/http"
+
+func install(mux *http.ServeMux, s *server) {
+	s.route(mux, "GET /api/usage", s.withAuth(s.handleUsage))
+	mux.HandleFunc("GET /api/hidden", s.handleHidden)
+	s.route(mux, "GET /", s.handleIndex)
+}
+`)
+	docs := filepath.Join(dir, "api.md")
+	if err := os.WriteFile(docs, []byte("## GET /api/usage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := checkDocs([]string{dir}, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("violations = %d, want 1 (only /api/hidden is undocumented)", n)
+	}
+}
+
 func TestLintPortalPackageIsClean(t *testing.T) {
 	// Walk up to the repo root so the test works under any package dir.
 	root, err := filepath.Abs(filepath.Join("..", ".."))

@@ -8,8 +8,16 @@
 // Usage:
 //
 //	loadgen [-url http://host:8080] [-rps 200] [-duration 10s]
-//	        [-deck mixed|read|submit|login|languages|get|list|watch]
+//	        [-deck mixed|read|submit|login|languages|get|list|watch|multitenant]
 //	        [-users 8] [-conns 32] [-timeout 5s] [-smoke] [-o bench.txt]
+//
+// The multitenant deck mixes submissions and usage polls across the rotating
+// accounts; when driving the in-process portal it also assigns skewed
+// fair-share weights (1, 2, 4, 8 round-robin) through the admin limits API,
+// so the run exercises the weighted scheduler rather than equal shares.
+// Rate-limited responses (429) are counted in their own bucket — under
+// -smoke any 429 at the default limits fails the run, since the defaults
+// are sized to never throttle a well-behaved classroom.
 //
 // With no -url it boots an in-process portal (the paper's default cluster,
 // memory persistence) on a loopback listener and drives that — the mode
@@ -43,7 +51,7 @@ func main() {
 		baseURL  = flag.String("url", "", "portal base URL; empty boots an in-process portal")
 		rps      = flag.Float64("rps", 200, "target open-loop arrival rate, requests/second")
 		duration = flag.Duration("duration", 10*time.Second, "load duration")
-		deck     = flag.String("deck", "mixed", "scenario deck: mixed, read, submit, login, languages, get, list, watch")
+		deck     = flag.String("deck", "mixed", "scenario deck: mixed, read, submit, login, languages, get, list, watch, multitenant")
 		users    = flag.Int("users", 8, "accounts to register and rotate across")
 		conns    = flag.Int("conns", 32, "concurrent workers (connection upper bound)")
 		timeout  = flag.Duration("timeout", 5*time.Second, "per-request timeout")
@@ -68,16 +76,17 @@ func run(baseURL, deckName string, rps float64, duration time.Duration, users, c
 	}
 	mix, ok := decks[deckName]
 	if !ok {
-		return fmt.Errorf("unknown deck %q (have mixed, read, submit, login, languages, get, list, watch)", deckName)
+		return fmt.Errorf("unknown deck %q (have mixed, read, submit, login, languages, get, list, watch, multitenant)", deckName)
 	}
 
+	var sys *ccportal.System
 	if baseURL == "" {
-		stop, addr, err := bootPortal()
+		stop, addr, s, err := bootPortal()
 		if err != nil {
 			return err
 		}
 		defer stop()
-		baseURL = addr
+		baseURL, sys = addr, s
 	}
 	baseURL = strings.TrimRight(baseURL, "/")
 
@@ -93,6 +102,11 @@ func run(baseURL, deckName string, rps float64, duration time.Duration, users, c
 	}
 	if err := r.setup(users); err != nil {
 		return err
+	}
+	if deckName == "multitenant" && sys != nil {
+		if err := skewWeights(sys, baseURL, users); err != nil {
+			return fmt.Errorf("assigning fair-share weights: %w", err)
+		}
 	}
 
 	res := r.fire(mix, rps, duration, conns, seed)
@@ -121,32 +135,59 @@ func run(baseURL, deckName string, rps float64, duration time.Duration, users, c
 		if res.serverErrs > 0 || res.transportErrs > 0 {
 			return fmt.Errorf("smoke: %d server errors, %d transport errors", res.serverErrs, res.transportErrs)
 		}
+		if res.rateLimited > 0 {
+			return fmt.Errorf("smoke: %d spurious 429s at default rate limits", res.rateLimited)
+		}
 	}
 	return nil
 }
 
 // bootPortal starts an in-process portal on a loopback listener and returns
-// a stop function plus the base URL.
-func bootPortal() (func(), string, error) {
+// a stop function, the base URL and the system (for in-process-only setup
+// such as weight assignment).
+func bootPortal() (func(), string, *ccportal.System, error) {
 	cfg := ccportal.DefaultConfig()
 	logger, err := ccportal.NewLogger("error")
 	if err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
 	sys, err := ccportal.New(cfg, ccportal.Options{Policy: "pack", Logger: logger})
 	if err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
 	go sys.Serve(ln)
 	stop := func() {
 		ln.Close()
 		sys.Stop()
 	}
-	return stop, "http://" + ln.Addr().String(), nil
+	return stop, "http://" + ln.Addr().String(), sys, nil
+}
+
+// skewWeights bootstraps an admin account on the in-process portal and
+// assigns the loadgen users fair-share weights 1, 2, 4, 8 round-robin
+// through the admin limits API, so the multitenant deck runs against a
+// genuinely weighted scheduler.
+func skewWeights(sys *ccportal.System, baseURL string, users int) error {
+	const admin, adminPass = "loadgen-admin", "loadgen-admin-pass"
+	// A re-run against a still-warm in-process portal finds the account.
+	if err := sys.Bootstrap(admin, adminPass, ccportal.RoleAdmin); err != nil && !strings.Contains(err.Error(), "exists") {
+		return err
+	}
+	c := ccportal.NewClient(baseURL)
+	if err := c.Login(admin, adminPass); err != nil {
+		return err
+	}
+	for i := 0; i < users; i++ {
+		w := int64(1) << (i % 4)
+		if _, err := c.SetLimits(fmt.Sprintf("loadgen%d", i), ccportal.LimitSpec{Weight: &w}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // --- workload --------------------------------------------------------------
@@ -202,14 +243,21 @@ func (r *runner) setup(users int) error {
 	}
 	// Seed jobs so get/watch/cancel never start against an empty pool.
 	for i := 0; i < 2*users; i++ {
-		if err := r.submitJob(r.tokens[i%len(r.tokens)]); err != nil {
+		status, err := r.submitJob(r.tokens[i%len(r.tokens)])
+		if err != nil {
 			return fmt.Errorf("seed job: %w", err)
+		}
+		if status >= 300 {
+			return fmt.Errorf("seed job: submit returned %d", status)
 		}
 	}
 	return nil
 }
 
-func (r *runner) submitJob(token string) error {
+// submitJob submits one job, pooling its ID on success. The status is
+// returned alongside so callers can classify HTTP rejections (including
+// 429s) themselves; err is non-nil only for transport failures.
+func (r *runner) submitJob(token string) (int, error) {
 	var job struct {
 		ID string `json:"id"`
 	}
@@ -217,10 +265,10 @@ func (r *runner) submitJob(token string) error {
 		"source_path": "/bench.mc", "language": "minic", "ranks": 1,
 	}, &job)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if status >= 300 || job.ID == "" {
-		return fmt.Errorf("submit returned %d", status)
+		return status, nil
 	}
 	r.mu.Lock()
 	ref := jobRef{id: job.ID, token: token}
@@ -232,7 +280,7 @@ func (r *runner) submitJob(token string) error {
 		r.jobs = append(r.jobs, ref)
 	}
 	r.mu.Unlock()
-	return nil
+	return status, nil
 }
 
 func (r *runner) randomJob(rng *rand.Rand) (jobRef, bool) {
@@ -301,6 +349,7 @@ const (
 	opLogin
 	opSubmit
 	opCancel
+	opUsage
 )
 
 // weighted is one deck entry: an operation and its share of the deck.
@@ -317,7 +366,14 @@ var decks = map[string][]weighted{
 		{opLanguages, 15}, {opList, 25}, {opGet, 25}, {opWatch, 10},
 		{opLogin, 10}, {opSubmit, 10}, {opCancel, 5},
 	},
-	"read":      {{opLanguages, 30}, {opList, 30}, {opGet, 30}, {opWatch, 10}},
+	"read": {{opLanguages, 30}, {opList, 30}, {opGet, 30}, {opWatch, 10}},
+	// multitenant approximates a contended class: heavy submission pressure
+	// from every account plus usage polls, against skewed fair-share weights
+	// when the portal is in-process.
+	"multitenant": {
+		{opSubmit, 35}, {opUsage, 15}, {opList, 15}, {opGet, 20},
+		{opWatch, 10}, {opCancel, 5},
+	},
 	"submit":    {{opSubmit, 70}, {opCancel, 30}},
 	"login":     {{opLogin, 100}},
 	"languages": {{opLanguages, 100}},
@@ -342,11 +398,40 @@ func pickOp(mix []weighted, rng *rand.Rand) op {
 	return mix[len(mix)-1].op
 }
 
+// outcome classifies one request's result.
+type outcome int
+
+const (
+	outcomeOK          outcome = iota
+	outcomeClient              // 4xx other than 429: the request itself was bad
+	outcomeServer              // 5xx: the server failed
+	outcomeTransport           // timeout, refused connection
+	outcomeRateLimited         // 429: throttled by the per-user token bucket
+)
+
+// classify maps a status/error pair to its bucket. 429 is split out from
+// the other 4xx: under a fairness experiment being throttled is the signal
+// under measurement, not a malformed request.
+func classify(status int, err error) outcome {
+	switch {
+	case err != nil:
+		return outcomeTransport
+	case status == http.StatusTooManyRequests:
+		return outcomeRateLimited
+	case status >= 500:
+		return outcomeServer
+	case status >= 400:
+		return outcomeClient
+	}
+	return outcomeOK
+}
+
 // execute performs one operation and classifies the outcome. A cancel
 // racing a finished job (409/422-style rejections) is expected traffic, not
-// a failure; everything else 4xx counts as a client error, 5xx as a server
-// error, and a transport failure (timeout, refused) as its own bucket.
-func (r *runner) execute(o op, token string, rng *rand.Rand) (clientErr, serverErr, transportErr bool) {
+// a failure; 429 counts in its own rate-limited bucket, everything else 4xx
+// as a client error, 5xx as a server error, and a transport failure
+// (timeout, refused) as its own bucket.
+func (r *runner) execute(o op, token string, rng *rand.Rand) outcome {
 	var status int
 	var err error
 	switch o {
@@ -354,6 +439,8 @@ func (r *runner) execute(o op, token string, rng *rand.Rand) (clientErr, serverE
 		status, err = r.get("/api/languages", token)
 	case opList:
 		status, err = r.get("/api/jobs?limit=16", token)
+	case opUsage:
+		status, err = r.get("/api/usage", token)
 	case opGet:
 		if ref, ok := r.randomJob(rng); ok {
 			status, err = r.get("/api/jobs/"+ref.id, ref.token)
@@ -370,34 +457,18 @@ func (r *runner) execute(o op, token string, rng *rand.Rand) (clientErr, serverE
 		user := fmt.Sprintf("loadgen%d", rng.Intn(len(r.tokens)))
 		status, err = r.postJSON("/api/login", "", map[string]string{"user": user, "password": loadgenPassword}, nil)
 	case opSubmit:
-		if e := r.submitJob(token); e != nil {
-			// submitJob folds HTTP rejection into its error; treat a
-			// rejected-but-delivered submission as a client error.
-			if strings.Contains(e.Error(), "submit returned") {
-				return true, false, false
-			}
-			return false, false, true
-		}
-		return false, false, false
+		status, err = r.submitJob(token)
 	case opCancel:
 		ref, ok := r.randomJob(rng)
 		if !ok {
-			return false, false, false
+			return outcomeOK
 		}
 		status, err = r.postJSON("/api/jobs/"+ref.id+"/cancel", ref.token, map[string]string{}, nil)
-		if err == nil && status >= 400 && status < 500 {
-			return false, false, false // already finished: expected
+		if err == nil && status >= 400 && status < 500 && status != http.StatusTooManyRequests {
+			return outcomeOK // already finished: expected
 		}
 	}
-	switch {
-	case err != nil:
-		return false, false, true
-	case status >= 500:
-		return false, true, false
-	case status >= 400:
-		return true, false, false
-	}
-	return false, false, false
+	return classify(status, err)
 }
 
 // --- open-loop engine ------------------------------------------------------
@@ -409,6 +480,7 @@ type result struct {
 	clientErrs    int
 	serverErrs    int
 	transportErrs int
+	rateLimited   int // 429 responses: throttled, not failed
 	elapsed       time.Duration
 	latencies     []time.Duration // sorted on return
 }
@@ -416,12 +488,13 @@ type result struct {
 // worker is one concurrent executor with private state, so the hot loop
 // shares nothing but the arrival channel and the job pool.
 type worker struct {
-	rng       *rand.Rand
-	token     string
-	lats      []time.Duration
-	client    int
-	server    int
-	transport int
+	rng         *rand.Rand
+	token       string
+	lats        []time.Duration
+	client      int
+	server      int
+	transport   int
+	rateLimited int
 }
 
 // fire runs the open-loop load: a dispatcher emits intended start times at
@@ -446,16 +519,17 @@ func (r *runner) fire(mix []weighted, rps float64, duration time.Duration, conns
 			defer wg.Done()
 			for intended := range arrivals {
 				o := pickOp(mix, w.rng)
-				c, s, tr := r.execute(o, w.token, w.rng)
+				out := r.execute(o, w.token, w.rng)
 				w.lats = append(w.lats, time.Since(intended))
-				if c {
+				switch out {
+				case outcomeClient:
 					w.client++
-				}
-				if s {
+				case outcomeServer:
 					w.server++
-				}
-				if tr {
+				case outcomeTransport:
 					w.transport++
+				case outcomeRateLimited:
+					w.rateLimited++
 				}
 			}
 		}()
@@ -487,6 +561,7 @@ func (r *runner) fire(mix []weighted, rps float64, duration time.Duration, conns
 		res.clientErrs += w.client
 		res.serverErrs += w.server
 		res.transportErrs += w.transport
+		res.rateLimited += w.rateLimited
 	}
 	res.completed = len(res.latencies)
 	sort.Slice(res.latencies, func(i, j int) bool { return res.latencies[i] < res.latencies[j] })
@@ -524,8 +599,8 @@ func report(w io.Writer, deck string, rps float64, res result) {
 		ms(percentile(res.latencies, 0.50)), ms(percentile(res.latencies, 0.90)),
 		ms(percentile(res.latencies, 0.99)), ms(percentile(res.latencies, 0.999)),
 		ms(percentile(res.latencies, 1.0)))
-	fmt.Fprintf(w, "errors: client=%d server=%d transport=%d\n",
-		res.clientErrs, res.serverErrs, res.transportErrs)
+	fmt.Fprintf(w, "errors: client=%d server=%d transport=%d rate-limited=%d\n",
+		res.clientErrs, res.serverErrs, res.transportErrs, res.rateLimited)
 }
 
 // benchLine renders the run as one `go test -bench` result line so the
@@ -537,9 +612,9 @@ func benchLine(deck string, rps float64, res result) string {
 	return fmt.Sprintf("%s \t %d \t %.1f ns/op"+
 		"\t%.1f rps-target\t%.1f rps-achieved"+
 		"\t%.3f p50-ms\t%.3f p99-ms\t%.3f p999-ms"+
-		"\t%d dropped\t%d errs-client\t%d errs-server\t%d errs-transport",
+		"\t%d dropped\t%d errs-client\t%d errs-server\t%d errs-transport\t%d rate-limited",
 		name, res.completed, meanNs(res.latencies),
 		rps, achieved,
 		ms(percentile(res.latencies, 0.50)), ms(percentile(res.latencies, 0.99)), ms(percentile(res.latencies, 0.999)),
-		res.dropped, res.clientErrs, res.serverErrs, res.transportErrs)
+		res.dropped, res.clientErrs, res.serverErrs, res.transportErrs, res.rateLimited)
 }

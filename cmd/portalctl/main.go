@@ -21,6 +21,9 @@
 //	stats                         cluster summary
 //	events                        scheduler activity feed
 //	format <remote>               pretty-print a minic source in place
+//	usage [user]                  resource standing (own, or any user's — admin)
+//	limits <user> [key=val...]    show or set limit overrides (admin);
+//	                              keys: quota steps jobs rate burst weight
 //	backup <file>                 download a state snapshot (admin)
 //	restore <file>                upload a state snapshot (admin)
 //	persistence                   data provider status (admin)
@@ -34,6 +37,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	ccportal "repro"
@@ -269,6 +273,40 @@ func run(url, user, pass string, args []string) error {
 			fmt.Printf("  jobs %-10s %d\n", state, n)
 		}
 		return nil
+	case "usage":
+		var u ccportal.Usage
+		var err error
+		if len(rest) > 0 {
+			u, err = c.AdminUsage(rest[0])
+		} else {
+			u, err = c.Usage()
+		}
+		if err != nil {
+			return err
+		}
+		printUsage(u)
+		return nil
+	case "limits":
+		if len(rest) < 1 {
+			return fmt.Errorf("limits needs <user> [key=value...]")
+		}
+		spec, err := parseLimitSpec(rest[1:])
+		if err != nil {
+			return err
+		}
+		res, err := c.SetLimits(rest[0], spec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("limits for %s (0 = default, -1 = unlimited):\n", res.User)
+		fmt.Printf("  %-12s %-12s %s\n", "key", "override", "effective")
+		fmt.Printf("  %-12s %-12d %d\n", "quota", res.Limits.QuotaBytes, res.Effective.QuotaBytes)
+		fmt.Printf("  %-12s %-12d %d\n", "steps", res.Limits.StepBudget, res.Effective.StepBudget)
+		fmt.Printf("  %-12s %-12d %d\n", "jobs", res.Limits.MaxJobs, res.Effective.MaxJobs)
+		fmt.Printf("  %-12s %-12g %g\n", "rate", res.Limits.RatePerSec, res.Effective.RatePerSec)
+		fmt.Printf("  %-12s %-12d %d\n", "burst", res.Limits.Burst, res.Effective.Burst)
+		fmt.Printf("  %-12s %-12d %d\n", "weight", res.Limits.Weight, res.Effective.Weight)
+		return nil
 	case "backup":
 		if len(rest) != 1 {
 			return fmt.Errorf("backup needs <file>")
@@ -350,6 +388,60 @@ func watchJob(c *ccportal.Client, id string, timeout time.Duration) (string, err
 		}
 		fmt.Print(ev.Data)
 	}
+}
+
+// printUsage renders one user's resource standing. Unlimited bounds arrive
+// as -1 from the server and are printed as such.
+func printUsage(u ccportal.Usage) {
+	fmt.Printf("usage for %s:\n", u.User)
+	fmt.Printf("  disk:   %d / %d bytes\n", u.Disk.UsedBytes, u.Disk.QuotaBytes)
+	fmt.Printf("  steps:  %d / %d (remaining %d)\n", u.Steps.Used, u.Steps.Budget, u.Steps.Remaining)
+	fmt.Printf("  jobs:   %d active / %d max\n", u.Jobs.Active, u.Jobs.Max)
+	fmt.Printf("  rate:   %g req/s, burst %d\n", u.Rate.PerSec, u.Rate.Burst)
+	fmt.Printf("  weight: %d\n", u.Weight)
+}
+
+// parseLimitSpec turns key=value arguments into a partial limits update.
+// Keys not mentioned stay untouched on the server; value 0 resets the
+// override to the deployment default and a negative value means unlimited.
+func parseLimitSpec(kvs []string) (ccportal.LimitSpec, error) {
+	var spec ccportal.LimitSpec
+	for _, kv := range kvs {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return spec, fmt.Errorf("limit %q is not key=value", kv)
+		}
+		switch key {
+		case "quota", "steps", "jobs", "burst", "weight":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return spec, fmt.Errorf("bad %s value %q", key, val)
+			}
+			switch key {
+			case "quota":
+				spec.QuotaBytes = &n
+			case "steps":
+				spec.StepBudget = &n
+			case "jobs":
+				i := int(n)
+				spec.MaxJobs = &i
+			case "burst":
+				i := int(n)
+				spec.Burst = &i
+			case "weight":
+				spec.Weight = &n
+			}
+		case "rate":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return spec, fmt.Errorf("bad rate value %q", val)
+			}
+			spec.RatePerSec = &f
+		default:
+			return spec, fmt.Errorf("unknown limit key %q (want quota, steps, jobs, rate, burst or weight)", key)
+		}
+	}
+	return spec, nil
 }
 
 // printSpan renders one span and its children as an indented tree.

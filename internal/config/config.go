@@ -115,6 +115,26 @@ type Limits struct {
 	// cannot feed input faster than the program consumes it and balloon
 	// the process.
 	StdinBufferBytes int `json:"stdin_buffer"`
+	// UserStepBudget bounds cumulative VM instructions per user across all
+	// of their jobs; 0 means unlimited. Distinct from VMStepBudget, which
+	// bounds one rank of one job.
+	UserStepBudget int64 `json:"user_step_budget"`
+	// MaxJobsPerUser caps one user's concurrently active jobs; 0 or
+	// negative means unlimited.
+	MaxJobsPerUser int `json:"max_jobs_per_user"`
+	// APIRatePerSec and APIRateBurst parameterize the per-user API token
+	// bucket. Rate 0 or negative disables rate limiting.
+	APIRatePerSec float64 `json:"api_rate_per_sec"`
+	APIRateBurst  int     `json:"api_rate_burst"`
+}
+
+// Fairness tunes multi-tenant scheduling.
+type Fairness struct {
+	// Enabled switches the scheduler from pure FIFO to weighted fair-share
+	// across job owners.
+	Enabled bool `json:"enabled"`
+	// DefaultWeight is the fair-share weight of users without an override.
+	DefaultWeight int64 `json:"default_weight"`
 }
 
 // Persistence describes the durable control plane: where the write-ahead
@@ -147,6 +167,7 @@ type Config struct {
 	Network     Network     `json:"network"`
 	Portal      Portal      `json:"portal"`
 	Limits      Limits      `json:"limits"`
+	Fairness    Fairness    `json:"fairness"`
 	Persistence Persistence `json:"persistence"`
 }
 
@@ -181,6 +202,14 @@ func Default() Config {
 			ArtifactCacheSize: 4096,
 			StreamBufferBytes: 1 << 20,
 			StdinBufferBytes:  1 << 20,
+			UserStepBudget:    0, // unlimited
+			MaxJobsPerUser:    256,
+			APIRatePerSec:     500,
+			APIRateBurst:      1000,
+		},
+		Fairness: Fairness{
+			Enabled:       true,
+			DefaultWeight: 1,
 		},
 		Persistence: Persistence{
 			Mode:             "memory",
@@ -236,6 +265,16 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: limits.stream_buffer must be positive")
 	case c.Limits.StdinBufferBytes <= 0:
 		return fmt.Errorf("config: limits.stdin_buffer must be positive")
+	case c.Limits.UserStepBudget < 0:
+		return fmt.Errorf("config: limits.user_step_budget must be non-negative, got %d", c.Limits.UserStepBudget)
+	case c.Limits.MaxJobsPerUser < 0:
+		return fmt.Errorf("config: limits.max_jobs_per_user must be non-negative, got %d", c.Limits.MaxJobsPerUser)
+	case c.Limits.APIRatePerSec < 0:
+		return fmt.Errorf("config: limits.api_rate_per_sec must be non-negative, got %v", c.Limits.APIRatePerSec)
+	case c.Limits.APIRatePerSec > 0 && c.Limits.APIRateBurst <= 0:
+		return fmt.Errorf("config: limits.api_rate_burst must be positive when rate limiting is on")
+	case c.Fairness.Enabled && c.Fairness.DefaultWeight < 1:
+		return fmt.Errorf("config: fairness.default_weight must be >= 1, got %d", c.Fairness.DefaultWeight)
 	case c.Persistence.Mode != "memory" && c.Persistence.Mode != "durable":
 		return fmt.Errorf("config: persistence.mode must be \"memory\" or \"durable\", got %q", c.Persistence.Mode)
 	case c.Persistence.Fsync != "always" && c.Persistence.Fsync != "interval" && c.Persistence.Fsync != "never":

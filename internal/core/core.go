@@ -22,6 +22,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/portal"
 	"repro/internal/scheduler"
+	"repro/internal/tenancy"
 	"repro/internal/toolchain"
 	"repro/internal/vfs"
 )
@@ -57,6 +58,9 @@ type System struct {
 	Auth    *auth.Service
 	Sched   *scheduler.Scheduler
 	Portal  *portal.Server
+	// Tenancy is the per-user accounting layer: disk usage, step budgets,
+	// job caps, API rate limits and fair-share weights.
+	Tenancy *tenancy.Accountant
 	// Provider is the configured persistence backend. Call Recover once
 	// before Start to restore its contents and arm journaling; Close it
 	// after Stop on shutdown.
@@ -105,6 +109,20 @@ func NewSystem(cfg config.Config, opts Options) (*System, error) {
 	if opts.TreeCollectives {
 		collective = mpi.Tree
 	}
+	// The tenancy accountant must exist before Recover runs: the VFS usage
+	// sink rebuilds disk counters from journal replay, and tenancy records
+	// in the WAL replay straight into it.
+	acct := tenancy.New(tenancy.Limits{
+		QuotaBytes: cfg.Portal.QuotaBytes,
+		StepBudget: cfg.Limits.UserStepBudget,
+		MaxJobs:    cfg.Limits.MaxJobsPerUser,
+		RatePerSec: cfg.Limits.APIRatePerSec,
+		Burst:      cfg.Limits.APIRateBurst,
+		Weight:     cfg.Fairness.DefaultWeight,
+	}, clk)
+	fs.SetUsageSink(acct.AddDisk)
+	acct.SetQuotaHook(fs.SetQuota)
+	store.SetAdmission(acct.AdmitJob)
 	// One registry spans the scheduler and the portal so the scheduler's
 	// latency histograms surface on /metrics next to the HTTP ones.
 	reg := metrics.NewRegistry()
@@ -119,6 +137,8 @@ func NewSystem(cfg config.Config, opts Options) (*System, error) {
 		Logger:         opts.Logger.Named("sched"),
 		Clock:          clk,
 		Metrics:        reg,
+		FairShare:      cfg.Fairness.Enabled,
+		Tenant:         acct,
 	})
 	prov, err := buildProvider(cfg, reg)
 	if err != nil {
@@ -128,6 +148,7 @@ func NewSystem(cfg config.Config, opts Options) (*System, error) {
 		opts.Logger.Named("portal"), cfg.Portal.MaxUploadBytes)
 	srv.SetMetrics(reg)
 	srv.SetAccessLogSampling(cfg.Portal.AccessLogSample)
+	srv.SetTenancy(acct)
 	sys := &System{
 		Config:   cfg,
 		Clock:    clk,
@@ -139,6 +160,7 @@ func NewSystem(cfg config.Config, opts Options) (*System, error) {
 		Auth:     authSvc,
 		Sched:    sched,
 		Portal:   srv,
+		Tenancy:  acct,
 		Provider: prov,
 		Metrics:  reg,
 		log:      opts.Logger,

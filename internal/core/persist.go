@@ -36,6 +36,7 @@ func (s *System) attachJournals() {
 	s.Jobs.SetJournal(s.Provider)
 	s.Auth.SetJournal(s.Provider)
 	s.FS.SetJournal(s.Provider)
+	s.Tenancy.SetJournal(s.Provider)
 }
 
 // RecoveryStats summarizes a Recover pass, for the boot log.
@@ -104,6 +105,8 @@ func (s *System) applyRecord(rec dataprovider.Record) error {
 	case dataprovider.KindVFSWrite, dataprovider.KindVFSMkdir,
 		dataprovider.KindVFSRemove, dataprovider.KindVFSRename, dataprovider.KindVFSCopy:
 		return s.FS.ApplyRecord(rec)
+	case dataprovider.KindTenancyLimits, dataprovider.KindTenancySteps:
+		return s.Tenancy.ApplyRecord(rec)
 	default:
 		return fmt.Errorf("core: unknown record kind %d", rec.Kind)
 	}

@@ -8,23 +8,26 @@ import (
 
 	"repro/internal/auth"
 	"repro/internal/jobs"
+	"repro/internal/tenancy"
 	"repro/internal/vfs"
 )
 
 // stateVersion guards the snapshot format. Version 1 carried accounts and
-// homes; version 2 adds the job history. Both are readable.
-const stateVersion = 2
+// homes; version 2 adds the job history; version 3 adds tenancy records
+// (limit overrides and step totals). All are readable.
+const stateVersion = 3
 
-// state is the persisted system snapshot: accounts, home directories, and
-// the job history in its stable serialized form. Sessions and cluster
-// allocations are runtime state and are never persisted — after a restart
-// users log in again and the cluster is empty, exactly like the real portal
-// after maintenance.
+// state is the persisted system snapshot: accounts, home directories, the
+// job history in its stable serialized form, and per-user tenancy records.
+// Sessions and cluster allocations are runtime state and are never persisted
+// — after a restart users log in again and the cluster is empty, exactly
+// like the real portal after maintenance.
 type state struct {
 	Version int                   `json:"version"`
 	Users   []auth.Record         `json:"users"`
 	Homes   map[string][]vfs.Dump `json:"homes"`
 	Jobs    []jobs.PersistedJob   `json:"jobs,omitempty"`
+	Tenancy []tenancy.Record      `json:"tenancy,omitempty"`
 }
 
 // buildState assembles the snapshot image of the current system.
@@ -34,6 +37,7 @@ func (s *System) buildState() (state, error) {
 		Users:   s.Auth.Export(),
 		Homes:   make(map[string][]vfs.Dump),
 		Jobs:    s.Jobs.Export(),
+		Tenancy: s.Tenancy.Export(),
 	}
 	for _, user := range s.FS.Users() {
 		home, err := s.FS.Home(user)
@@ -54,6 +58,12 @@ func (s *System) applyState(st *state) error {
 		return fmt.Errorf("core: state version %d, this build reads 1..%d", st.Version, stateVersion)
 	}
 	if err := s.Auth.Import(st.Users); err != nil {
+		return err
+	}
+	// Tenancy before homes: a user whose quota override exceeds the default
+	// must have the raised quota in force when their home is imported, or a
+	// legitimately oversized home would fail the import.
+	if err := s.Tenancy.Import(st.Tenancy); err != nil {
 		return err
 	}
 	for user, dump := range st.Homes {

@@ -52,6 +52,13 @@ const (
 	KindVFSRename Kind = 8
 	// KindVFSCopy records a copy (vfs.MoveRecord).
 	KindVFSCopy Kind = 9
+	// KindTenancyLimits upserts a user's limit overrides (tenancy.LimitsRecord).
+	KindTenancyLimits Kind = 10
+	// KindTenancySteps records a user's cumulative VM step total as an
+	// absolute value (tenancy.StepsRecord); replay is monotonic, so records a
+	// snapshot already folded in are no-ops. Disk usage is never journaled —
+	// it is derived by replaying the VFS records through the usage sink.
+	KindTenancySteps Kind = 11
 )
 
 // Record is one journaled operation: a kind plus the emitting subsystem's

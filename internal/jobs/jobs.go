@@ -249,6 +249,13 @@ type Store struct {
 	active atomic.Int64
 	counts [StateCancelled + 1]atomic.Int64
 
+	// admitMu guards the per-owner active count and the admission hook; both
+	// sit off the read paths, so a plain mutex is fine. The hook (the tenancy
+	// accountant) can veto a submission based on the owner's current load.
+	admitMu     sync.Mutex
+	ownerActive map[string]int
+	admit       func(owner string, active int) error
+
 	listMu sync.RWMutex
 	order  []*Job         // submission order
 	pos    map[string]int // job id → index in order, for O(page) listing
@@ -274,6 +281,43 @@ func (s *Store) SetNotify(fn func()) {
 	s.notifyMu.Unlock()
 }
 
+// SetAdmission installs a per-owner admission hook consulted on every Submit
+// after the global queue-cap slot is claimed. fn receives the owner and their
+// current non-terminal job count; a non-nil error rejects the submission and
+// is returned to the caller verbatim. nil disables the hook.
+func (s *Store) SetAdmission(fn func(owner string, active int) error) {
+	s.admitMu.Lock()
+	s.admit = fn
+	s.admitMu.Unlock()
+}
+
+// ActiveByOwner reports how many non-terminal jobs the owner has.
+func (s *Store) ActiveByOwner(owner string) int {
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	return s.ownerActive[owner]
+}
+
+// ownerDone decrements the owner's active count on a terminal transition.
+func (s *Store) ownerDone(owner string) {
+	s.admitMu.Lock()
+	if n := s.ownerActive[owner]; n > 1 {
+		s.ownerActive[owner] = n - 1
+	} else {
+		delete(s.ownerActive, owner)
+	}
+	s.admitMu.Unlock()
+}
+
+// ownerRestored increments the owner's active count for a replayed
+// non-terminal job without consulting the admission hook: recovery must
+// reconstruct what was admitted, not re-litigate it.
+func (s *Store) ownerRestored(owner string) {
+	s.admitMu.Lock()
+	s.ownerActive[owner]++
+	s.admitMu.Unlock()
+}
+
 // NewStore returns a Store admitting at most maxQueued non-terminal jobs
 // (0 means unlimited).
 func NewStore(maxQueued int, clk clock.Clock) *Store {
@@ -281,10 +325,11 @@ func NewStore(maxQueued int, clk clock.Clock) *Store {
 		clk = clock.Real{}
 	}
 	s := &Store{
-		gen:  ids.NewSequential("job"),
-		clk:  clk,
-		maxQ: maxQueued,
-		pos:  make(map[string]int),
+		gen:         ids.NewSequential("job"),
+		clk:         clk,
+		maxQ:        maxQueued,
+		pos:         make(map[string]int),
+		ownerActive: make(map[string]int),
 	}
 	for i := range s.shards {
 		s.shards[i].jobs = make(map[string]*Job)
@@ -342,6 +387,18 @@ func (s *Store) Submit(spec Spec) (*Job, error) {
 			break
 		}
 	}
+	// Per-owner admission after the global slot is claimed: the hook sees the
+	// owner's live count and may veto (concurrent-job cap, spent step budget).
+	s.admitMu.Lock()
+	if s.admit != nil {
+		if err := s.admit(spec.Owner, s.ownerActive[spec.Owner]); err != nil {
+			s.admitMu.Unlock()
+			s.active.Add(-1) // release the claimed slot
+			return nil, err
+		}
+	}
+	s.ownerActive[spec.Owner]++
+	s.admitMu.Unlock()
 	id := s.gen.Next()
 	tr := trace.New("job", s.clk)
 	tr.Root().Annotate("job_id", id)
@@ -491,6 +548,7 @@ func (s *Store) transition(id string, next State, failure string, now time.Time,
 	}
 	if next.Terminal() {
 		s.active.Add(-1)
+		s.ownerDone(j.Spec.Owner)
 		cause := context.Canceled
 		if next == StateCancelled {
 			cause = fmt.Errorf("%w: %s", ErrCancelled, failure)

@@ -155,6 +155,7 @@ func (s *Store) restoreOne(pj PersistedJob, journal bool) error {
 		cancel(fmt.Errorf("jobs: %s restored in terminal state %s", pj.ID, st))
 	} else {
 		s.active.Add(1)
+		s.ownerRestored(pj.Spec.Owner)
 	}
 	s.counts[st].Add(1)
 	s.bumpSequence(pj.ID)

@@ -3,9 +3,12 @@ package portal
 import (
 	"errors"
 	"net/http"
+	"strconv"
+	"time"
 
 	"repro/internal/auth"
 	"repro/internal/jobs"
+	"repro/internal/tenancy"
 	"repro/internal/toolchain"
 	"repro/internal/vfs"
 )
@@ -24,6 +27,8 @@ const (
 	CodeStdinOverflow   = "stdin_overflow"
 	CodeQuotaExceeded   = "quota_exceeded"
 	CodeQueueFull       = "queue_full"
+	CodeBudgetExhausted = "budget_exhausted"
+	CodeRateLimited     = "rate_limited"
 	CodeInternal        = "internal"
 )
 
@@ -34,6 +39,9 @@ type apiErr struct {
 	code    string
 	msg     string
 	details interface{} // optional structured payload (compile diagnostics)
+	// retryAfter, when positive, emits a Retry-After header (seconds,
+	// rounded up) so throttled clients learn when to come back.
+	retryAfter time.Duration
 }
 
 // errorBody is the wire form inside the envelope.
@@ -57,6 +65,13 @@ type errorEnvelope struct {
 // payload refusing to marshal) degrades to a static 500 body instead of a
 // truncated response.
 func writeError(w http.ResponseWriter, r *http.Request, e *apiErr) {
+	if e.retryAfter > 0 {
+		secs := int64((e.retryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
 	env := errorEnvelope{errorBody{
 		Code: e.code, Message: e.msg, Details: e.details, RequestID: requestIDOf(w, r),
 	}}
@@ -104,10 +119,17 @@ func fromDomain(err error) *apiErr {
 	case errors.Is(err, vfs.ErrExists):
 		return errf(http.StatusConflict, CodeAlreadyExists, err.Error())
 	case errors.Is(err, vfs.ErrQuotaExceeded):
-		return errf(http.StatusInsufficientStorage, CodeQuotaExceeded, err.Error())
+		return errf(http.StatusRequestEntityTooLarge, CodeQuotaExceeded, err.Error())
 	case errors.Is(err, vfs.ErrInvalidPath), errors.Is(err, vfs.ErrNotDir),
 		errors.Is(err, vfs.ErrIsDir), errors.Is(err, vfs.ErrDirNotEmpty):
 		return errf(http.StatusBadRequest, CodeInvalidArgument, err.Error())
+	// tenancy
+	case errors.Is(err, tenancy.ErrBudgetExhausted):
+		return errf(http.StatusUnprocessableEntity, CodeBudgetExhausted, err.Error())
+	case errors.Is(err, tenancy.ErrTooManyJobs):
+		e := errf(http.StatusTooManyRequests, CodeRateLimited, err.Error())
+		e.retryAfter = time.Second
+		return e
 	// jobs
 	case errors.Is(err, jobs.ErrNotFound):
 		return errf(http.StatusNotFound, CodeNotFound, err.Error())

@@ -27,6 +27,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/minic"
 	"repro/internal/scheduler"
+	"repro/internal/tenancy"
 	"repro/internal/toolchain"
 	"repro/internal/vfs"
 )
@@ -54,6 +55,7 @@ type Server struct {
 	mux     *http.ServeMux
 	reqIDs  *ids.Random
 	persist Persistence
+	tenancy *tenancy.Accountant
 
 	// accessEvery/accessN implement access-log sampling (SetAccessLogSampling).
 	accessEvery atomic.Int64
@@ -109,6 +111,7 @@ func NewServer(a *auth.Service, fs *vfs.FS, tools *toolchain.Service, store *job
 
 	s.route(mux, "GET /api/cluster/nodes", s.withAuth(s.handleNodes))
 	s.route(mux, "GET /api/cluster/stats", s.withAuth(s.handleStats))
+	s.installTenancy(mux)
 	s.installAdmin(mux)
 	s.installPersistence(mux)
 	s.installStandardMetrics()
@@ -166,6 +169,18 @@ func (s *Server) withAuth(next func(http.ResponseWriter, *http.Request, *auth.Se
 		if err != nil {
 			writeError(w, r, fromDomain(err))
 			return
+		}
+		// Per-user token-bucket rate limiting, after the cached-credential
+		// lookup (so the limiter keys on a verified identity) and before the
+		// handler. Admins are exempt: throttling the operator mid-incident
+		// would be self-defeating.
+		if acct := s.tenancy; acct != nil && sess.Role < auth.RoleAdmin {
+			if ok, retry := acct.Allow(sess.User); !ok {
+				e := errf(http.StatusTooManyRequests, CodeRateLimited, "api rate limit exceeded")
+				e.retryAfter = retry
+				writeError(w, r, e)
+				return
+			}
 		}
 		next(w, r, sess)
 	}

@@ -31,6 +31,7 @@ type stack struct {
 	store  *jobs.Store
 	authz  *auth.Service
 	clus   *cluster.Cluster
+	fs     *vfs.FS
 }
 
 func newStack(t *testing.T) *stack { return newStackDispatch(t, true) }
@@ -66,7 +67,7 @@ func newStackDispatch(t *testing.T, dispatch bool) *stack {
 	server.SetMetrics(reg)
 	ts := httptest.NewServer(server)
 	t.Cleanup(ts.Close)
-	return &stack{srv: ts, server: server, sched: sched, store: store, authz: authz, clus: clus}
+	return &stack{srv: ts, server: server, sched: sched, store: store, authz: authz, clus: clus, fs: fs}
 }
 
 // client is a minimal API client holding a bearer token.

@@ -1,0 +1,97 @@
+package scheduler
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/jobs"
+	"repro/internal/metrics"
+	"repro/internal/tenancy"
+	"repro/internal/toolchain"
+	"repro/internal/vfs"
+)
+
+// BenchmarkSchedulerFairShare is BenchmarkSchedulerThroughput's grid=1024
+// case with weighted fair-share dispatch and a live tenancy accountant in
+// the loop (weights skewed 1/2/4/8 across users, steps charged per run).
+// `make bench-fair` runs both and records them in BENCH_fair.json; the
+// fairness pass must stay within 10% of the FIFO walk's jobs/s.
+func BenchmarkSchedulerFairShare(b *testing.B) {
+	const (
+		segments    = 16
+		nodesPer    = 64
+		users       = 256
+		jobsPerUser = 6
+	)
+	totalJobs := users * jobsPerUser
+	clk := clock.Real{}
+	var passHist *metrics.Histogram
+	b.ResetTimer()
+	for iter := 0; iter < b.N; iter++ {
+		cfg := config.Default()
+		cfg.Cluster.Segments = segments
+		cfg.Cluster.NodesPerSegment = nodesPer
+		clus, err := cluster.New(cfg, clk)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tools := toolchain.NewService(clk)
+		store := jobs.NewStore(0, clk)
+		fs := vfs.New(1<<24, clk)
+		reg := metrics.NewRegistry()
+		acct := tenancy.New(tenancy.Limits{Weight: 1}, clk)
+		s := New(clus, tools, store, fs, Options{
+			WallTime:  time.Minute,
+			Clock:     clk,
+			Metrics:   reg,
+			FairShare: true,
+			Tenant:    acct,
+		})
+		passHist = reg.Histogram("scheduler_pass_seconds", nil)
+		for u := 0; u < users; u++ {
+			name := fmt.Sprintf("user%03d", u)
+			h := fs.EnsureHome(name)
+			if err := h.WriteFile("/job.mc", []byte(helloSrc)); err != nil {
+				b.Fatal(err)
+			}
+			acct.SetLimits(name, tenancy.Limits{Weight: 1 << (u % 4)})
+		}
+		s.Start(5 * time.Millisecond)
+		ids := make([]string, 0, totalJobs)
+		for u := 0; u < users; u++ {
+			owner := fmt.Sprintf("user%03d", u)
+			for k := 0; k < jobsPerUser; k++ {
+				j, err := store.Submit(jobs.Spec{
+					Owner: owner, SourcePath: "/job.mc", Language: "minic", Ranks: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ids = append(ids, j.ID)
+			}
+		}
+		for _, id := range ids {
+			snap, err := store.WaitTerminal(id, time.Minute)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if snap.State != jobs.StateSucceeded {
+				b.Fatalf("job %s: %v (%s)", id, snap.State, snap.Failure)
+			}
+		}
+		s.Stop()
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(totalJobs*b.N)/elapsed, "jobs/s")
+	}
+	if passHist != nil && passHist.Count() > 0 {
+		b.ReportMetric(passHist.Quantile(0.50)*1e6, "µs/pass-p50")
+		b.ReportMetric(passHist.Quantile(0.99)*1e6, "µs/pass-p99")
+	}
+}

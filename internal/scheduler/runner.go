@@ -2,6 +2,7 @@ package scheduler
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -105,7 +106,12 @@ func (w *rankWriter) Write(p []byte) (int, error) {
 // cause if the run was cancelled or timed out.
 func (s *Scheduler) runArtifact(ctx context.Context, job *jobs.Job, unit *minic.Unit, nodes []topology.NodeID) error {
 	ranks := job.Spec.Ranks
-	world, err := mpi.New(s.cluster.Grid(), nodes, mpi.Options{Algorithm: s.collective, Ctx: ctx})
+	// A cancellable wrapper so the first rank to exhaust the owner's tenancy
+	// step budget halts its siblings; the cause distinguishes the halt from
+	// user cancel and wall time.
+	runCtx, cancelRun := context.WithCancelCause(ctx)
+	defer cancelRun(nil)
+	world, err := mpi.New(s.cluster.Grid(), nodes, mpi.Options{Algorithm: s.collective, Ctx: runCtx})
 	if err != nil {
 		return err
 	}
@@ -113,6 +119,41 @@ func (s *Scheduler) runArtifact(ctx context.Context, job *jobs.Job, unit *minic.
 	budget := s.stepBudget
 	if job.Spec.StepBudget > 0 {
 		budget = job.Spec.StepBudget
+	}
+	// When the owner has a tenancy step budget, cap each rank's VM budget so
+	// the job cannot overrun what the user has left. userCapped marks that a
+	// rank's ErrStepBudget means the *user's* budget, not the job's.
+	userCapped := false
+	if s.tenant != nil {
+		if rem, capped := s.tenant.StepsRemaining(job.Spec.Owner); capped {
+			perRank := rem / int64(ranks)
+			if perRank < 1 {
+				perRank = 1
+			}
+			// budget <= 0 means "no job-level budget" — the user cap still
+			// applies there, not only when it undercuts an existing budget.
+			if budget <= 0 || perRank < budget {
+				budget = perRank
+				userCapped = true
+			}
+		}
+	}
+
+	machines := make([]*minic.Machine, ranks)
+	if s.tenant != nil {
+		// Charge actual consumption no matter how the run ends. Steps() is
+		// an atomic read, so abandoned (still-draining) ranks are safe to
+		// sample; any instructions they retire after this point go unbilled,
+		// which errs in the user's favor.
+		defer func() {
+			var total int64
+			for _, m := range machines {
+				if m != nil {
+					total += m.Steps()
+				}
+			}
+			s.tenant.ChargeSteps(job.Spec.Owner, total)
+		}()
 	}
 
 	errs := make([]error, ranks)
@@ -132,12 +173,18 @@ func (s *Scheduler) runArtifact(ctx context.Context, job *jobs.Job, unit *minic.
 			Hooks:      commHooks{c: comm},
 			StepBudget: budget,
 			Seed:       int64(r) + 1,
-			Ctx:        ctx,
+			Ctx:        runCtx,
 		})
+		machines[r] = m
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
 			if _, err := m.Run(); err != nil {
+				if userCapped && errors.Is(err, minic.ErrStepBudget) {
+					errs[r] = fmt.Errorf("rank %d: %w", r, errStepBudget)
+					cancelRun(errStepBudget)
+					return
+				}
 				errs[r] = fmt.Errorf("rank %d: %w", r, err)
 			}
 		}(r)
@@ -153,7 +200,7 @@ func (s *Scheduler) runArtifact(ctx context.Context, job *jobs.Job, unit *minic.
 	}()
 	select {
 	case <-done:
-	case <-ctx.Done():
+	case <-runCtx.Done():
 		// The dead context halts each rank's interpreter loop and aborts
 		// blocked MPI calls; closing stdin unblocks a rank parked in
 		// readline(). Give the ranks a short grace to unwind, then abandon
@@ -164,7 +211,12 @@ func (s *Scheduler) runArtifact(ctx context.Context, job *jobs.Job, unit *minic.
 		case <-time.After(drainGrace):
 			s.log.Warnf("job %s: ranks still draining after cancellation", job.ID)
 		}
-		return fmt.Errorf("scheduler: job %s: %w", job.ID, context.Cause(ctx))
+		return fmt.Errorf("scheduler: job %s: %w", job.ID, context.Cause(runCtx))
+	}
+	if errors.Is(context.Cause(runCtx), errStepBudget) {
+		// A sibling halted the world; surface the budget cause rather than
+		// whichever rank's cancellation error happens to sit first in errs.
+		return fmt.Errorf("scheduler: job %s: %w", job.ID, errStepBudget)
 	}
 	for _, e := range errs {
 		if e != nil {

@@ -66,6 +66,15 @@ type Options struct {
 	// run time); nil means metrics.Default. Wire the portal's registry here
 	// so the histograms show up on /metrics.
 	Metrics *metrics.Registry
+	// FairShare replaces the FIFO queue walk with weighted deficit
+	// fair-share across job owners (see fairshare.go). Dispatch order is by
+	// per-owner deficit instead of submission order; FIFO order is kept
+	// within an owner.
+	FairShare bool
+	// Tenant supplies per-user weights and step budgets; nil means every
+	// user weighs 1 and budgets are unlimited. Typically the tenancy
+	// accountant.
+	Tenant Tenant
 }
 
 // Scheduler owns the dispatch loop.
@@ -83,10 +92,19 @@ type Scheduler struct {
 	log        *logging.Logger
 	clk        clock.Clock
 	drain      time.Duration
+	fairShare  bool
+	tenant     Tenant
 
 	mu       sync.Mutex
 	inFlight map[string]bool
 	events   *eventLog
+
+	// Fair-share lane state (see fairshare.go); guarded by its own mutex so
+	// a pass never contends with the in-flight claim map.
+	laneMu  sync.Mutex
+	lanes   map[string]*ownerLane
+	vclock  int64
+	laneSeq uint64
 
 	// wake is signalled by job submission and node release; the dispatch
 	// loop selects on it so a startable job never waits out a poll tick.
@@ -152,7 +170,10 @@ func New(c *cluster.Cluster, tools *toolchain.Service, store *jobs.Store, fs *vf
 		log:        opts.Logger,
 		clk:        opts.Clock,
 		drain:      opts.DrainTimeout,
+		fairShare:  opts.FairShare,
+		tenant:     opts.Tenant,
 		inFlight:   make(map[string]bool),
+		lanes:      make(map[string]*ownerLane),
 		events:     newEventLog(256),
 		wake:       make(chan struct{}, 1),
 		stopCh:     make(chan struct{}),
@@ -205,17 +226,31 @@ const (
 	blockedJob              // not enough free nodes right now
 )
 
-// Tick performs one scheduling pass: it walks the store's queued-index in
-// submission order and dispatches every job it can start right now. It
-// returns the number of jobs started. Tick is synchronous in its scheduling
-// decisions but job execution proceeds in background goroutines.
+// Tick performs one scheduling pass and returns the number of jobs started.
+// Tick is synchronous in its scheduling decisions but job execution proceeds
+// in background goroutines.
 //
-// The walk touches only queued jobs (running ones are never snapshotted),
-// and without backfill it stops at the first job that doesn't fit, so a
-// pass costs O(jobs dispatched) amortized rather than O(all active jobs).
-// Pass duration is recorded in the scheduler_pass_seconds histogram.
+// The default pass walks the store's queued-index in submission order; with
+// Options.FairShare it instead dispatches by per-owner deficit (fairshare.go)
+// so one user's backlog cannot starve everyone else. Either way the pass
+// touches only queued jobs (running ones are never snapshotted), and without
+// backfill it stops at the first job that doesn't fit, so a pass costs
+// O(jobs dispatched) amortized rather than O(all active jobs). Pass duration
+// is recorded in the scheduler_pass_seconds histogram.
 func (s *Scheduler) Tick() int {
 	passStart := time.Now()
+	var started int
+	if s.fairShare {
+		started = s.tickFair()
+	} else {
+		started = s.tickFIFO()
+	}
+	s.passTime.Observe(time.Since(passStart).Seconds())
+	return started
+}
+
+// tickFIFO is the seed behavior: strict submission order across all owners.
+func (s *Scheduler) tickFIFO() int {
 	started := 0
 	s.store.ScanQueued(func(job *jobs.Job) bool {
 		switch s.tryStart(job) {
@@ -230,7 +265,6 @@ func (s *Scheduler) Tick() int {
 		}
 		return true
 	})
-	s.passTime.Observe(time.Since(passStart).Seconds())
 	return started
 }
 
@@ -259,6 +293,16 @@ func (s *Scheduler) tryStart(job *jobs.Job) startOutcome {
 	if job.State() != jobs.StateQueued {
 		unclaim()
 		return skippedJob
+	}
+	if s.tenant != nil {
+		// Admission-time budget gate: a user whose step budget is already
+		// spent gets a deterministic failure instead of burning an allocation
+		// only to be halted on the first instruction.
+		if rem, capped := s.tenant.StepsRemaining(job.Spec.Owner); capped && rem <= 0 {
+			s.failJob(job, budgetExhaustedMsg)
+			unclaim()
+			return skippedJob
+		}
 	}
 	ranks := job.Spec.Ranks
 	if ranks > s.maxNodes {
@@ -395,6 +439,13 @@ func (s *Scheduler) execute(job *jobs.Job) {
 		}
 		if errors.Is(context.Cause(runCtx), errWallTime) {
 			s.failJob(job, fmt.Sprintf("exceeded wall time %v", s.wallTime))
+			return
+		}
+		if errors.Is(err, errStepBudget) {
+			// Distinct terminal state for tenancy budget exhaustion, as
+			// opposed to a per-job budget overrun (which reports the rank
+			// error verbatim).
+			s.failJob(job, budgetExhaustedMsg)
 			return
 		}
 		s.failJob(job, err.Error())

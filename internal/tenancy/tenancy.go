@@ -1,0 +1,440 @@
+// Package tenancy is the portal's per-user accounting layer: disk usage,
+// cumulative VM step consumption, concurrent-job counts, API token buckets,
+// and fair-share weights, all keyed by username.
+//
+// The accountant is deliberately passive — it never reaches into the VFS,
+// the job store, or the scheduler. Those subsystems push usage into it
+// (vfs usage sink → AddDisk, scheduler → ChargeSteps, job store → AdmitJob)
+// and pull decisions out of it (Allow, StepsRemaining, Weight). That keeps
+// the dependency arrows pointing one way and lets every consumer be tested
+// against a fake.
+//
+// Concurrency layout mirrors the job store: accounts live in hash-sharded
+// maps so two users never contend, and the disk counter is a lock-free
+// pending cell (sftpgo's quota-updater pattern): writers fold deltas into an
+// atomic and only the reader reconciles, so the VFS write path never takes a
+// tenancy lock.
+package tenancy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Errors the admission paths return. The portal maps them onto the error
+// envelope (budget_exhausted → 422, too many jobs → 429).
+var (
+	// ErrBudgetExhausted means the user's cumulative VM step budget is spent.
+	ErrBudgetExhausted = errors.New("tenancy: step budget exhausted")
+	// ErrTooManyJobs means the user is at their concurrent-job cap.
+	ErrTooManyJobs = errors.New("tenancy: too many concurrent jobs")
+)
+
+// Limits is one user's resource envelope. The zero value of any field means
+// "inherit the deployment default"; a negative value means "unlimited". The
+// same struct doubles as the default set the accountant is constructed with
+// (where zero simply means unlimited / weight 1).
+type Limits struct {
+	// QuotaBytes bounds home-directory disk usage.
+	QuotaBytes int64 `json:"quota_bytes,omitempty"`
+	// StepBudget bounds cumulative VM instructions across all of the user's
+	// jobs — spent budget never refills unless an admin raises the limit.
+	StepBudget int64 `json:"step_budget,omitempty"`
+	// MaxJobs caps concurrently active (non-terminal) jobs.
+	MaxJobs int `json:"max_jobs,omitempty"`
+	// RatePerSec and Burst parameterize the API token bucket.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	Burst      int     `json:"burst,omitempty"`
+	// Weight is the fair-share weight (relative service share).
+	Weight int64 `json:"weight,omitempty"`
+}
+
+// Usage is a point-in-time snapshot of one user's consumption.
+type Usage struct {
+	User      string
+	DiskBytes int64
+	Steps     int64
+	Overrides Limits // per-user overrides as stored (zero = inherited)
+	Effective Limits // overrides resolved against the defaults
+}
+
+// foldThreshold is how many pending disk bytes (absolute value) accumulate
+// before a writer folds them into the settled counter. Small enough that a
+// reader is never more than one lab exercise behind, large enough that a
+// burst of little writes costs one atomic add each.
+const foldThreshold = 64 << 10
+
+// account is one user's ledger. steps and overrides live under mu; the disk
+// counter is split into a settled part (under mu) and a lock-free pending
+// cell so AddDisk never blocks a VFS write.
+type account struct {
+	name string
+
+	pendingDisk atomic.Int64
+
+	mu       sync.Mutex
+	limits   Limits // overrides; zero fields inherit the defaults
+	steps    int64  // cumulative VM steps charged
+	disk     int64  // settled disk bytes
+	tokens   float64
+	lastFill time.Time
+}
+
+// numShards must be a power of two (the hash is masked).
+const numShards = 16
+
+type shard struct {
+	mu       sync.RWMutex
+	accounts map[string]*account
+}
+
+// Accountant tracks every user's standing against their limits.
+type Accountant struct {
+	shards   [numShards]shard
+	defaults Limits
+	clk      clock.Clock
+
+	// journal receives a record for every limits change and step charge;
+	// disk usage is deliberately not journaled — it is derived state,
+	// rebuilt by replaying the VFS journal through the usage sink.
+	journal journalField
+
+	quotaMu   sync.Mutex
+	quotaHook func(user string, quota int64)
+}
+
+// New returns an Accountant with the given deployment defaults. In defaults,
+// zero means unlimited (and weight 1); per-user overrides later resolve
+// against these.
+func New(defaults Limits, clk clock.Clock) *Accountant {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	a := &Accountant{defaults: defaults, clk: clk}
+	for i := range a.shards {
+		a.shards[i].accounts = make(map[string]*account)
+	}
+	return a
+}
+
+// Defaults returns the deployment-wide default limits.
+func (a *Accountant) Defaults() Limits { return a.defaults }
+
+// SetQuotaHook installs the callback limit changes push resolved disk quotas
+// through — core wires it to vfs.FS.SetQuota so the filesystem enforces the
+// new quota on its own write path.
+func (a *Accountant) SetQuotaHook(fn func(user string, quota int64)) {
+	a.quotaMu.Lock()
+	a.quotaHook = fn
+	a.quotaMu.Unlock()
+}
+
+func (a *Accountant) shardFor(user string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(user); i++ {
+		h = (h ^ uint32(user[i])) * 16777619
+	}
+	return &a.shards[h&(numShards-1)]
+}
+
+// acct returns the user's account, creating it on first touch.
+func (a *Accountant) acct(user string) *account {
+	sh := a.shardFor(user)
+	sh.mu.RLock()
+	ac := sh.accounts[user]
+	sh.mu.RUnlock()
+	if ac != nil {
+		return ac
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if ac = sh.accounts[user]; ac != nil {
+		return ac
+	}
+	ac = &account{name: user, lastFill: a.clk.Now()}
+	ac.tokens = float64(a.effectiveOf(ac).Burst)
+	sh.accounts[user] = ac
+	return ac
+}
+
+// peek returns the account if it exists, without creating one.
+func (a *Accountant) peek(user string) *account {
+	sh := a.shardFor(user)
+	sh.mu.RLock()
+	ac := sh.accounts[user]
+	sh.mu.RUnlock()
+	return ac
+}
+
+// resolve merges one override field with its default: zero inherits,
+// negative means unlimited (normalized to -1 by Effective's callers only for
+// display; internally any value <= 0 after resolution reads as unlimited).
+func resolve64(override, def int64) int64 {
+	if override != 0 {
+		return override
+	}
+	return def
+}
+
+func resolveInt(override, def int) int {
+	if override != 0 {
+		return override
+	}
+	return def
+}
+
+func resolveFloat(override, def float64) float64 {
+	if override != 0 {
+		return override
+	}
+	return def
+}
+
+// effectiveOf resolves an account's overrides against the defaults. Caller
+// must not hold ac.mu — the method takes it.
+func (a *Accountant) effectiveOf(ac *account) Limits {
+	ac.mu.Lock()
+	o := ac.limits
+	ac.mu.Unlock()
+	return a.resolveLimits(o)
+}
+
+func (a *Accountant) resolveLimits(o Limits) Limits {
+	eff := Limits{
+		QuotaBytes: resolve64(o.QuotaBytes, a.defaults.QuotaBytes),
+		StepBudget: resolve64(o.StepBudget, a.defaults.StepBudget),
+		MaxJobs:    resolveInt(o.MaxJobs, a.defaults.MaxJobs),
+		RatePerSec: resolveFloat(o.RatePerSec, a.defaults.RatePerSec),
+		Burst:      resolveInt(o.Burst, a.defaults.Burst),
+		Weight:     resolve64(o.Weight, a.defaults.Weight),
+	}
+	if eff.Weight <= 0 {
+		eff.Weight = 1
+	}
+	return eff
+}
+
+// Effective returns the user's resolved limits (defaults where no override).
+func (a *Accountant) Effective(user string) Limits {
+	if ac := a.peek(user); ac != nil {
+		return a.effectiveOf(ac)
+	}
+	return a.resolveLimits(Limits{})
+}
+
+// Overrides returns the user's stored overrides (zero fields inherit).
+func (a *Accountant) Overrides(user string) Limits {
+	ac := a.peek(user)
+	if ac == nil {
+		return Limits{}
+	}
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	return ac.limits
+}
+
+// SetLimits replaces the user's overrides, journals the change, and pushes
+// the resolved disk quota through the quota hook.
+func (a *Accountant) SetLimits(user string, l Limits) Limits {
+	ac := a.acct(user)
+	ac.mu.Lock()
+	ac.limits = l
+	// Re-seed the bucket so a raised burst is usable immediately and a
+	// lowered one takes effect now rather than after a drain.
+	eff := a.resolveLimits(l)
+	if eff.Burst > 0 && ac.tokens > float64(eff.Burst) {
+		ac.tokens = float64(eff.Burst)
+	}
+	ac.mu.Unlock()
+	a.journalLimits(user, l)
+	a.pushQuota(user, eff.QuotaBytes)
+	return eff
+}
+
+// pushQuota forwards the resolved quota to the hook. quota <= 0 (unlimited)
+// is forwarded as -1, the VFS convention for "no quota".
+func (a *Accountant) pushQuota(user string, quota int64) {
+	a.quotaMu.Lock()
+	hook := a.quotaHook
+	a.quotaMu.Unlock()
+	if hook == nil {
+		return
+	}
+	if quota <= 0 {
+		quota = -1
+	}
+	hook(user, quota)
+}
+
+// AddDisk records a disk usage delta for the user. Lock-free on the fast
+// path: the delta lands in an atomic pending cell and is folded into the
+// settled counter only when it crosses foldThreshold, so a VFS write never
+// waits on tenancy state.
+func (a *Accountant) AddDisk(user string, delta int64) {
+	if delta == 0 {
+		return
+	}
+	ac := a.acct(user)
+	pending := ac.pendingDisk.Add(delta)
+	if pending >= foldThreshold || pending <= -foldThreshold {
+		a.foldDisk(ac)
+	}
+}
+
+// foldDisk moves whatever is pending into the settled counter.
+func (a *Accountant) foldDisk(ac *account) {
+	moved := ac.pendingDisk.Swap(0)
+	if moved == 0 {
+		return
+	}
+	ac.mu.Lock()
+	ac.disk += moved
+	if ac.disk < 0 {
+		ac.disk = 0
+	}
+	ac.mu.Unlock()
+}
+
+// DiskUsed returns the user's disk usage including any unfolded pending
+// deltas, so readers always see writes that already happened.
+func (a *Accountant) DiskUsed(user string) int64 {
+	ac := a.peek(user)
+	if ac == nil {
+		return 0
+	}
+	ac.mu.Lock()
+	settled := ac.disk
+	ac.mu.Unlock()
+	used := settled + ac.pendingDisk.Load()
+	if used < 0 {
+		return 0
+	}
+	return used
+}
+
+// ChargeSteps adds n VM steps to the user's cumulative consumption and
+// journals the new absolute total (absolute, not delta, so replay is
+// idempotent under the snapshot-overlap window).
+func (a *Accountant) ChargeSteps(user string, n int64) {
+	if n <= 0 {
+		return
+	}
+	ac := a.acct(user)
+	ac.mu.Lock()
+	ac.steps += n
+	total := ac.steps
+	ac.mu.Unlock()
+	a.journalSteps(user, total)
+}
+
+// Steps returns the user's cumulative charged VM steps.
+func (a *Accountant) Steps(user string) int64 {
+	ac := a.peek(user)
+	if ac == nil {
+		return 0
+	}
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	return ac.steps
+}
+
+// StepsRemaining reports how much of the user's step budget is left.
+// limited is false when the user is unbudgeted (remaining is then
+// meaningless and returned as 0).
+func (a *Accountant) StepsRemaining(user string) (remaining int64, limited bool) {
+	eff := a.Effective(user)
+	if eff.StepBudget <= 0 {
+		return 0, false
+	}
+	rem := eff.StepBudget - a.Steps(user)
+	if rem < 0 {
+		rem = 0
+	}
+	return rem, true
+}
+
+// Weight returns the user's fair-share weight (always >= 1).
+func (a *Accountant) Weight(user string) int64 {
+	return a.Effective(user).Weight
+}
+
+// AdmitJob decides whether the user may submit another job given their
+// current active count. The job store calls it under its admission lock.
+func (a *Accountant) AdmitJob(user string, active int) error {
+	eff := a.Effective(user)
+	if eff.MaxJobs > 0 && active >= eff.MaxJobs {
+		return fmt.Errorf("%w: %d active, cap %d", ErrTooManyJobs, active, eff.MaxJobs)
+	}
+	if eff.StepBudget > 0 {
+		if rem, limited := a.StepsRemaining(user); limited && rem <= 0 {
+			return fmt.Errorf("%w: %d of %d steps spent", ErrBudgetExhausted, a.Steps(user), eff.StepBudget)
+		}
+	}
+	return nil
+}
+
+// Allow spends one API token for the user. When the bucket is empty it
+// returns ok=false and how long until the next token accrues — the
+// Retry-After the portal sends with the 429.
+func (a *Accountant) Allow(user string) (ok bool, retryAfter time.Duration) {
+	eff := a.Effective(user)
+	if eff.RatePerSec <= 0 {
+		return true, 0
+	}
+	burst := eff.Burst
+	if burst < 1 {
+		burst = 1
+	}
+	ac := a.acct(user)
+	now := a.clk.Now()
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	if elapsed := now.Sub(ac.lastFill); elapsed > 0 {
+		ac.tokens += elapsed.Seconds() * eff.RatePerSec
+		if ac.tokens > float64(burst) {
+			ac.tokens = float64(burst)
+		}
+	}
+	ac.lastFill = now
+	if ac.tokens >= 1 {
+		ac.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - ac.tokens) / eff.RatePerSec * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return false, wait
+}
+
+// Users returns every user with an account, sorted.
+func (a *Accountant) Users() []string {
+	var out []string
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.RLock()
+		for name := range sh.accounts {
+			out = append(out, name)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// UsageOf snapshots one user's standing.
+func (a *Accountant) UsageOf(user string) Usage {
+	return Usage{
+		User:      user,
+		DiskBytes: a.DiskUsed(user),
+		Steps:     a.Steps(user),
+		Overrides: a.Overrides(user),
+		Effective: a.Effective(user),
+	}
+}

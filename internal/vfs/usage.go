@@ -1,0 +1,70 @@
+package vfs
+
+import "sync/atomic"
+
+// This file is the filesystem's accounting surface: a usage sink that
+// observes every byte-count change (the tenancy accountant attaches here),
+// and runtime-mutable per-user quotas (the tenancy limits API pushes here).
+// The sink fires with h.mu held, so implementations must be cheap and must
+// never call back into the filesystem; the tenancy accountant's AddDisk is a
+// single atomic add on its fast path for exactly this reason.
+
+// sinkBox wraps the callback for one-atomic-load access on write paths.
+type sinkBox struct {
+	fn func(user string, delta int64)
+}
+
+// sinkField is the filesystem's usage-sink holder.
+type sinkField = atomic.Pointer[sinkBox]
+
+// SetUsageSink attaches a callback invoked with (owner, delta) after every
+// mutation that changes a home's byte count: writes (delta may be negative
+// when a file shrinks), removes, and copies. nil detaches it. Attach the
+// sink before replaying journals or importing snapshots and the derived
+// usage counters rebuild for free.
+func (fs *FS) SetUsageSink(fn func(user string, delta int64)) {
+	if fn == nil {
+		fs.sink.Store(nil)
+		return
+	}
+	fs.sink.Store(&sinkBox{fn: fn})
+}
+
+// bill reports a usage delta to the sink. Runs with h.mu held.
+func (h *Home) bill(delta int64) {
+	if h.fs == nil || delta == 0 {
+		return
+	}
+	if box := h.fs.sink.Load(); box != nil {
+		box.fn(h.owner, delta)
+	}
+}
+
+// SetQuota overrides one user's byte quota: quota > 0 sets it, quota < 0
+// removes the limit entirely, and quota == 0 resets the user to the
+// filesystem default. The override applies to an existing home immediately
+// and is remembered for a home created later. Lowering a quota below the
+// user's current usage keeps existing files but blocks growth.
+func (fs *FS) SetQuota(user string, quota int64) {
+	fs.mu.Lock()
+	if fs.overrides == nil {
+		fs.overrides = make(map[string]int64)
+	}
+	effective := fs.quota
+	if quota == 0 {
+		delete(fs.overrides, user)
+	} else {
+		fs.overrides[user] = quota
+		effective = quota
+		if effective < 0 {
+			effective = 0 // 0 means unlimited inside a Home
+		}
+	}
+	h := fs.homes[user]
+	fs.mu.Unlock()
+	if h != nil {
+		h.mu.Lock()
+		h.quota = effective
+		h.mu.Unlock()
+	}
+}

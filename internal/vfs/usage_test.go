@@ -1,0 +1,142 @@
+package vfs_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/tenancy"
+	"repro/internal/vfs"
+)
+
+// walkBytes recomputes a home's usage from scratch — the brute-force rescan
+// the incremental usage sink must always agree with.
+func walkBytes(t *testing.T, h *vfs.Home) int64 {
+	t.Helper()
+	var sum int64
+	err := h.Walk("/", func(in vfs.Info) error {
+		if !in.Dir {
+			sum += in.Size
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sum
+}
+
+// randomOps drives one home through n random mutations: writes (fresh and
+// overwriting), removes, copies and mkdirs. Every operation the VFS accepts
+// must be mirrored exactly by the usage sink; rejected operations (quota,
+// missing paths) must not move the counter at all.
+func randomOps(t *testing.T, h *vfs.Home, rng *rand.Rand, n int) {
+	t.Helper()
+	paths := []string{"/a.dat", "/b.dat", "/sub/c.dat", "/sub/d.dat", "/deep/e.dat"}
+	h.MkdirAll("/sub")
+	h.MkdirAll("/deep")
+	for i := 0; i < n; i++ {
+		p := paths[rng.Intn(len(paths))]
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4, 5: // write dominates, like real traffic
+			size := rng.Intn(4 << 10)
+			h.WriteFile(p, make([]byte, size))
+		case 6:
+			h.Remove(p, false)
+		case 7:
+			h.Copy(p, paths[rng.Intn(len(paths))])
+		case 8:
+			h.Remove("/sub", true)
+			h.MkdirAll("/sub")
+		case 9:
+			h.Rename(p, "/renamed.dat")
+			h.Remove("/renamed.dat", false)
+		}
+	}
+}
+
+func TestUsageSinkMatchesRescan(t *testing.T) {
+	clk := clock.NewSim()
+	acct := tenancy.New(tenancy.Limits{}, clk)
+	fs := vfs.New(64<<10, clk) // small quota so some writes are rejected
+	fs.SetUsageSink(acct.AddDisk)
+
+	rng := rand.New(rand.NewSource(7))
+	h := fs.EnsureHome("alice")
+	for round := 0; round < 20; round++ {
+		randomOps(t, h, rng, 50)
+		rescan := walkBytes(t, h)
+		if used := h.Used(); used != rescan {
+			t.Fatalf("round %d: Home.Used = %d, rescan = %d", round, used, rescan)
+		}
+		if got := acct.DiskUsed("alice"); got != rescan {
+			t.Fatalf("round %d: accountant says %d, rescan = %d", round, got, rescan)
+		}
+	}
+}
+
+func TestUsageSinkMatchesRescanConcurrent(t *testing.T) {
+	clk := clock.NewSim()
+	acct := tenancy.New(tenancy.Limits{}, clk)
+	fs := vfs.New(1<<20, clk)
+	fs.SetUsageSink(acct.AddDisk)
+
+	const users = 6
+	var wg sync.WaitGroup
+	for u := 0; u < users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + u)))
+			randomOps(t, fs.EnsureHome(fmt.Sprintf("user%d", u)), rng, 400)
+		}(u)
+	}
+	wg.Wait()
+
+	for u := 0; u < users; u++ {
+		name := fmt.Sprintf("user%d", u)
+		h, err := fs.Home(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rescan := walkBytes(t, h)
+		if got := acct.DiskUsed(name); got != rescan {
+			t.Fatalf("%s: accountant says %d, rescan = %d", name, got, rescan)
+		}
+	}
+}
+
+// TestQuotaOverrideAppliesToLiveHome covers the SetQuota hook path: raising
+// and lowering a user's quota must take effect on the existing home, and a
+// reset (quota 0) must fall back to the deployment default.
+func TestQuotaOverrideAppliesToLiveHome(t *testing.T) {
+	clk := clock.NewSim()
+	fs := vfs.New(1024, clk)
+	h := fs.EnsureHome("u")
+
+	if err := h.WriteFile("/big.dat", make([]byte, 2048)); err == nil {
+		t.Fatal("write over default quota succeeded")
+	}
+	fs.SetQuota("u", 4096)
+	if err := h.WriteFile("/big.dat", make([]byte, 2048)); err != nil {
+		t.Fatalf("write under raised quota: %v", err)
+	}
+	fs.SetQuota("u", -1) // unlimited
+	if err := h.WriteFile("/huge.dat", make([]byte, 1<<20)); err != nil {
+		t.Fatalf("write under unlimited quota: %v", err)
+	}
+	h.Remove("/huge.dat", false)
+	fs.SetQuota("u", 0) // back to the default
+	if err := h.WriteFile("/more.dat", make([]byte, 2048)); err == nil {
+		t.Fatal("write over restored default quota succeeded")
+	}
+
+	// The override must also govern homes created after the call.
+	fs.SetQuota("late", 8192)
+	late := fs.EnsureHome("late")
+	if err := late.WriteFile("/f.dat", make([]byte, 4096)); err != nil {
+		t.Fatalf("late home ignored its pre-set quota: %v", err)
+	}
+}

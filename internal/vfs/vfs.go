@@ -70,19 +70,25 @@ type Home struct {
 	quota int64
 	clk   clock.Clock
 	// owner is the user this home belongs to; emit journals a mutation
-	// through the owning FS (nil when the home is detached, e.g. in tests).
-	// Both are set once at construction, before the home is published.
+	// through the owning FS, and fs routes usage deltas to the accounting
+	// sink (both nil when the home is detached, e.g. in tests). All are set
+	// once at construction, before the home is published.
 	owner string
 	emit  func(kind dataprovider.Kind, payload interface{})
+	fs    *FS
 }
 
 // FS manages the collection of user homes, as the portal's backend.
 type FS struct {
-	mu      sync.RWMutex
-	homes   map[string]*Home
-	quota   int64
-	clk     clock.Clock
-	journal journalField
+	mu    sync.RWMutex
+	homes map[string]*Home
+	quota int64
+	// overrides holds per-user quota overrides set via SetQuota; absent
+	// users inherit quota. A negative override means unlimited.
+	overrides map[string]int64
+	clk       clock.Clock
+	journal   journalField
+	sink      sinkField
 }
 
 // New returns an FS creating homes with the given per-user byte quota.
@@ -109,7 +115,14 @@ func (fs *FS) EnsureHome(user string) *Home {
 	if h, ok := fs.homes[user]; ok {
 		return h
 	}
-	h = &Home{root: newDir("/", fs.clk.Now()), quota: fs.quota, clk: fs.clk, owner: user, emit: fs.emit}
+	quota := fs.quota
+	if override, ok := fs.overrides[user]; ok {
+		quota = override
+		if quota < 0 {
+			quota = 0 // 0 means unlimited inside a Home
+		}
+	}
+	h = &Home{root: newDir("/", fs.clk.Now()), quota: quota, clk: fs.clk, owner: user, emit: fs.emit, fs: fs}
 	fs.homes[user] = h
 	return h
 }
@@ -196,8 +209,13 @@ func (h *Home) Used() int64 {
 	return h.used
 }
 
-// Quota reports the home's byte quota.
-func (h *Home) Quota() int64 { return h.quota }
+// Quota reports the home's byte quota (0 means unlimited). Quotas are
+// mutable at runtime via FS.SetQuota, so the read is taken under the lock.
+func (h *Home) Quota() int64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.quota
+}
 
 // Mkdir creates a directory. Parent directories must already exist; use
 // MkdirAll to create the whole chain.
@@ -295,6 +313,7 @@ func (h *Home) WriteFile(p string, data []byte) error {
 	pn.children[base] = &node{name: base, data: cp2, modTime: now}
 	pn.modTime = now
 	h.used += int64(len(data)) - old
+	h.bill(int64(len(data)) - old)
 	h.note(dataprovider.KindVFSWrite, WriteRecord{User: h.owner, Path: cp, Data: cp2})
 	return nil
 }
@@ -418,7 +437,9 @@ func (h *Home) Remove(p string, recursive bool) error {
 	if n.dir && !recursive && len(n.children) > 0 {
 		return fmt.Errorf("%w: %s", ErrDirNotEmpty, cp)
 	}
-	h.used -= subtreeBytes(n)
+	freed := subtreeBytes(n)
+	h.used -= freed
+	h.bill(-freed)
 	delete(pn.children, base)
 	pn.modTime = h.clk.Now()
 	h.note(dataprovider.KindVFSRemove, RemoveRecord{User: h.owner, Path: cp, Recursive: recursive})
@@ -528,6 +549,7 @@ func (h *Home) Copy(src, dst string) error {
 	dpn.children[db] = cloneNode(n, db, now)
 	dpn.modTime = now
 	h.used += extra
+	h.bill(extra)
 	h.note(dataprovider.KindVFSCopy, MoveRecord{User: h.owner, Src: cs, Dst: cd})
 	return nil
 }
