@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build vet fmt test race bench bench-vm bench-sched bench-wal bench-stream bench-http bench-fair smoke-http apilint
+.PHONY: all check build vet fmt test race bench bench-vm bench-sched bench-wal bench-stream bench-http bench-fair bench-mpi smoke-http apilint
 
 all: check
 
@@ -32,7 +32,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/scheduler/... ./internal/jobs/... ./internal/mpi/... ./internal/portal/... ./internal/minic/... ./internal/toolchain/... ./internal/dataprovider/... ./internal/auth/... ./internal/metrics/... ./internal/tenancy/...
+	$(GO) test -race ./internal/cluster/... ./internal/scheduler/... ./internal/jobs/... ./internal/mpi/... ./internal/topology/... ./internal/portal/... ./internal/minic/... ./internal/toolchain/... ./internal/dataprovider/... ./internal/auth/... ./internal/metrics/... ./internal/tenancy/...
 
 # smoke-http boots an in-process portal and runs the open-loop load
 # generator briefly at low rate; any server or transport error fails it.
@@ -89,6 +89,20 @@ bench-fair:
 	$(GO) test -run '^$$' -bench 'BenchmarkSchedulerThroughput/grid=1024|BenchmarkSchedulerFairShare' -benchtime 5x ./internal/scheduler/ \
 	| $(GO) run ./cmd/benchjson -o BENCH_fair.json
 	@cat BENCH_fair.json
+
+# bench-mpi measures the MPI data plane: point-to-point ns/op and allocs/op
+# (the pooled RecvInto path must stay at 0 allocs/op — also gated in check by
+# the AllocsPerRun tests), the 1024-element AllReduce at 64 ranks as a
+# per-element scalar loop vs one vector call, and simulated collective
+# makespan across {linear, tree, hier} × {64, 256 ranks} × {1, 4 segments} ×
+# payload sizes. All land in BENCH_mpi.json. Like the other bench targets,
+# not part of check.
+bench-mpi:
+	{ $(GO) test -run '^$$' -bench 'BenchmarkP2P$$' -benchmem -benchtime 200000x ./internal/mpi/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkAllReduce1024$$' -benchtime 3x ./internal/mpi/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkCollectiveMakespan$$' -benchtime 1x -timeout 300s ./internal/mpi/ ; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_mpi.json
+	@cat BENCH_mpi.json
 
 # bench-http measures the HTTP edge two ways: in-process ServeHTTP
 # micro-benchmarks (ns/op and allocs/op per endpoint) and the open-loop load

@@ -26,7 +26,8 @@ func main() {
 		addr       = flag.String("addr", "", "listen address override, e.g. :8080")
 		policy     = flag.String("policy", "pack", "node placement policy: pack or spread")
 		backfill   = flag.Bool("backfill", false, "let small jobs run past a blocked queue head")
-		tree       = flag.Bool("tree-collectives", false, "use binomial-tree MPI collectives")
+		tree       = flag.Bool("tree-collectives", false, "use binomial-tree MPI collectives (shorthand for -collectives tree)")
+		collective = flag.String("collectives", "", "MPI collective algorithm: linear, tree or hier")
 		logLevel   = flag.String("log", "info", "log level: debug, info, warn, error, off")
 		admin      = flag.String("admin", "", "bootstrap an admin account, as user:password")
 		statePath  = flag.String("state", "", "legacy JSON state file: load at boot, snapshot periodically")
@@ -36,13 +37,13 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*configPath, *addr, *policy, *logLevel, *admin, *statePath, *dataDir, *fsync, *pprofAddr, *backfill, *tree); err != nil {
+	if err := run(*configPath, *addr, *policy, *logLevel, *admin, *statePath, *dataDir, *fsync, *pprofAddr, *collective, *backfill, *tree); err != nil {
 		fmt.Fprintln(os.Stderr, "portald:", err)
 		os.Exit(1)
 	}
 }
 
-func run(configPath, addr, policy, logLevel, admin, statePath, dataDir, fsync, pprofAddr string, backfill, tree bool) error {
+func run(configPath, addr, policy, logLevel, admin, statePath, dataDir, fsync, pprofAddr, collective string, backfill, tree bool) error {
 	cfg := ccportal.DefaultConfig()
 	if configPath != "" {
 		loaded, err := ccportal.LoadConfig(configPath)
@@ -69,6 +70,7 @@ func run(configPath, addr, policy, logLevel, admin, statePath, dataDir, fsync, p
 		Policy:          policy,
 		Backfill:        backfill,
 		TreeCollectives: tree,
+		Collectives:     collective,
 		Logger:          logger,
 	})
 	if err != nil {

@@ -128,6 +128,20 @@ type Limits struct {
 	APIRateBurst  int     `json:"api_rate_burst"`
 }
 
+// MPI tunes the message-passing runtime jobs execute under.
+type MPI struct {
+	// Collectives selects the collective algorithm: "linear" (root talks
+	// to every rank), "tree" (binomial), or "hier" (segment-hierarchical:
+	// binomial within each segment, leaders exchange across segments).
+	Collectives string `json:"collectives"`
+	// BufferDepth is the per-channel eager message buffer; sends beyond it
+	// block (rendezvous).
+	BufferDepth int `json:"buffer_depth"`
+	// SendOverhead is the per-message injection overhead (LogP's o). It
+	// serializes a rank's sends on the virtual clock; negative disables.
+	SendOverhead Duration `json:"send_overhead"`
+}
+
 // Fairness tunes multi-tenant scheduling.
 type Fairness struct {
 	// Enabled switches the scheduler from pure FIFO to weighted fair-share
@@ -167,6 +181,7 @@ type Config struct {
 	Network     Network     `json:"network"`
 	Portal      Portal      `json:"portal"`
 	Limits      Limits      `json:"limits"`
+	MPI         MPI         `json:"mpi"`
 	Fairness    Fairness    `json:"fairness"`
 	Persistence Persistence `json:"persistence"`
 }
@@ -206,6 +221,11 @@ func Default() Config {
 			MaxJobsPerUser:    256,
 			APIRatePerSec:     500,
 			APIRateBurst:      1000,
+		},
+		MPI: MPI{
+			Collectives:  "linear",
+			BufferDepth:  64,
+			SendOverhead: Duration(5 * time.Microsecond),
 		},
 		Fairness: Fairness{
 			Enabled:       true,
@@ -273,6 +293,10 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: limits.api_rate_per_sec must be non-negative, got %v", c.Limits.APIRatePerSec)
 	case c.Limits.APIRatePerSec > 0 && c.Limits.APIRateBurst <= 0:
 		return fmt.Errorf("config: limits.api_rate_burst must be positive when rate limiting is on")
+	case c.MPI.Collectives != "" && c.MPI.Collectives != "linear" && c.MPI.Collectives != "tree" && c.MPI.Collectives != "hier":
+		return fmt.Errorf("config: mpi.collectives must be \"linear\", \"tree\" or \"hier\", got %q", c.MPI.Collectives)
+	case c.MPI.BufferDepth <= 0:
+		return fmt.Errorf("config: mpi.buffer_depth must be positive, got %d", c.MPI.BufferDepth)
 	case c.Fairness.Enabled && c.Fairness.DefaultWeight < 1:
 		return fmt.Errorf("config: fairness.default_weight must be >= 1, got %d", c.Fairness.DefaultWeight)
 	case c.Persistence.Mode != "memory" && c.Persistence.Mode != "durable":

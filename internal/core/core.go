@@ -36,8 +36,13 @@ type Options struct {
 	Policy string
 	// Backfill enables EASY-style queue backfill.
 	Backfill bool
-	// TreeCollectives selects binomial-tree MPI collectives.
+	// TreeCollectives selects binomial-tree MPI collectives. Kept for
+	// compatibility; Collectives wins when both are set.
 	TreeCollectives bool
+	// Collectives names the MPI collective algorithm ("linear", "tree",
+	// "hier"). Empty falls back to TreeCollectives, then to the config's
+	// mpi.collectives.
+	Collectives string
 	// Logger receives system events; nil discards them.
 	Logger *logging.Logger
 	// DispatchInterval is the scheduler's fallback poll period; 0 means
@@ -105,9 +110,16 @@ func NewSystem(cfg config.Config, opts Options) (*System, error) {
 	// Sessions always live on the wall clock: browsers are real even when
 	// the cluster is simulated.
 	authSvc := auth.NewService(cfg.Portal.SessionTTL.Std(), clock.Real{})
-	collective := mpi.Linear
+	name := cfg.MPI.Collectives
 	if opts.TreeCollectives {
-		collective = mpi.Tree
+		name = "tree"
+	}
+	if opts.Collectives != "" {
+		name = opts.Collectives
+	}
+	collective, err := mpi.AlgorithmByName(name)
+	if err != nil {
+		return nil, err
 	}
 	// The tenancy accountant must exist before Recover runs: the VFS usage
 	// sink rebuilds disk counters from journal replay, and tenancy records
@@ -128,17 +140,19 @@ func NewSystem(cfg config.Config, opts Options) (*System, error) {
 	reg := metrics.NewRegistry()
 	tools.SetMetrics(reg)
 	sched := scheduler.New(clus, tools, store, fs, scheduler.Options{
-		Policy:         policy,
-		Backfill:       opts.Backfill,
-		MaxNodesPerJob: cfg.Limits.MaxNodesPerJob,
-		WallTime:       cfg.Limits.JobWallTime.Std(),
-		StepBudget:     cfg.Limits.VMStepBudget,
-		Collective:     collective,
-		Logger:         opts.Logger.Named("sched"),
-		Clock:          clk,
-		Metrics:        reg,
-		FairShare:      cfg.Fairness.Enabled,
-		Tenant:         acct,
+		Policy:          policy,
+		Backfill:        opts.Backfill,
+		MaxNodesPerJob:  cfg.Limits.MaxNodesPerJob,
+		WallTime:        cfg.Limits.JobWallTime.Std(),
+		StepBudget:      cfg.Limits.VMStepBudget,
+		Collective:      collective,
+		MPIBufferDepth:  cfg.MPI.BufferDepth,
+		MPISendOverhead: cfg.MPI.SendOverhead.Std(),
+		Logger:          opts.Logger.Named("sched"),
+		Clock:           clk,
+		Metrics:         reg,
+		FairShare:       cfg.Fairness.Enabled,
+		Tenant:          acct,
 	})
 	prov, err := buildProvider(cfg, reg)
 	if err != nil {

@@ -358,6 +358,59 @@ func encodeValue(v Value) ([]byte, error) {
 	}
 }
 
+// maxSendElems caps decoded array sizes, mirroring the array() builtin's
+// allocation limit so a corrupt frame cannot ask for an absurd allocation.
+const maxSendElems = 1 << 22
+
+// encodeArray serializes an array snapshot for the message-passing builtins:
+// a kind byte, a little-endian element count, then each element as its
+// 9-byte scalar frame. Only numeric and bool elements travel; the caller
+// must have snapshotted elems under the machine's memory lock.
+func encodeArray(elems []Value) ([]byte, error) {
+	b := make([]byte, 5, 5+9*len(elems))
+	b[0] = byte(KindArray)
+	binary.LittleEndian.PutUint32(b[1:], uint32(len(elems)))
+	for _, e := range elems {
+		switch e.Kind {
+		case KindInt, KindBool:
+			var s [9]byte
+			s[0] = byte(e.Kind)
+			binary.LittleEndian.PutUint64(s[1:], uint64(e.I))
+			b = append(b, s[:]...)
+		case KindFloat:
+			var s [9]byte
+			s[0] = byte(KindFloat)
+			binary.LittleEndian.PutUint64(s[1:], math.Float64bits(e.F))
+			b = append(b, s[:]...)
+		default:
+			return nil, fmt.Errorf("minic: cannot send an array containing a %s", e.Kind)
+		}
+	}
+	return b, nil
+}
+
+func decodeArray(b []byte) (Value, error) {
+	if len(b) < 5 {
+		return Value{}, fmt.Errorf("minic: truncated array message")
+	}
+	n := int(binary.LittleEndian.Uint32(b[1:]))
+	if n > maxSendElems || len(b) != 5+9*n {
+		return Value{}, fmt.Errorf("minic: bad array message: %d elements, %d bytes", n, len(b))
+	}
+	elems := make([]Value, n)
+	for i := range elems {
+		e, err := decodeValue(b[5+9*i : 5+9*(i+1)])
+		if err != nil {
+			return Value{}, err
+		}
+		if e.Kind != KindInt && e.Kind != KindBool && e.Kind != KindFloat {
+			return Value{}, fmt.Errorf("minic: bad array element kind %s", e.Kind)
+		}
+		elems[i] = e
+	}
+	return Value{Kind: KindArray, Arr: &Array{Elems: elems}}, nil
+}
+
 func decodeValue(b []byte) (Value, error) {
 	if len(b) == 0 {
 		return Value{}, fmt.Errorf("minic: empty message")
@@ -376,6 +429,8 @@ func decodeValue(b []byte) (Value, error) {
 		return FloatValue(math.Float64frombits(binary.LittleEndian.Uint64(b[1:]))), nil
 	case KindString:
 		return StringValue(string(b[1:])), nil
+	case KindArray:
+		return decodeArray(b)
 	default:
 		return Value{}, fmt.Errorf("minic: undecodable message kind %d", b[0])
 	}

@@ -39,6 +39,14 @@ type MPIHooks interface {
 	Bcast(root int, data []byte) ([]byte, error)
 	// AllReduce combines v across ranks with op "sum", "max" or "min".
 	AllReduce(op string, v float64) (float64, error)
+	// AllReduceFloats combines whole vectors element-wise in one collective,
+	// so array reductions cost one message per edge, not one per element.
+	AllReduceFloats(op string, v []float64) ([]float64, error)
+	// GatherFloats concatenates each rank's vector at root in rank order;
+	// other ranks receive nil.
+	GatherFloats(root int, v []float64) ([]float64, error)
+	// ScatterFloats splits root's vector into equal chunks, one per rank.
+	ScatterFloats(root int, v []float64) ([]float64, error)
 	// ElapsedNS is this rank's virtual clock, for the timing labs.
 	ElapsedNS() int64
 	// Tick models local computation of d nanoseconds.
@@ -70,6 +78,15 @@ func (NoMPI) Bcast(_ int, data []byte) ([]byte, error) { return data, nil }
 
 // AllReduce returns v unchanged.
 func (NoMPI) AllReduce(_ string, v float64) (float64, error) { return v, nil }
+
+// AllReduceFloats returns v unchanged.
+func (NoMPI) AllReduceFloats(_ string, v []float64) ([]float64, error) { return v, nil }
+
+// GatherFloats returns v: rank 0 gathering from itself.
+func (NoMPI) GatherFloats(_ int, v []float64) ([]float64, error) { return v, nil }
+
+// ScatterFloats returns v: the single rank's chunk is the whole vector.
+func (NoMPI) ScatterFloats(_ int, v []float64) ([]float64, error) { return v, nil }
 
 // ElapsedNS returns 0.
 func (NoMPI) ElapsedNS() int64 { return 0 }
@@ -579,6 +596,8 @@ func init() {
 		{"reduce_sum", 1, biReduceSum},
 		{"reduce_max", 1, biReduceMax},
 		{"reduce_min", 1, biReduceMin},
+		{"gather", 2, biGather},
+		{"scatter", 2, biScatter},
 		{"time_ns", 0, biTimeNS},
 		{"work_ns", 1, biWorkNS},
 		{"mutex", 0, biMutex},
@@ -772,11 +791,29 @@ func biSize(m *Machine, _ []Value, _ int) (Value, error) {
 	return IntValue(int64(m.hooks.Size())), nil
 }
 
+// snapshotArray copies an array's elements under the memory lock, so a
+// message carries a consistent view even while sibling threads mutate it.
+func (m *Machine) snapshotArray(a *Array) []Value {
+	m.memMu.Lock()
+	elems := append([]Value(nil), a.Elems...)
+	m.memMu.Unlock()
+	return elems
+}
+
+// encodeForSend serializes any sendable value, snapshotting arrays under the
+// memory lock first.
+func (m *Machine) encodeForSend(v Value) ([]byte, error) {
+	if v.Kind == KindArray {
+		return encodeArray(m.snapshotArray(v.Arr))
+	}
+	return encodeValue(v)
+}
+
 func biSend(m *Machine, args []Value, line int) (Value, error) {
 	if args[0].Kind != KindInt {
 		return Value{}, errAt(line, 0, "send destination must be an int rank")
 	}
-	data, err := encodeValue(args[1])
+	data, err := m.encodeForSend(args[1])
 	if err != nil {
 		return Value{}, errAt(line, 0, "%v", err)
 	}
@@ -812,7 +849,7 @@ func biBcast(m *Machine, args []Value, line int) (Value, error) {
 	if args[0].Kind != KindInt {
 		return Value{}, errAt(line, 0, "bcast root must be an int rank")
 	}
-	data, err := encodeValue(args[1])
+	data, err := m.encodeForSend(args[1])
 	if err != nil {
 		return Value{}, errAt(line, 0, "%v", err)
 	}
@@ -828,6 +865,34 @@ func biBcast(m *Machine, args []Value, line int) (Value, error) {
 }
 
 func reduceWith(m *Machine, op string, args []Value, line int) (Value, error) {
+	if args[0].Kind == KindArray {
+		// Whole-array reduction travels as one vector collective instead of
+		// one message per element.
+		elems := m.snapshotArray(args[0].Arr)
+		vec := make([]float64, len(elems))
+		for i, e := range elems {
+			f, ok := e.numeric()
+			if !ok {
+				return Value{}, errAt(line, 0, "reduce needs numeric array elements, got %s", e.Kind)
+			}
+			vec[i] = f
+		}
+		out, err := m.hooks.AllReduceFloats(op, vec)
+		if err != nil {
+			return Value{}, errAt(line, 0, "reduce: %v", err)
+		}
+		res := make([]Value, len(elems))
+		for i := range res {
+			// Element result kind follows the local element, like the
+			// scalar rule below.
+			if elems[i].Kind == KindInt {
+				res[i] = IntValue(int64(out[i]))
+			} else {
+				res[i] = FloatValue(out[i])
+			}
+		}
+		return Value{Kind: KindArray, Arr: &Array{Elems: res}}, nil
+	}
 	f, ok := args[0].numeric()
 	if !ok {
 		return Value{}, errAt(line, 0, "reduce needs a numeric value")
@@ -840,6 +905,73 @@ func reduceWith(m *Machine, op string, args []Value, line int) (Value, error) {
 		return IntValue(int64(out)), nil
 	}
 	return FloatValue(out), nil
+}
+
+// floatVec flattens a numeric scalar or array argument into a float vector
+// for the vector collectives.
+func (m *Machine) floatVec(v Value, line int) ([]float64, error) {
+	if v.Kind == KindArray {
+		elems := m.snapshotArray(v.Arr)
+		vec := make([]float64, len(elems))
+		for i, e := range elems {
+			f, ok := e.numeric()
+			if !ok {
+				return nil, errAt(line, 0, "collective needs numeric array elements, got %s", e.Kind)
+			}
+			vec[i] = f
+		}
+		return vec, nil
+	}
+	f, ok := v.numeric()
+	if !ok {
+		return nil, errAt(line, 0, "collective needs a numeric value, got %s", v.Kind)
+	}
+	return []float64{f}, nil
+}
+
+func floatArray(vec []float64) Value {
+	elems := make([]Value, len(vec))
+	for i, f := range vec {
+		elems[i] = FloatValue(f)
+	}
+	return Value{Kind: KindArray, Arr: &Array{Elems: elems}}
+}
+
+func biGather(m *Machine, args []Value, line int) (Value, error) {
+	if args[0].Kind != KindInt {
+		return Value{}, errAt(line, 0, "gather root must be an int rank")
+	}
+	vec, err := m.floatVec(args[1], line)
+	if err != nil {
+		return Value{}, err
+	}
+	out, err := m.hooks.GatherFloats(int(args[0].I), vec)
+	if err != nil {
+		return Value{}, errAt(line, 0, "gather: %v", err)
+	}
+	// The root gets every rank's contribution concatenated in rank order as
+	// a float array; other ranks get an empty array.
+	return floatArray(out), nil
+}
+
+func biScatter(m *Machine, args []Value, line int) (Value, error) {
+	if args[0].Kind != KindInt {
+		return Value{}, errAt(line, 0, "scatter root must be an int rank")
+	}
+	var vec []float64
+	if m.hooks.Rank() == int(args[0].I) {
+		var err error
+		vec, err = m.floatVec(args[1], line)
+		if err != nil {
+			return Value{}, err
+		}
+	}
+	out, err := m.hooks.ScatterFloats(int(args[0].I), vec)
+	if err != nil {
+		return Value{}, errAt(line, 0, "scatter: %v", err)
+	}
+	// Every rank gets its chunk of the root's array as a float array.
+	return floatArray(out), nil
 }
 
 func biReduceSum(m *Machine, args []Value, line int) (Value, error) {

@@ -1,0 +1,225 @@
+package mpi
+
+// The bench-mpi family regenerates BENCH_mpi.json:
+//
+//	BenchmarkP2P                 — point-to-point ns/op and allocs/op for the
+//	                               copying Recv vs the pooled RecvInto path
+//	BenchmarkAllReduce1024       — wall time of a 1024-element AllReduce at 64
+//	                               ranks: per-element scalar loop (the old lab
+//	                               pattern) vs one vector call
+//	BenchmarkCollectiveMakespan  — simulated makespan across
+//	                               {linear, tree, hier} × {64, 256 ranks} ×
+//	                               {1, 4 segments} × payload sizes
+//
+// Makespan cases use spread placement (ranks round-robined across segments),
+// the placement that punishes segment-oblivious trees and that Hier exists
+// for.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+)
+
+func benchGrid(b *testing.B, segs int) *topology.Grid {
+	b.Helper()
+	g, err := topology.New(segs, 16, topology.Params{
+		IntraNode:      200 * time.Nanosecond,
+		IntraSegment:   50 * time.Microsecond,
+		InterSegment:   400 * time.Microsecond,
+		BytesPerSecond: 1 << 30,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// spreadBench round-robins ranks across segments, multiple ranks per node
+// once the grid is full.
+func spreadBench(g *topology.Grid, n int) []topology.NodeID {
+	places := make([]topology.NodeID, n)
+	segs, nps := g.Segments(), g.NodesPerSegment()
+	for i := range places {
+		places[i] = topology.NodeID{Segment: i % segs, Index: (i / segs) % nps}
+	}
+	return places
+}
+
+// shuffleBench permutes the spread placement with a fixed seed, modeling a
+// fragmented allocation where rank order carries no information about
+// segment. Spread keeps segment a pure function of the rank's low bits, so a
+// binomial tree's high-bit edges land intra-segment by accident; shuffling
+// removes that alignment and every tree round goes remote with probability
+// (segs-1)/segs. This is the case topology-aware Hier exists for.
+func shuffleBench(g *topology.Grid, n int) []topology.NodeID {
+	places := spreadBench(g, n)
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	out := make([]topology.NodeID, n)
+	for i, p := range perm {
+		out[i] = places[p]
+	}
+	return out
+}
+
+func BenchmarkP2P(b *testing.B) {
+	g := benchGrid(b, 4)
+	w, err := New(g, placeRanks(g, 1), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	c, err := w.Comm(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 256)
+
+	b.Run("recv-copy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := c.Send(0, 1, payload); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.Recv(0, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("recv-into", func(b *testing.B) {
+		b.ReportAllocs()
+		buf := make([]byte, 0, len(payload))
+		for i := 0; i < b.N; i++ {
+			if err := c.Send(0, 1, payload); err != nil {
+				b.Fatal(err)
+			}
+			out, err := c.RecvInto(0, 1, buf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf = out
+		}
+	})
+}
+
+// benchRanks runs fn on every rank concurrently and fails the bench on the
+// first error.
+func benchRanks(b *testing.B, w *World, fn func(c *Comm) error) {
+	var wg sync.WaitGroup
+	for r := 0; r < w.Size(); r++ {
+		c, err := w.Comm(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wg.Add(1)
+		go func(c *Comm) {
+			defer wg.Done()
+			if err := fn(c); err != nil {
+				b.Error(err)
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// BenchmarkAllReduce1024 is the before/after of the vector collectives: the
+// "scalar-loop" case is how lab code had to reduce an array before —
+// one collective per element — and "vector" is one AllReduceFloats call.
+// Both run the tree algorithm at 64 ranks so the comparison isolates
+// batching, not the algorithm.
+func BenchmarkAllReduce1024(b *testing.B) {
+	const ranks, elems = 64, 1024
+	g := benchGrid(b, 4)
+	places := spreadBench(g, ranks)
+
+	run := func(b *testing.B, body func(c *Comm, v []float64) error) {
+		w, err := New(g, places, Options{Algorithm: Tree})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchRanks(b, w, func(c *Comm) error {
+				v := make([]float64, elems)
+				for j := range v {
+					v[j] = float64((c.Rank()+j)%7 - 3)
+				}
+				return body(c, v)
+			})
+		}
+	}
+
+	b.Run("scalar-loop", func(b *testing.B) {
+		run(b, func(c *Comm, v []float64) error {
+			for j := range v {
+				out, err := c.AllReduce(OpSum, v[j])
+				if err != nil {
+					return err
+				}
+				v[j] = out
+			}
+			return nil
+		})
+	})
+	b.Run("vector", func(b *testing.B) {
+		run(b, func(c *Comm, v []float64) error {
+			_, err := c.AllReduceFloats(OpSum, v)
+			return err
+		})
+	})
+}
+
+// BenchmarkCollectiveMakespan sweeps the algorithm × world × topology ×
+// payload matrix and reports the simulated makespan (virtual_us) next to the
+// real wall time. One world per iteration so MaxElapsed measures a single
+// collective.
+func BenchmarkCollectiveMakespan(b *testing.B) {
+	for _, segs := range []int{1, 4} {
+		g := benchGrid(b, segs)
+		placements := []struct {
+			name string
+			fn   func(*topology.Grid, int) []topology.NodeID
+		}{{"spread", spreadBench}}
+		if segs > 1 {
+			placements = append(placements, struct {
+				name string
+				fn   func(*topology.Grid, int) []topology.NodeID
+			}{"shuffle", shuffleBench})
+		}
+		for _, ranks := range []int{64, 256} {
+			for _, pl := range placements {
+				places := pl.fn(g, ranks)
+				for _, elems := range []int{16, 1024} {
+					for _, algo := range []Algorithm{Linear, Tree, Hier} {
+						name := fmt.Sprintf("allreduce-%s-p%d-seg%d-%s-n%d", algo, ranks, segs, pl.name, elems)
+						b.Run(name, func(b *testing.B) {
+							var makespan time.Duration
+							for i := 0; i < b.N; i++ {
+								w, err := New(g, places, Options{Algorithm: algo})
+								if err != nil {
+									b.Fatal(err)
+								}
+								benchRanks(b, w, func(c *Comm) error {
+									v := make([]float64, elems)
+									for j := range v {
+										v[j] = float64(c.Rank() % 5)
+									}
+									_, err := c.AllReduceFloats(OpSum, v)
+									return err
+								})
+								makespan = w.MaxElapsed()
+								w.Close()
+							}
+							b.ReportMetric(float64(makespan.Microseconds()), "virtual_us")
+						})
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Float payloads travel little-endian, the same layout package minic uses for
+// sendable values.
+
+func encodeFloats(v []float64) []byte {
+	b := make([]byte, 8*len(v))
+	encodeFloatsInto(b, v)
+	return b
+}
+
+// encodeFloatsInto writes v into b, which must be exactly 8·len(v) bytes.
+func encodeFloatsInto(b []byte, v []float64) {
+	_ = b[:8*len(v)]
+	for i, f := range v {
+		binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(f))
+	}
+}
+
+func decodeFloats(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("mpi: float payload length %d not a multiple of 8", len(b))
+	}
+	v := make([]float64, len(b)/8)
+	decodeFloatsInto(v, b)
+	return v, nil
+}
+
+// decodeFloatsInto fills v from b, which must be exactly 8·len(v) bytes.
+func decodeFloatsInto(v []float64, b []byte) {
+	_ = b[:8*len(v)]
+	for i := range v {
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+}
+
+// growFloats returns a slice of length n, reusing buf's backing array when
+// its capacity suffices.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float64, n)
+}

@@ -1,0 +1,353 @@
+package mpi
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// placements for the equivalence suite: packed (flat order), spread
+// (round-robin across segments), and doubled-up (two ranks per node).
+func placementVariants(g *topology.Grid, n int) map[string][]topology.NodeID {
+	packed := make([]topology.NodeID, n)
+	spread := make([]topology.NodeID, n)
+	doubled := make([]topology.NodeID, n)
+	segs := g.Segments()
+	for i := 0; i < n; i++ {
+		packed[i] = g.NodeAt(i % g.TotalNodes())
+		spread[i] = topology.NodeID{Segment: i % segs, Index: (i / segs) % g.NodesPerSegment()}
+		doubled[i] = g.NodeAt((i / 2) % g.TotalNodes())
+	}
+	return map[string][]topology.NodeID{"packed": packed, "spread": spread, "doubled": doubled}
+}
+
+// rankVec is each rank's deterministic, integer-valued contribution, so sums
+// and products are exact in float64 and the algorithms must agree bit-for-bit.
+func rankVec(rank, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = float64((rank*31+i*7)%11 - 3)
+	}
+	return v
+}
+
+func expectReduce(op Op, size, n int) []float64 {
+	out := rankVec(0, n)
+	for r := 1; r < size; r++ {
+		reduceInto(op, out, rankVec(r, n))
+	}
+	return out
+}
+
+func equalVecs(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCrossAlgorithmEquivalence runs every collective under every algorithm
+// on assorted world sizes (including non-powers-of-two), placements
+// (including multi-rank-per-node), ops and roots, and demands identical
+// results everywhere.
+func TestCrossAlgorithmEquivalence(t *testing.T) {
+	g := testGrid(t)
+	ops := []Op{OpSum, OpProd, OpMax, OpMin}
+	for _, size := range []int{1, 2, 3, 5, 8, 13, 16} {
+		for pname, places := range placementVariants(g, size) {
+			for _, algo := range []Algorithm{Linear, Tree, Hier} {
+				name := fmt.Sprintf("%s/%s/p%d", algo, pname, size)
+				t.Run(name, func(t *testing.T) {
+					w, err := New(g, places, Options{Algorithm: algo})
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer w.Close()
+					roots := []int{0, size - 1, size / 2}
+					const vlen = 5
+					runRanks(t, w, func(c *Comm) error {
+						for _, root := range roots {
+							// Byte broadcast.
+							msg := []byte(fmt.Sprintf("payload-from-%d", root))
+							var want []byte
+							if c.Rank() == root {
+								want = msg
+							} else {
+								msg = nil
+								want = []byte(fmt.Sprintf("payload-from-%d", root))
+							}
+							got, err := c.Bcast(root, msg)
+							if err != nil {
+								return fmt.Errorf("bcast root %d: %w", root, err)
+							}
+							if !bytes.Equal(got, want) {
+								return fmt.Errorf("bcast root %d: got %q want %q", root, got, want)
+							}
+							// Vector broadcast.
+							bv, err := c.BcastFloats(root, rankVec(root, vlen))
+							if err != nil {
+								return fmt.Errorf("bcastfloats root %d: %w", root, err)
+							}
+							if !equalVecs(bv, rankVec(root, vlen)) {
+								return fmt.Errorf("bcastfloats root %d: got %v", root, bv)
+							}
+							for _, op := range ops {
+								// Vector reduce.
+								rv, err := c.ReduceFloats(root, op, rankVec(c.Rank(), vlen))
+								if err != nil {
+									return fmt.Errorf("reducefloats op %d root %d: %w", op, root, err)
+								}
+								if c.Rank() == root && !equalVecs(rv, expectReduce(op, size, vlen)) {
+									return fmt.Errorf("reducefloats op %d root %d: got %v want %v",
+										op, root, rv, expectReduce(op, size, vlen))
+								}
+								// Vector allreduce.
+								av, err := c.AllReduceFloats(op, rankVec(c.Rank(), vlen))
+								if err != nil {
+									return fmt.Errorf("allreducefloats op %d: %w", op, err)
+								}
+								if !equalVecs(av, expectReduce(op, size, vlen)) {
+									return fmt.Errorf("allreducefloats op %d: got %v want %v",
+										op, av, expectReduce(op, size, vlen))
+								}
+								// Scalar reduce keeps its contract too.
+								sv, err := c.Reduce(root, op, rankVec(c.Rank(), 1)[0])
+								if err != nil {
+									return fmt.Errorf("reduce op %d root %d: %w", op, root, err)
+								}
+								if c.Rank() == root && sv != expectReduce(op, size, 1)[0] {
+									return fmt.Errorf("reduce op %d root %d: got %v", op, root, sv)
+								}
+							}
+							// Vector gather: rank order concatenation.
+							gv, err := c.GatherFloats(root, rankVec(c.Rank(), vlen))
+							if err != nil {
+								return fmt.Errorf("gatherfloats root %d: %w", root, err)
+							}
+							if c.Rank() == root {
+								for r := 0; r < size; r++ {
+									if !equalVecs(gv[r*vlen:(r+1)*vlen], rankVec(r, vlen)) {
+										return fmt.Errorf("gatherfloats root %d rank %d block: %v", root, r, gv)
+									}
+								}
+							}
+							// Vector scatter: chunk i to rank i.
+							var all []float64
+							if c.Rank() == root {
+								all = make([]float64, 0, size*vlen)
+								for r := 0; r < size; r++ {
+									all = append(all, rankVec(r, vlen)...)
+								}
+							}
+							sc, err := c.ScatterFloats(root, all)
+							if err != nil {
+								return fmt.Errorf("scatterfloats root %d: %w", root, err)
+							}
+							if !equalVecs(sc, rankVec(c.Rank(), vlen)) {
+								return fmt.Errorf("scatterfloats root %d: got %v want %v",
+									root, sc, rankVec(c.Rank(), vlen))
+							}
+							// Barrier keeps the world aligned between roots.
+							if err := c.Barrier(); err != nil {
+								return fmt.Errorf("barrier: %w", err)
+							}
+						}
+						return nil
+					})
+				})
+			}
+		}
+	}
+}
+
+// TestBarrierSynchronizesClocksAllAlgorithms extends the linear-barrier
+// clock-sync contract to the dissemination and hierarchical barriers.
+func TestBarrierSynchronizesClocksAllAlgorithms(t *testing.T) {
+	for _, algo := range []Algorithm{Linear, Tree, Hier} {
+		t.Run(algo.String(), func(t *testing.T) {
+			w := newWorld(t, 8, Options{Algorithm: algo})
+			runRanks(t, w, func(c *Comm) error {
+				c.Tick(time.Duration(c.Rank()+1) * time.Millisecond)
+				return c.Barrier()
+			})
+			// Every clock must now be at least the slowest rank's pre-barrier
+			// time (8ms).
+			for r := 0; r < w.Size(); r++ {
+				c, _ := w.Comm(r)
+				if c.Elapsed() < 8*time.Millisecond {
+					t.Fatalf("rank %d clock %v below the barrier bound", r, c.Elapsed())
+				}
+			}
+		})
+	}
+}
+
+// TestHierBeatsTreeOnSpreadPlacement is the point of the hierarchical
+// algorithm: with ranks spread round-robin across segments, a binomial tree
+// pays a remote hop on nearly every edge while hier pays O(segments)
+// crossings, so its simulated makespan must be smaller.
+func TestHierBeatsTreeOnSpreadPlacement(t *testing.T) {
+	g := testGrid(t)
+	const n = 64
+	places := placementVariants(g, n)["spread"]
+	makespan := func(algo Algorithm) time.Duration {
+		w, err := New(g, places, Options{Algorithm: algo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		runRanks(t, w, func(c *Comm) error {
+			_, err := c.AllReduceFloats(OpSum, rankVec(c.Rank(), 256))
+			return err
+		})
+		return w.MaxElapsed()
+	}
+	tree, hier := makespan(Tree), makespan(Hier)
+	if hier >= tree {
+		t.Fatalf("hier makespan %v not better than tree %v on spread placement", hier, tree)
+	}
+}
+
+// TestZeroLengthCollectiveFrames injects empty frames into the collective
+// tag space and checks the linear paths error out instead of indexing v[0]
+// on an empty decode (the old panic).
+func TestZeroLengthCollectiveFrames(t *testing.T) {
+	t.Run("reduce", func(t *testing.T) {
+		w := newWorld(t, 2, Options{})
+		c0, _ := w.Comm(0)
+		c1, _ := w.Comm(1)
+		if err := c1.Send(0, tagReduce, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c0.Reduce(0, OpSum, 1); err == nil {
+			t.Fatal("reduce accepted a zero-length frame")
+		}
+	})
+	t.Run("gather", func(t *testing.T) {
+		w := newWorld(t, 2, Options{})
+		c0, _ := w.Comm(0)
+		c1, _ := w.Comm(1)
+		if err := c1.Send(0, tagGather, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c0.Gather(0, 1); err == nil {
+			t.Fatal("gather accepted a zero-length frame")
+		}
+	})
+	t.Run("scatter", func(t *testing.T) {
+		w := newWorld(t, 2, Options{})
+		c0, _ := w.Comm(0)
+		c1, _ := w.Comm(1)
+		if err := c0.Send(1, tagScatter, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c1.Scatter(0, nil); err == nil {
+			t.Fatal("scatter accepted a zero-length frame")
+		}
+	})
+}
+
+// TestHierCancellation covers the hierarchical paths: ranks parked inside a
+// hier collective must unblock with ErrCancelled when the context dies.
+func TestHierCancellation(t *testing.T) {
+	for _, phase := range []string{"allreduce", "barrier", "gather"} {
+		t.Run(phase, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			g := testGrid(t)
+			places := placementVariants(g, 8)["spread"]
+			w, err := New(g, places, Options{Algorithm: Hier, Ctx: ctx})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w.Close()
+			var wg sync.WaitGroup
+			errs := make([]error, w.Size())
+			// Rank 7 never joins, so the collective can only end by
+			// cancellation.
+			for r := 0; r < w.Size()-1; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					c, _ := w.Comm(r)
+					switch phase {
+					case "allreduce":
+						_, errs[r] = c.AllReduceFloats(OpSum, []float64{1})
+					case "barrier":
+						errs[r] = c.Barrier()
+					case "gather":
+						_, errs[r] = c.GatherFloats(0, []float64{1})
+					}
+				}(r)
+			}
+			time.Sleep(10 * time.Millisecond)
+			cancel()
+			wg.Wait()
+			for r := 0; r < w.Size()-1; r++ {
+				if errs[r] != nil && !errors.Is(errs[r], ErrCancelled) {
+					t.Fatalf("rank %d: %v", r, errs[r])
+				}
+			}
+			cancelled := 0
+			for _, e := range errs {
+				if errors.Is(e, ErrCancelled) {
+					cancelled++
+				}
+			}
+			if cancelled == 0 {
+				t.Fatal("no rank observed the cancellation")
+			}
+		})
+	}
+}
+
+// TestGroupBySegmentPlan checks the hier plan wiring against a mixed
+// placement.
+func TestGroupBySegmentPlan(t *testing.T) {
+	places := []topology.NodeID{
+		{Segment: 1, Index: 0},
+		{Segment: 0, Index: 3},
+		{Segment: 1, Index: 5},
+		{Segment: 2, Index: 0},
+		{Segment: 0, Index: 3},
+	}
+	groups := topology.GroupBySegment(places)
+	want := [][]int{{0, 2}, {1, 4}, {3}}
+	if len(groups) != len(want) {
+		t.Fatalf("groups = %v", groups)
+	}
+	for i := range want {
+		if len(groups[i]) != len(want[i]) {
+			t.Fatalf("group %d = %v, want %v", i, groups[i], want[i])
+		}
+		for j := range want[i] {
+			if groups[i][j] != want[i][j] {
+				t.Fatalf("group %d = %v, want %v", i, groups[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAlgorithmByName(t *testing.T) {
+	for name, want := range map[string]Algorithm{
+		"": Linear, "linear": Linear, "tree": Tree, "hier": Hier,
+	} {
+		got, err := AlgorithmByName(name)
+		if err != nil || got != want {
+			t.Errorf("AlgorithmByName(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := AlgorithmByName("quantum"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}

@@ -1,0 +1,43 @@
+package mpi
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzFloatCodec round-trips the wire codec: any multiple-of-8 byte string
+// decodes to floats that encode back to the identical bytes, and any other
+// length is rejected.
+func FuzzFloatCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(encodeFloats([]float64{0, 1, -1, math.Pi, math.Inf(1), math.Inf(-1)}))
+	nan := encodeFloats([]float64{math.NaN()})
+	f.Add(nan)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		v, err := decodeFloats(b)
+		if len(b)%8 != 0 {
+			if err == nil {
+				t.Fatalf("decoded a %d-byte frame", len(b))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("rejected a valid %d-byte frame: %v", len(b), err)
+		}
+		// Bytes → floats → bytes is the identity even for NaN payloads,
+		// because the codec moves raw bit patterns.
+		if got := encodeFloats(v); !bytes.Equal(got, b) {
+			t.Fatalf("round trip changed bytes: %x -> %x", b, got)
+		}
+		// The in-place variants must agree with the allocating ones.
+		dst := make([]float64, len(v))
+		decodeFloatsInto(dst, b)
+		for i := range v {
+			if dst[i] != v[i] && !(math.IsNaN(dst[i]) && math.IsNaN(v[i])) {
+				t.Fatalf("decodeFloatsInto diverged at %d: %v vs %v", i, dst[i], v[i])
+			}
+		}
+	})
+}

@@ -10,15 +10,20 @@
 // topology (package topology). Ranks on the same node talk at UMA speed,
 // ranks in different segments pay the NUMA penalty — which is exactly what
 // Lab 3 measures.
+//
+// The data plane is allocation-free in steady state: payloads travel in
+// pooled buffers leased on Send and released when the receiver consumes the
+// message (Recv copies out and releases; RecvInto reuses the caller's
+// buffer; collectives release internally). Virtual clocks and traffic
+// counters are atomics, so no lock is taken on the per-message path.
 package mpi
 
 import (
 	"context"
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/topology"
@@ -42,16 +47,39 @@ type Algorithm int
 const (
 	// Linear: the root exchanges with every rank directly. O(P) steps.
 	Linear Algorithm = iota
-	// Tree: binomial tree. O(log P) rounds.
+	// Tree: binomial tree, O(log P) rounds; the barrier is dissemination.
 	Tree
+	// Hier: topology-aware hierarchy. One leader is elected per grid
+	// segment; collectives run binomially inside each segment and exchange
+	// across segments only between leaders, so inter-segment crossings are
+	// O(segments) instead of O(P).
+	Hier
 )
 
 // String names the algorithm.
 func (a Algorithm) String() string {
-	if a == Tree {
+	switch a {
+	case Tree:
 		return "tree"
+	case Hier:
+		return "hier"
+	default:
+		return "linear"
 	}
-	return "linear"
+}
+
+// AlgorithmByName resolves a collective algorithm identifier.
+func AlgorithmByName(name string) (Algorithm, error) {
+	switch name {
+	case "", "linear":
+		return Linear, nil
+	case "tree":
+		return Tree, nil
+	case "hier":
+		return Hier, nil
+	default:
+		return Linear, fmt.Errorf("mpi: unknown collective algorithm %q", name)
+	}
 }
 
 // Op is a reduction operator.
@@ -65,31 +93,40 @@ const (
 	OpMin
 )
 
-func (o Op) apply(a, b float64) float64 {
-	switch o {
-	case OpSum:
-		return a + b
-	case OpProd:
-		return a * b
-	case OpMax:
-		if a > b {
-			return a
-		}
-		return b
-	case OpMin:
-		if a < b {
-			return a
-		}
-		return b
-	default:
-		panic(fmt.Sprintf("mpi: unknown op %d", int(o)))
+// --- pooled payload buffers --------------------------------------------------
+
+// payloadBuf is a leased payload backing array. Send copies the caller's
+// bytes into a lease; ownership travels with the message and the consumer
+// releases it back to the pool, so the per-message path allocates nothing
+// once the pool is warm.
+type payloadBuf struct{ b []byte }
+
+var payloadPool = sync.Pool{New: func() any { return &payloadBuf{b: make([]byte, 0, 512)} }}
+
+func leaseBuf(n int) *payloadBuf {
+	p := payloadPool.Get().(*payloadBuf)
+	if cap(p.b) < n {
+		p.b = make([]byte, n)
 	}
+	p.b = p.b[:n]
+	return p
 }
 
 type message struct {
 	tag      int
-	data     []byte
 	sendTime time.Duration // sender's virtual clock at send
+	data     []byte        // payload view; backed by pooled when non-nil
+	pooled   *payloadBuf
+}
+
+// release returns the message's lease to the pool. Safe on messages without
+// a lease (nil payloads) and idempotent per message value.
+func (m *message) release() {
+	if p := m.pooled; p != nil {
+		m.pooled = nil
+		m.data = nil
+		payloadPool.Put(p)
+	}
 }
 
 // World is one parallel program instance: size ranks placed on cluster
@@ -104,12 +141,26 @@ type World struct {
 	done     <-chan struct{} // nil (blocks forever) unless Options.Ctx is set
 
 	// queues[src][dst] carries messages; buffered so sends are async up to
-	// the buffer depth, like a real MPI eager protocol.
+	// the buffer depth, like a real MPI eager protocol. The channels are
+	// never closed — Close signals through closeCh instead, so a sender
+	// that raced past the closed check can never panic on a closed channel.
 	queues [][]chan message
 
-	mu     sync.Mutex
-	closed bool
-	comms  []*Comm
+	closed    atomic.Bool
+	closeCh   chan struct{}
+	closeOnce sync.Once
+
+	comms    []*Comm
+	allRanks []int     // 0..size-1, reused by whole-world group collectives
+	hier     *hierPlan // non-nil iff algo == Hier
+}
+
+// hierPlan is the per-world segment hierarchy used by the Hier algorithm,
+// precomputed at New from the placement.
+type hierPlan struct {
+	groups     [][]int // rank indices per segment, ascending within a group
+	groupOf    []int   // rank -> index into groups
+	posInGroup []int   // rank -> its position within its group
 }
 
 // Options tune a World.
@@ -163,6 +214,7 @@ func New(grid *topology.Grid, places []topology.NodeID, opts Options) (*World, e
 		overhead: overhead,
 		done:     done,
 		queues:   make([][]chan message, size),
+		closeCh:  make(chan struct{}),
 		comms:    make([]*Comm, size),
 	}
 	for i := range w.queues {
@@ -171,8 +223,25 @@ func New(grid *topology.Grid, places []topology.NodeID, opts Options) (*World, e
 			w.queues[i][j] = make(chan message, depth)
 		}
 	}
+	w.allRanks = make([]int, size)
 	for r := 0; r < size; r++ {
 		w.comms[r] = &Comm{world: w, rank: r}
+		w.allRanks[r] = r
+	}
+	if opts.Algorithm == Hier {
+		groups := topology.GroupBySegment(w.places)
+		plan := &hierPlan{
+			groups:     groups,
+			groupOf:    make([]int, size),
+			posInGroup: make([]int, size),
+		}
+		for gi, g := range groups {
+			for pos, r := range g {
+				plan.groupOf[r] = gi
+				plan.posInGroup[r] = pos
+			}
+		}
+		w.hier = plan
 	}
 	return w, nil
 }
@@ -200,19 +269,32 @@ func (w *World) Comm(r int) (*Comm, error) {
 	return w.comms[r], nil
 }
 
-// Close tears the world down; subsequent sends fail.
+// Close tears the world down; subsequent sends and would-block receives fail
+// with ErrWorldClosed, and undelivered messages are discarded. Close is
+// idempotent and safe to call concurrently with in-flight Send/Recv: the
+// queues are never closed, so a racing sender blocks out harmlessly on
+// closeCh instead of panicking on a closed channel.
 func (w *World) Close() {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.closed {
-		return
-	}
-	w.closed = true
-	for _, row := range w.queues {
-		for _, ch := range row {
-			close(ch)
+	w.closeOnce.Do(func() {
+		w.closed.Store(true)
+		close(w.closeCh)
+		// Reclaim payload leases still parked in the queues. A sender that
+		// already passed the closed check may deposit one more message after
+		// this sweep; it is simply left to the GC.
+		for _, row := range w.queues {
+			for _, q := range row {
+			drain:
+				for {
+					select {
+					case m := <-q:
+						m.release()
+					default:
+						break drain
+					}
+				}
+			}
 		}
-	}
+	})
 }
 
 // MaxElapsed returns the largest per-rank virtual time — the parallel
@@ -232,12 +314,11 @@ type Comm struct {
 	world *World
 	rank  int
 
-	vmu   sync.Mutex
-	vtime time.Duration
+	vtime atomic.Int64 // virtual clock, nanoseconds
 
-	sent     int64
-	received int64
-	bytesOut int64
+	sent     atomic.Int64
+	received atomic.Int64
+	bytesOut atomic.Int64
 }
 
 // Rank returns this endpoint's rank.
@@ -251,9 +332,7 @@ func (c *Comm) Node() topology.NodeID { return c.world.places[c.rank] }
 
 // Elapsed returns this rank's virtual clock.
 func (c *Comm) Elapsed() time.Duration {
-	c.vmu.Lock()
-	defer c.vmu.Unlock()
-	return c.vtime
+	return time.Duration(c.vtime.Load())
 }
 
 // Tick advances this rank's virtual clock by d, modelling local computation.
@@ -261,55 +340,112 @@ func (c *Comm) Tick(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	c.vmu.Lock()
-	c.vtime += d
-	c.vmu.Unlock()
+	c.vtime.Add(int64(d))
 }
 
+// advanceTo lifts the clock to at least t (a CAS max — Comm is used from
+// one goroutine, but MaxElapsed may read concurrently).
 func (c *Comm) advanceTo(t time.Duration) {
-	c.vmu.Lock()
-	if t > c.vtime {
-		c.vtime = t
+	for {
+		cur := c.vtime.Load()
+		if int64(t) <= cur || c.vtime.CompareAndSwap(cur, int64(t)) {
+			return
+		}
 	}
-	c.vmu.Unlock()
 }
 
 // Sent and Received report message counts; BytesOut total payload sent.
-func (c *Comm) Sent() int64     { return c.sent }
-func (c *Comm) Received() int64 { return c.received }
-func (c *Comm) BytesOut() int64 { return c.bytesOut }
+func (c *Comm) Sent() int64     { return c.sent.Load() }
+func (c *Comm) Received() int64 { return c.received.Load() }
+func (c *Comm) BytesOut() int64 { return c.bytesOut.Load() }
 
 // Send delivers data to rank dst with the given tag. It is asynchronous up
 // to the world's buffer depth, then blocks (rendezvous), like MPI's standard
 // mode. Sending to self is allowed thanks to buffering. A Send blocked on a
-// full buffer aborts with ErrCancelled when the world's context dies.
+// full buffer aborts with ErrCancelled when the world's context dies, or
+// ErrWorldClosed when the world is torn down under it.
 func (c *Comm) Send(dst, tag int, data []byte) error {
 	w := c.world
 	if dst < 0 || dst >= w.size {
 		return fmt.Errorf("%w: dst %d", ErrBadRank, dst)
 	}
-	w.mu.Lock()
-	closed := w.closed
-	w.mu.Unlock()
-	if closed {
+	if w.closed.Load() {
 		return ErrWorldClosed
 	}
-	cp := make([]byte, len(data))
-	copy(cp, data)
-	// The sender pays the injection overhead; the message departs at the
-	// sender's clock after that, so back-to-back sends serialize.
-	c.vmu.Lock()
-	c.vtime += w.overhead
-	st := c.vtime
-	c.vmu.Unlock()
-	select {
-	case w.queues[c.rank][dst] <- message{tag: tag, data: cp, sendTime: st}:
-	case <-w.done:
-		return ErrCancelled
+	m := message{tag: tag}
+	if len(data) > 0 {
+		m.pooled = leaseBuf(len(data))
+		copy(m.pooled.b, data)
+		m.data = m.pooled.b
 	}
-	c.sent++
-	c.bytesOut += int64(len(data))
+	return c.deliver(dst, m, int64(len(data)))
+}
+
+// deliver stamps the message with the sender's clock (after paying the
+// injection overhead) and enqueues it. The fast path is one non-blocking
+// channel send; only a full buffer falls back to the blocking select.
+func (c *Comm) deliver(dst int, m message, nbytes int64) error {
+	w := c.world
+	m.sendTime = time.Duration(c.vtime.Add(int64(w.overhead)))
+	q := w.queues[c.rank][dst]
+	select {
+	case q <- m:
+	default:
+		select {
+		case q <- m:
+		case <-w.done:
+			m.release()
+			return ErrCancelled
+		case <-w.closeCh:
+			m.release()
+			return ErrWorldClosed
+		}
+	}
+	c.sent.Add(1)
+	c.bytesOut.Add(nbytes)
 	return nil
+}
+
+// recvMsg dequeues the next message from src with the given tag and advances
+// the virtual clock. The caller owns the returned message's lease and must
+// release it (directly or via one of the public receive wrappers).
+func (c *Comm) recvMsg(src, tag int) (message, error) {
+	w := c.world
+	if src < 0 || src >= w.size {
+		return message{}, fmt.Errorf("%w: src %d", ErrBadRank, src)
+	}
+	q := w.queues[src][c.rank]
+	var m message
+	select {
+	case m = <-q:
+	default:
+		select {
+		case m = <-q:
+		case <-w.done:
+			// Drain an already-delivered message in preference to aborting,
+			// so cancellation never drops data that had actually arrived.
+			select {
+			case m = <-q:
+			default:
+				return message{}, ErrCancelled
+			}
+		case <-w.closeCh:
+			select {
+			case m = <-q:
+			default:
+				return message{}, ErrWorldClosed
+			}
+		}
+	}
+	if m.tag != tag {
+		err := fmt.Errorf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, src, m.tag)
+		m.release()
+		return message{}, err
+	}
+	cost := w.grid.Cost(w.places[src], w.places[c.rank], int64(len(m.data)))
+	c.advanceTo(m.sendTime + cost)
+	c.received.Add(1)
+	return m, nil
 }
 
 // Recv blocks for the next message from rank src with the given tag,
@@ -318,295 +454,82 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 // matching MPI non-overtaking semantics within a (src,dst,tag) triple; a
 // mismatched tag at the queue head is an error (the labs use disjoint tags).
 // A Recv with no matching sender aborts with ErrCancelled when the world's
-// context dies.
+// context dies. The returned slice is freshly allocated and owned by the
+// caller; use RecvInto to reuse a buffer instead.
 func (c *Comm) Recv(src, tag int) ([]byte, error) {
-	w := c.world
-	if src < 0 || src >= w.size {
-		return nil, fmt.Errorf("%w: src %d", ErrBadRank, src)
+	m, err := c.recvMsg(src, tag)
+	if err != nil {
+		return nil, err
 	}
-	var m message
-	var ok bool
-	select {
-	case m, ok = <-w.queues[src][c.rank]:
-	case <-w.done:
-		// Drain an already-delivered message in preference to aborting, so
-		// cancellation never drops data that had actually arrived.
-		select {
-		case m, ok = <-w.queues[src][c.rank]:
-		default:
-			return nil, ErrCancelled
-		}
+	if m.pooled == nil {
+		return m.data, nil
 	}
-	if !ok {
-		return nil, ErrWorldClosed
+	out := make([]byte, len(m.data))
+	copy(out, m.data)
+	m.release()
+	return out, nil
+}
+
+// RecvInto is Recv without the allocation: the payload is appended to
+// buf[:0] — reusing buf's backing array when its capacity suffices — and
+// the resulting slice is returned. The steady state of a Send/RecvInto pair
+// allocates nothing.
+func (c *Comm) RecvInto(src, tag int, buf []byte) ([]byte, error) {
+	m, err := c.recvMsg(src, tag)
+	if err != nil {
+		return nil, err
 	}
-	if m.tag != tag {
-		return nil, fmt.Errorf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, src, m.tag)
-	}
-	cost := w.grid.Cost(w.places[src], w.places[c.rank], int64(len(m.data)))
-	c.advanceTo(m.sendTime + cost)
-	c.received++
-	return m.data, nil
+	out := append(buf[:0], m.data...)
+	m.release()
+	return out, nil
 }
 
 // --- typed convenience wrappers -------------------------------------------
 
-// SendFloats sends a float64 slice.
+// SendFloats sends a float64 slice, encoding it straight into the pooled
+// message buffer (no intermediate encode allocation).
 func (c *Comm) SendFloats(dst, tag int, v []float64) error {
-	return c.Send(dst, tag, encodeFloats(v))
+	w := c.world
+	if dst < 0 || dst >= w.size {
+		return fmt.Errorf("%w: dst %d", ErrBadRank, dst)
+	}
+	if w.closed.Load() {
+		return ErrWorldClosed
+	}
+	m := message{tag: tag}
+	if len(v) > 0 {
+		m.pooled = leaseBuf(8 * len(v))
+		encodeFloatsInto(m.pooled.b, v)
+		m.data = m.pooled.b
+	}
+	return c.deliver(dst, m, int64(8*len(v)))
 }
 
 // RecvFloats receives a float64 slice.
 func (c *Comm) RecvFloats(src, tag int) ([]float64, error) {
-	b, err := c.Recv(src, tag)
+	m, err := c.recvMsg(src, tag)
 	if err != nil {
 		return nil, err
 	}
-	return decodeFloats(b)
+	v, err := decodeFloats(m.data)
+	m.release()
+	return v, err
 }
 
-// --- collectives -----------------------------------------------------------
-
-// Collective tags live in a reserved space above user tags.
-const (
-	tagBarrier = 1 << 20
-	tagBcast   = 1<<20 + 1
-	tagReduce  = 1<<20 + 2
-	tagGather  = 1<<20 + 3
-	tagScatter = 1<<20 + 4
-)
-
-// Barrier blocks until every rank has entered it. All ranks must call it.
-func (c *Comm) Barrier() error {
-	// Linear dissemination through rank 0: everyone reports in, rank 0
-	// replies. Virtual time converges to the slowest participant.
-	if c.rank == 0 {
-		for r := 1; r < c.world.size; r++ {
-			if _, err := c.Recv(r, tagBarrier); err != nil {
-				return err
-			}
-		}
-		for r := 1; r < c.world.size; r++ {
-			if err := c.Send(r, tagBarrier, nil); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if err := c.Send(0, tagBarrier, nil); err != nil {
+// recvFloatsInto receives a float vector of exactly len(dst) elements from
+// src into dst. A frame of any other length — including the zero-length
+// frames a tag-space bug could produce — is a clean error, never a panic.
+func (c *Comm) recvFloatsInto(src, tag int, dst []float64) error {
+	m, err := c.recvMsg(src, tag)
+	if err != nil {
 		return err
 	}
-	_, err := c.Recv(0, tagBarrier)
-	return err
-}
-
-// Bcast distributes root's buffer to every rank; all ranks call it and
-// receive the payload as the return value (root gets its own buf back).
-func (c *Comm) Bcast(root int, buf []byte) ([]byte, error) {
-	w := c.world
-	if root < 0 || root >= w.size {
-		return nil, fmt.Errorf("%w: root %d", ErrBadRank, root)
+	if len(m.data) != 8*len(dst) {
+		n := len(m.data)
+		m.release()
+		return fmt.Errorf("mpi: rank %d: float frame from %d is %d bytes, want %d", c.rank, src, n, 8*len(dst))
 	}
-	if w.size == 1 {
-		return buf, nil
-	}
-	if w.algo == Tree {
-		return c.bcastTree(root, buf)
-	}
-	if c.rank == root {
-		for r := 0; r < w.size; r++ {
-			if r == root {
-				continue
-			}
-			if err := c.Send(r, tagBcast, buf); err != nil {
-				return nil, err
-			}
-		}
-		return buf, nil
-	}
-	return c.Recv(root, tagBcast)
-}
-
-// bcastTree implements a binomial-tree broadcast on ranks relabelled so the
-// root is virtual rank 0.
-func (c *Comm) bcastTree(root int, buf []byte) ([]byte, error) {
-	w := c.world
-	vr := (c.rank - root + w.size) % w.size // virtual rank
-	unvr := func(v int) int { return (v + root) % w.size }
-	data := buf
-	if vr != 0 {
-		// Receive from parent: clear the lowest set bit.
-		parent := vr & (vr - 1)
-		b, err := c.Recv(unvr(parent), tagBcast)
-		if err != nil {
-			return nil, err
-		}
-		data = b
-	}
-	// Forward to children: set each bit above our lowest set bit range.
-	for bit := 1; bit < w.size; bit <<= 1 {
-		if vr&bit != 0 {
-			break // bits below our lowest set bit were our parent's job
-		}
-		child := vr | bit
-		if child < w.size && child != vr {
-			if err := c.Send(unvr(child), tagBcast, data); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return data, nil
-}
-
-// Reduce combines every rank's value with op; the result is returned at
-// root (other ranks get 0). All ranks call it.
-func (c *Comm) Reduce(root int, op Op, value float64) (float64, error) {
-	w := c.world
-	if root < 0 || root >= w.size {
-		return 0, fmt.Errorf("%w: root %d", ErrBadRank, root)
-	}
-	if w.size == 1 {
-		return value, nil
-	}
-	if w.algo == Tree {
-		return c.reduceTree(root, op, value)
-	}
-	if c.rank == root {
-		acc := value
-		for r := 0; r < w.size; r++ {
-			if r == root {
-				continue
-			}
-			v, err := c.RecvFloats(r, tagReduce)
-			if err != nil {
-				return 0, err
-			}
-			acc = op.apply(acc, v[0])
-		}
-		return acc, nil
-	}
-	return 0, c.SendFloats(root, tagReduce, []float64{value})
-}
-
-// reduceTree is the binomial-tree mirror of bcastTree: children fold into
-// parents over log2(P) rounds.
-func (c *Comm) reduceTree(root int, op Op, value float64) (float64, error) {
-	w := c.world
-	vr := (c.rank - root + w.size) % w.size
-	unvr := func(v int) int { return (v + root) % w.size }
-	acc := value
-	for bit := 1; bit < w.size; bit <<= 1 {
-		if vr&bit != 0 {
-			// Send our accumulator to the parent and stop.
-			parent := vr &^ bit
-			return 0, c.SendFloats(unvr(parent), tagReduce, []float64{acc})
-		}
-		child := vr | bit
-		if child < w.size {
-			v, err := c.RecvFloats(unvr(child), tagReduce)
-			if err != nil {
-				return 0, err
-			}
-			acc = op.apply(acc, v[0])
-		}
-	}
-	if vr == 0 {
-		return acc, nil
-	}
-	return 0, nil
-}
-
-// AllReduce is Reduce to rank 0 followed by Bcast of the result; every rank
-// receives the combined value.
-func (c *Comm) AllReduce(op Op, value float64) (float64, error) {
-	v, err := c.Reduce(0, op, value)
-	if err != nil {
-		return 0, err
-	}
-	b, err := c.Bcast(0, encodeFloats([]float64{v}))
-	if err != nil {
-		return 0, err
-	}
-	out, err := decodeFloats(b)
-	if err != nil {
-		return 0, err
-	}
-	return out[0], nil
-}
-
-// Gather collects each rank's value at root, indexed by rank; non-roots
-// return nil. All ranks call it.
-func (c *Comm) Gather(root int, value float64) ([]float64, error) {
-	w := c.world
-	if root < 0 || root >= w.size {
-		return nil, fmt.Errorf("%w: root %d", ErrBadRank, root)
-	}
-	if c.rank != root {
-		return nil, c.SendFloats(root, tagGather, []float64{value})
-	}
-	out := make([]float64, w.size)
-	out[root] = value
-	for r := 0; r < w.size; r++ {
-		if r == root {
-			continue
-		}
-		v, err := c.RecvFloats(r, tagGather)
-		if err != nil {
-			return nil, err
-		}
-		out[r] = v[0]
-	}
-	return out, nil
-}
-
-// Scatter distributes values[i] from root to rank i; every rank returns its
-// element. At root, len(values) must equal Size. All ranks call it.
-func (c *Comm) Scatter(root int, values []float64) (float64, error) {
-	w := c.world
-	if root < 0 || root >= w.size {
-		return 0, fmt.Errorf("%w: root %d", ErrBadRank, root)
-	}
-	if c.rank == root {
-		if len(values) != w.size {
-			return 0, fmt.Errorf("mpi: scatter needs %d values, got %d", w.size, len(values))
-		}
-		for r := 0; r < w.size; r++ {
-			if r == root {
-				continue
-			}
-			if err := c.SendFloats(r, tagScatter, values[r:r+1]); err != nil {
-				return 0, err
-			}
-		}
-		return values[root], nil
-	}
-	v, err := c.RecvFloats(root, tagScatter)
-	if err != nil {
-		return 0, err
-	}
-	return v[0], nil
-}
-
-// --- encoding ---------------------------------------------------------------
-
-// Float payloads travel little-endian, the same layout package minic uses for
-// sendable values.
-
-func encodeFloats(v []float64) []byte {
-	b := make([]byte, 8*len(v))
-	for i, f := range v {
-		binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(f))
-	}
-	return b
-}
-
-func decodeFloats(b []byte) ([]float64, error) {
-	if len(b)%8 != 0 {
-		return nil, fmt.Errorf("mpi: float payload length %d not a multiple of 8", len(b))
-	}
-	v := make([]float64, len(b)/8)
-	for i := range v {
-		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
-	}
-	return v, nil
+	decodeFloatsInto(dst, m.data)
+	m.release()
+	return nil
 }

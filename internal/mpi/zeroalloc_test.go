@@ -1,0 +1,89 @@
+package mpi
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestP2PSteadyStateZeroAlloc is the data-plane contract this package is
+// built around: once the payload pool is warm, a Send/RecvInto pair
+// allocates nothing. Self-send keeps the measurement on one goroutine, as
+// AllocsPerRun requires.
+func TestP2PSteadyStateZeroAlloc(t *testing.T) {
+	w := newWorld(t, 1, Options{})
+	c, _ := w.Comm(0)
+	payload := make([]byte, 256)
+	buf := make([]byte, 0, 256)
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := c.Send(0, 7, payload); err != nil {
+			t.Fatal(err)
+		}
+		out, err := c.RecvInto(0, 7, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = out
+	})
+	if allocs != 0 {
+		t.Fatalf("Send/RecvInto steady state allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// TestFloatP2PSteadyStateZeroAlloc covers the typed path: SendFloats encodes
+// straight into the pooled lease and recvFloatsInto decodes into the
+// caller's vector.
+func TestFloatP2PSteadyStateZeroAlloc(t *testing.T) {
+	w := newWorld(t, 1, Options{})
+	c, _ := w.Comm(0)
+	v := make([]float64, 64)
+	dst := make([]float64, 64)
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := c.SendFloats(0, 7, v); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.recvFloatsInto(0, 7, dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SendFloats/recvFloatsInto steady state allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// TestCloseSendChurn hammers Close against concurrent senders. The old
+// implementation closed the per-pair channels under a mutex, so a sender
+// that had passed the closed check could panic with "send on closed
+// channel"; the atomic-flag design must only ever return clean errors. Run
+// under -race to also check the drain/deposit interleavings.
+func TestCloseSendChurn(t *testing.T) {
+	g := testGrid(t)
+	for round := 0; round < 50; round++ {
+		// Depth 1 keeps senders blocking quickly, maximizing the number of
+		// goroutines parked inside deliver when Close lands.
+		w, err := New(g, placeRanks(g, 8), Options{BufferDepth: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for r := 0; r < w.Size(); r++ {
+			c, _ := w.Comm(r)
+			wg.Add(1)
+			go func(c *Comm) {
+				defer wg.Done()
+				payload := []byte("churn")
+				for i := 0; ; i++ {
+					err := c.Send((c.Rank()+1)%c.Size(), 0, payload)
+					if err != nil {
+						if !errors.Is(err, ErrWorldClosed) {
+							t.Errorf("sender got %v, want ErrWorldClosed", err)
+						}
+						return
+					}
+				}
+			}(c)
+		}
+		w.Close()
+		wg.Wait()
+	}
+}

@@ -28,13 +28,29 @@ type PackPolicy struct{}
 // Name returns "pack".
 func (PackPolicy) Name() string { return "pack" }
 
-// FreeNeeded is n: packing looks only at the first n free nodes.
-func (PackPolicy) FreeNeeded(n int) int { return n }
+// FreeNeeded is -1: the single-segment preference must see every free node,
+// because the first segment with room may sit past the first n entries.
+func (PackPolicy) FreeNeeded(int) int { return -1 }
 
-// Select takes the first n free nodes in flat order.
+// Select prefers the first segment whose free run can hold the whole job, so
+// an MPI world lands intra-segment whenever any segment fits it; only a job
+// too big for every segment falls back to the first n free nodes in flat
+// order. Because free is flat-ordered, each segment's nodes form one
+// contiguous run and the scan is a single pass, the same trick SpreadPolicy
+// uses.
 func (PackPolicy) Select(_ *topology.Grid, free []topology.NodeID, n int) []topology.NodeID {
 	if n <= 0 || len(free) < n {
 		return nil
+	}
+	for i := 0; i < len(free); {
+		j := i + 1
+		for j < len(free) && free[j].Segment == free[i].Segment {
+			j++
+		}
+		if j-i >= n {
+			return append([]topology.NodeID(nil), free[i:i+n]...)
+		}
+		i = j
 	}
 	return append([]topology.NodeID(nil), free[:n]...)
 }

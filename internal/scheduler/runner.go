@@ -23,40 +23,72 @@ const drainGrace = 2 * time.Second
 
 // commHooks adapts an mpi.Comm to the minic VM's MPIHooks interface, so a
 // program's rank()/send()/recv()/barrier() builtins talk to the simulated
-// grid.
+// grid. Each rank's VM owns one instance; recvBuf is reused across receives
+// so steady-state point-to-point traffic stays allocation-free in the mpi
+// layer (the decoded minic Value is the only per-message allocation left).
 type commHooks struct {
-	c *mpi.Comm
+	c       *mpi.Comm
+	recvBuf []byte
 }
 
-func (h commHooks) Rank() int { return h.c.Rank() }
-func (h commHooks) Size() int { return h.c.Size() }
+func (h *commHooks) Rank() int { return h.c.Rank() }
+func (h *commHooks) Size() int { return h.c.Size() }
 
-func (h commHooks) Send(dst int, data []byte) error { return h.c.Send(dst, 0, data) }
+func (h *commHooks) Send(dst int, data []byte) error { return h.c.Send(dst, 0, data) }
 
-func (h commHooks) Recv(src int) ([]byte, error) { return h.c.Recv(src, 0) }
+func (h *commHooks) Recv(src int) ([]byte, error) {
+	out, err := h.c.RecvInto(src, 0, h.recvBuf)
+	if err != nil {
+		return nil, err
+	}
+	h.recvBuf = out
+	return out, nil
+}
 
-func (h commHooks) Barrier() error { return h.c.Barrier() }
+func (h *commHooks) Barrier() error { return h.c.Barrier() }
 
-func (h commHooks) Bcast(root int, data []byte) ([]byte, error) { return h.c.Bcast(root, data) }
+func (h *commHooks) Bcast(root int, data []byte) ([]byte, error) { return h.c.Bcast(root, data) }
 
-func (h commHooks) AllReduce(op string, v float64) (float64, error) {
-	var mop mpi.Op
+func mpiOp(op string) (mpi.Op, error) {
 	switch op {
 	case "sum":
-		mop = mpi.OpSum
+		return mpi.OpSum, nil
 	case "max":
-		mop = mpi.OpMax
+		return mpi.OpMax, nil
 	case "min":
-		mop = mpi.OpMin
+		return mpi.OpMin, nil
 	default:
 		return 0, fmt.Errorf("scheduler: unknown reduce op %q", op)
+	}
+}
+
+func (h *commHooks) AllReduce(op string, v float64) (float64, error) {
+	mop, err := mpiOp(op)
+	if err != nil {
+		return 0, err
 	}
 	return h.c.AllReduce(mop, v)
 }
 
-func (h commHooks) ElapsedNS() int64 { return h.c.Elapsed().Nanoseconds() }
+func (h *commHooks) AllReduceFloats(op string, v []float64) ([]float64, error) {
+	mop, err := mpiOp(op)
+	if err != nil {
+		return nil, err
+	}
+	return h.c.AllReduceFloats(mop, v)
+}
 
-func (h commHooks) Tick(ns int64) { h.c.Tick(time.Duration(ns)) }
+func (h *commHooks) GatherFloats(root int, v []float64) ([]float64, error) {
+	return h.c.GatherFloats(root, v)
+}
+
+func (h *commHooks) ScatterFloats(root int, v []float64) ([]float64, error) {
+	return h.c.ScatterFloats(root, v)
+}
+
+func (h *commHooks) ElapsedNS() int64 { return h.c.Elapsed().Nanoseconds() }
+
+func (h *commHooks) Tick(ns int64) { h.c.Tick(time.Duration(ns)) }
 
 // rankWriter prefixes each output line with the rank, so the merged job
 // stdout stays attributable; sequential jobs write through unprefixed. It is
@@ -111,7 +143,12 @@ func (s *Scheduler) runArtifact(ctx context.Context, job *jobs.Job, unit *minic.
 	// user cancel and wall time.
 	runCtx, cancelRun := context.WithCancelCause(ctx)
 	defer cancelRun(nil)
-	world, err := mpi.New(s.cluster.Grid(), nodes, mpi.Options{Algorithm: s.collective, Ctx: runCtx})
+	world, err := mpi.New(s.cluster.Grid(), nodes, mpi.Options{
+		Algorithm:    s.collective,
+		BufferDepth:  s.mpiDepth,
+		SendOverhead: s.mpiOver,
+		Ctx:          runCtx,
+	})
 	if err != nil {
 		return err
 	}
@@ -170,7 +207,7 @@ func (s *Scheduler) runArtifact(ctx context.Context, job *jobs.Job, unit *minic.
 		m := minic.NewMachine(unit, minic.MachineConfig{
 			Out:        newRankWriter(r, ranks > 1, job.Stdout),
 			In:         stdin,
-			Hooks:      commHooks{c: comm},
+			Hooks:      &commHooks{c: comm},
 			StepBudget: budget,
 			Seed:       int64(r) + 1,
 			Ctx:        runCtx,

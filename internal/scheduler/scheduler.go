@@ -53,6 +53,12 @@ type Options struct {
 	StepBudget int64
 	// Collective selects the MPI collective algorithm for dispatched jobs.
 	Collective mpi.Algorithm
+	// MPIBufferDepth is the per-channel eager buffer for dispatched jobs'
+	// MPI worlds; 0 means the mpi package default.
+	MPIBufferDepth int
+	// MPISendOverhead is the per-message injection overhead (LogP o) for
+	// dispatched jobs; 0 means the mpi package default, negative disables.
+	MPISendOverhead time.Duration
 	// Logger receives scheduling events; nil discards them.
 	Logger *logging.Logger
 	// Clock is the time source for dispatch-latency accounting; nil means
@@ -89,6 +95,8 @@ type Scheduler struct {
 	wallTime   time.Duration
 	stepBudget int64
 	collective mpi.Algorithm
+	mpiDepth   int
+	mpiOver    time.Duration
 	log        *logging.Logger
 	clk        clock.Clock
 	drain      time.Duration
@@ -167,6 +175,8 @@ func New(c *cluster.Cluster, tools *toolchain.Service, store *jobs.Store, fs *vf
 		wallTime:   opts.WallTime,
 		stepBudget: opts.StepBudget,
 		collective: opts.Collective,
+		mpiDepth:   opts.MPIBufferDepth,
+		mpiOver:    opts.MPISendOverhead,
 		log:        opts.Logger,
 		clk:        opts.Clock,
 		drain:      opts.DrainTimeout,

@@ -1,0 +1,60 @@
+package scheduler
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/jobs"
+	"repro/internal/mpi"
+)
+
+// TestVectorCollectiveJob runs the array-aware builtins end to end on 8
+// ranks under each collective algorithm: reduce over a whole array, gather
+// to rank 0, scatter back out, and an array broadcast.
+func TestVectorCollectiveJob(t *testing.T) {
+	const src = `
+func main() {
+    var a = array(2);
+    a[0] = rank();
+    a[1] = 1;
+    var s = reduce_sum(a);
+    var g = gather(0, a);
+    var c = scatter(0, g);
+    var b = array(2);
+    if (rank() == 0) { b[0] = 41; b[1] = 1; }
+    b = bcast(0, b);
+    barrier();
+    if (rank() == 0) {
+        println("sum", s[0], s[1]);
+        println("glen", len(g));
+        println("chunk", int(c[0]), int(c[1]));
+    }
+    if (rank() == size() - 1) {
+        println("bcast", b[0] + b[1]);
+        println("back", int(c[0]));
+    }
+}`
+	for _, algo := range []mpi.Algorithm{mpi.Linear, mpi.Tree, mpi.Hier} {
+		t.Run(algo.String(), func(t *testing.T) {
+			r := newRig(t, Options{Collective: algo})
+			r.addSource(t, "alice", "/vec.mc", src)
+			j := r.submit(t, "alice", "/vec.mc", "minic", 8)
+			snap := r.drive(t, j.ID)
+			if snap.State != jobs.StateSucceeded {
+				t.Fatalf("state = %v failure=%q", snap.State, snap.Failure)
+			}
+			out := j.Stdout.String()
+			for _, want := range []string{
+				"[rank 0] sum 28 8",  // 0+1+...+7 and 8×1
+				"[rank 0] glen 16",   // 8 ranks × 2 elements
+				"[rank 0] chunk 0 1", // rank 0 gets its own contribution back
+				"[rank 7] bcast 42",  // root's array arrived intact
+				"[rank 7] back 7",    // scatter chunk i went to rank i
+			} {
+				if !strings.Contains(out, want) {
+					t.Fatalf("output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}

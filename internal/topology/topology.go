@@ -70,6 +70,11 @@ type Grid struct {
 	segments        int
 	nodesPerSegment int
 	params          Params
+
+	// lat is the one-way latency per Distance class, precomputed at New so
+	// the per-message cost path is a classification plus a table lookup —
+	// no recomposition of the remote route on every message.
+	lat [3]time.Duration
 }
 
 // New returns a Grid with the given shape and timing.
@@ -83,7 +88,11 @@ func New(segments, nodesPerSegment int, p Params) (*Grid, error) {
 	if p.IntraNode < 0 || p.IntraSegment < 0 || p.InterSegment < 0 {
 		return nil, fmt.Errorf("topology: latencies must be non-negative")
 	}
-	return &Grid{segments: segments, nodesPerSegment: nodesPerSegment, params: p}, nil
+	g := &Grid{segments: segments, nodesPerSegment: nodesPerSegment, params: p}
+	g.lat[DistanceLocal] = p.IntraNode
+	g.lat[DistanceSegment] = p.IntraSegment
+	g.lat[DistanceRemote] = 2*p.IntraSegment + p.InterSegment
+	return g, nil
 }
 
 // Segments returns the number of segments.
@@ -135,14 +144,7 @@ func (g *Grid) DistanceBetween(a, b NodeID) Distance {
 // payload transfer time. Remote latency composes the hops of the route: out
 // of the source segment, across the master, into the destination segment.
 func (g *Grid) Latency(a, b NodeID) time.Duration {
-	switch g.DistanceBetween(a, b) {
-	case DistanceLocal:
-		return g.params.IntraNode
-	case DistanceSegment:
-		return g.params.IntraSegment
-	default:
-		return 2*g.params.IntraSegment + g.params.InterSegment
-	}
+	return g.lat[g.DistanceBetween(a, b)]
 }
 
 // TransferTime returns the bandwidth term for a payload of n bytes.
@@ -150,14 +152,38 @@ func (g *Grid) TransferTime(n int64) time.Duration {
 	if n <= 0 {
 		return 0
 	}
-	// ns = bytes * 1e9 / bytesPerSecond, computed to avoid overflow for
-	// realistic sizes.
+	if n < 1<<33 {
+		// Pure integer math on the hot path: n·1e9 stays inside int64 for
+		// payloads under 8 GiB, which covers every message the runtime can
+		// carry.
+		return time.Duration(n * int64(time.Second) / g.params.BytesPerSecond)
+	}
 	return time.Duration(float64(n) / float64(g.params.BytesPerSecond) * float64(time.Second))
 }
 
 // Cost returns the full simulated time for delivering n bytes from a to b.
 func (g *Grid) Cost(a, b NodeID, n int64) time.Duration {
 	return g.Latency(a, b) + g.TransferTime(n)
+}
+
+// GroupBySegment partitions rank indices by the segment their node lives
+// in: groups[k] lists, in ascending rank order, the ranks whose node is in
+// the k-th distinct segment (segments ordered by first appearance in
+// places). Hierarchical collectives use it to elect one leader per segment
+// so cross-segment traffic scales with segments, not ranks.
+func GroupBySegment(places []NodeID) [][]int {
+	var groups [][]int
+	slot := make(map[int]int, 4)
+	for r, p := range places {
+		k, ok := slot[p.Segment]
+		if !ok {
+			k = len(groups)
+			slot[p.Segment] = k
+			groups = append(groups, nil)
+		}
+		groups[k] = append(groups[k], r)
+	}
+	return groups
 }
 
 // Hop names a point the route passes through.
